@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` regenerates one table/figure of the paper's
+evaluation (Sec. VI).  pytest-benchmark measures the host-side wall time of
+whatever is benchmarked (the *transformations* for Fig. 10, the simulation
+loop otherwise); the paper-comparable quantities — simulated cycles per
+cell update and extrapolated paper-scale seconds — are attached to each
+benchmark's ``extra_info`` and printed as text tables at the end of the
+session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stencil.jacobi import JacobiSetup, StencilWorkspace
+
+#: collected figure rows, printed in the session summary
+FIGURES: dict[str, list[str]] = {}
+
+
+def record(figure: str, line: str) -> None:
+    FIGURES.setdefault(figure, []).append(line)
+
+
+@pytest.fixture(scope="session")
+def workspace():
+    """One simulated machine shared by all benchmarks (sz=17 keeps the
+    simulation tractable; cycles/cell is scale-free, see DESIGN.md §2)."""
+    return StencilWorkspace(JacobiSetup(sz=17, sweeps=1))
+
+
+@pytest.fixture(scope="session")
+def reference(workspace):
+    workspace.reset_matrices()
+    return workspace.reference_sweeps(workspace.setup.sweeps)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not FIGURES:
+        return
+    tr = terminalreporter
+    tr.section("paper figure reproductions (simulated)")
+    for figure in sorted(FIGURES):
+        tr.write_line("")
+        tr.write_line(f"--- {figure} ---")
+        for line in FIGURES[figure]:
+            tr.write_line(line)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Miniature of the paper's full evaluation (Figures 9a, 9b, 10).
+
+Runs all five modes over the three stencil codes for both kernel shapes,
+validates every cell against a pure-Python Jacobi reference, and prints
+text versions of the figures.
+
+Run:  python examples/jacobi_benchmark.py          (takes a few minutes)
+      python examples/jacobi_benchmark.py --fast   (smaller matrix)
+"""
+
+import sys
+
+from repro.bench.harness import (
+    format_compile_times, format_figure, run_experiment,
+)
+from repro.bench.modes import CODES
+from repro.stencil.jacobi import JacobiSetup, StencilWorkspace
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    setup = JacobiSetup(sz=17 if fast else 25, sweeps=2)
+    ws = StencilWorkspace(setup)
+    print(f"simulated matrix: {setup.sz}x{setup.sz}, {setup.sweeps} sweeps; "
+          f"times extrapolated to the paper's "
+          f"{setup.paper_sz}x{setup.paper_sz} x {setup.paper_iterations} "
+          f"iterations at {ws.costs.clock_ghz} GHz\n")
+
+    element_rows = []
+    line_rows = []
+    for code in CODES:
+        print(f"running element/{code} ...", flush=True)
+        element_rows.append(run_experiment(ws, code, line=False))
+    for code in CODES:
+        print(f"running line/{code} ...", flush=True)
+        line_rows.append(run_experiment(ws, code, line=True))
+
+    print()
+    print(format_figure(element_rows, title="Figure 9a: element kernel"))
+    print()
+    print(format_figure(line_rows, title="Figure 9b: line kernel"))
+    print()
+    print(format_compile_times(line_rows,
+                               title="Figure 10: transformation times"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro: runtime binary rewriting with LLVM-style post-processing.
+
+A from-scratch Python reproduction of Engelke & Weidendorfer, *Using LLVM
+for Optimized Lightweight Binary Re-Writing at Runtime* (HIPS/IPDPSW 2017).
+
+The public API mirrors the paper's workflow:
+
+>>> from repro import compile_c, Simulator, Rewriter, BinaryTransformer
+>>> program = compile_c("long f(long a, long b) { return a * b; }")
+>>> sim = Simulator(program.image)
+>>> sim.call_int("f", (6, 7))
+42
+>>> Rewriter(program.image, "f").set_signature(("i", "i")) \\
+...     .set_par(1, 7).rewrite(name="f_x7")        # DBrew specialization
+...
+>>> from repro.lift import FunctionSignature
+>>> tx = BinaryTransformer(program.image)
+>>> tx.llvm_identity("f_x7", FunctionSignature(("i", "i"), "i"),
+...                  name="f_x7_opt")               # lift -> -O3 -> JIT
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+evaluation.
+"""
+
+from repro.cc import CompiledProgram, compile_c
+from repro.cpu import CostModel, HASWELL, Image, Simulator
+from repro.dbrew import Rewriter
+from repro.jit import BinaryTransformer, TransformResult
+from repro.lift import FunctionSignature, LiftOptions, lift_function
+from repro.lift.fixation import FixedMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryTransformer",
+    "CompiledProgram",
+    "CostModel",
+    "FixedMemory",
+    "FunctionSignature",
+    "HASWELL",
+    "Image",
+    "LiftOptions",
+    "Rewriter",
+    "Simulator",
+    "TransformResult",
+    "compile_c",
+    "lift_function",
+]

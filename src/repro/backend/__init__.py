@@ -1,0 +1,20 @@
+"""Shared low-level back-end: TAC, register allocation, x86-64 emission.
+
+Both compilers in this project target this layer:
+
+* MCC (``repro.cc``) lowers its checked AST to TAC;
+* the MiniLLVM JIT (``repro.ir.codegen``) lowers optimized SSA IR to TAC
+  after phi elimination.
+
+The emitter has small instruction-selection knobs (``mul_style``) so the two
+compilers can keep their characteristic code idioms — the paper observes
+GCC's lea-chain multiplies vs LLVM's single ``imul`` (Sec. VI-A).
+"""
+
+from repro.backend.tac import TAddr, TBlock, TFunc, TInstr, VReg
+from repro.backend.emit import EmitOptions, emit_function
+
+__all__ = [
+    "EmitOptions", "TAddr", "TBlock", "TFunc", "TInstr", "VReg",
+    "emit_function",
+]

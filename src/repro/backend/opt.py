@@ -1,0 +1,262 @@
+"""TAC-level cleanup passes: local constant/copy propagation and global DCE.
+
+These run between lowering and register allocation for both compilers.
+They are deliberately *local* (per basic block) — the heavyweight global
+optimizations belong to MiniLLVM's pass pipeline, because the paper's whole
+point is comparing "cheap rewriting" against "full compiler pipeline".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.backend.tac import TFunc, TInstr, VReg
+
+_FOLDABLE = {"add", "sub", "mul", "and", "or", "xor", "shl", "shr", "sar"}
+_PURE_OPS = {
+    "li", "lf", "mov", "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+    "shl", "shr", "sar", "neg", "not", "ext", "setcc", "lea", "frame",
+    "fadd", "fsub", "fmul", "fdiv", "fneg", "i2f", "f2i", "load", "fload",
+    "vload", "vload_split", "vadd", "vsub", "vmul", "vbroadcast", "vlow", "vhadd",
+    "vhigh", "vxor", "vand", "vor", "vinsert0", "vinsert1", "vshuf",
+    "fsetcc", "bits2f", "f2bits",
+}
+
+
+def _fold(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return a << (b & 63)
+    if op == "shr":
+        return (a & (2**64 - 1)) >> (b & 63)
+    if op == "sar":
+        return a >> (b & 63)
+    raise AssertionError(op)
+
+
+def _multi_def_vregs(func: TFunc) -> set[VReg]:
+    seen: set[VReg] = set(func.iparams) | set(func.fparams)
+    multi: set[VReg] = set()
+    for ins in func.instructions():
+        for d in ins.defs():
+            if d in seen:
+                multi.add(d)
+            seen.add(d)
+    return multi
+
+
+def local_propagate(func: TFunc) -> None:
+    """Per-block constant and copy propagation.
+
+    Only single-def vregs participate as *sources* (their value cannot
+    change behind our back); any vreg may be a propagation target within
+    the block until redefined.
+    """
+    multi = _multi_def_vregs(func)
+    for blk in func.blocks:
+        consts: dict[VReg, int] = {}
+        copies: dict[VReg, VReg] = {}
+
+        def resolve(v: object) -> object:
+            while isinstance(v, VReg) and v in copies:
+                v = copies[v]
+            if isinstance(v, VReg) and v in consts:
+                return consts[v]
+            return v
+
+        for i, ins in enumerate(blk.instrs):
+            # rewrite sources
+            a, b = resolve(ins.a), resolve(ins.b)
+            addr = ins.addr
+            if addr is not None:
+                base = resolve(addr.base) if addr.base is not None else None
+                index = resolve(addr.index) if addr.index is not None else None
+                disp = addr.disp
+                scale = addr.scale
+                if isinstance(base, int):
+                    disp += base
+                    base = None
+                if isinstance(index, int):
+                    disp += index * scale
+                    index, scale = None, 1
+                if (base, index, scale, disp) != (addr.base, addr.index, addr.scale, addr.disp):
+                    addr = replace(addr, base=base, index=index, scale=scale, disp=disp)
+            def _arg(v: VReg) -> VReg:
+                rv = resolve(v)
+                return rv if isinstance(rv, VReg) else v
+
+            iargs = tuple(_arg(v) for v in ins.iargs) if ins.iargs else ins.iargs
+            fargs = tuple(_arg(v) for v in ins.fargs) if ins.fargs else ins.fargs
+
+            changed = (a is not ins.a or b is not ins.b or addr is not ins.addr
+                       or iargs != ins.iargs or fargs != ins.fargs)
+            # fold fully-constant integer ops
+            if ins.op in _FOLDABLE and isinstance(a, int) and isinstance(b, int):
+                blk.instrs[i] = TInstr(op="li", dst=ins.dst, imm=_fold(ins.op, a, b))
+                ins = blk.instrs[i]
+            elif ins.op == "mov" and isinstance(a, int):
+                blk.instrs[i] = TInstr(op="li", dst=ins.dst, imm=a)
+                ins = blk.instrs[i]
+            elif changed:
+                # immediates are only legal in specific operand slots
+                if isinstance(a, int):
+                    if ins.op in _FOLDABLE:
+                        if ins.op in ("add", "mul", "and", "or", "xor") \
+                                and not isinstance(b, int):
+                            a, b = b, a
+                        else:
+                            a = ins.a  # keep original vreg
+                    elif ins.op not in ("store", "div", "rem", "cmp"):
+                        a = ins.a  # op requires a register operand
+                if isinstance(b, int) and ins.op not in (
+                    *_FOLDABLE, "br", "setcc", "div", "rem", "cmp",
+                ):
+                    b = ins.b
+                blk.instrs[i] = replace(
+                    ins, a=a, b=b, addr=addr, iargs=iargs, fargs=fargs
+                )
+                ins = blk.instrs[i]
+
+            # record facts
+            dst = ins.dst
+            if dst is not None:
+                consts.pop(dst, None)
+                copies.pop(dst, None)
+                # any copies pointing at dst are invalidated
+                for k in [k for k, v in copies.items() if v == dst]:
+                    del copies[k]
+                if ins.op == "li":
+                    consts[dst] = ins.imm
+                elif ins.op == "mov" and isinstance(ins.a, VReg) and ins.a not in multi:
+                    copies[dst] = ins.a
+
+
+def dead_code_elim(func: TFunc) -> None:
+    """Remove pure instructions whose results are never used (global)."""
+    while True:
+        used: set[VReg] = set()
+        for ins in func.instructions():
+            used.update(ins.uses())
+        removed = False
+        for blk in func.blocks:
+            kept: list[TInstr] = []
+            for ins in blk.instrs:
+                if (
+                    ins.op in _PURE_OPS
+                    and ins.dst is not None
+                    and ins.dst not in used
+                ):
+                    removed = True
+                    continue
+                kept.append(ins)
+            blk.instrs = kept
+        if not removed:
+            return
+
+
+def remove_empty_blocks(func: TFunc) -> None:
+    """Merge blocks that only jump elsewhere (compacts lowering artifacts)."""
+    # map labels of trivial 'jmp'-only blocks to their final target
+    forward: dict[str, str] = {}
+    for blk in func.blocks:
+        if len(blk.instrs) == 1 and blk.instrs[0].op == "jmp":
+            forward[blk.label] = blk.instrs[0].labels[0]
+
+    def final(label: str) -> str:
+        seen = set()
+        while label in forward and label not in seen:
+            seen.add(label)
+            label = forward[label]
+        return label
+
+    entry = func.blocks[0].label
+    for blk in func.blocks:
+        term = blk.terminator
+        if term.labels:
+            term.labels = tuple(final(lb) for lb in term.labels)
+    reachable = {final(entry)}
+    work = [final(entry)]
+    bmap = func.block_map()
+    while work:
+        blk = bmap[work.pop()]
+        for s in blk.terminator.successor_labels():
+            if s not in reachable:
+                reachable.add(s)
+                work.append(s)
+    func.blocks = [b for b in func.blocks if b.label in reachable]
+    # keep the (possibly forwarded) entry block first
+    entry_label = final(entry)
+    func.blocks.sort(key=lambda b: b.label != entry_label)
+
+
+def fuse_movs(func: TFunc) -> None:
+    """Fuse ``X dst=v1 ...; mov v2, v1`` into ``X dst=v2`` when v1 has no
+    other use — removes out-of-SSA copy artifacts without a full coalescer."""
+    use_counts: dict[VReg, int] = {}
+    for ins in func.instructions():
+        for u in ins.uses():
+            use_counts[u] = use_counts.get(u, 0) + 1
+    for blk in func.blocks:
+        i = 0
+        while i + 1 < len(blk.instrs):
+            first = blk.instrs[i]
+            second = blk.instrs[i + 1]
+            if (
+                second.op == "mov"
+                and isinstance(second.a, VReg)
+                and first.dst is not None
+                and second.a == first.dst
+                and second.dst is not None
+                and use_counts.get(first.dst, 0) == 1
+                and first.op in _PURE_OPS
+                and first.dst != second.dst
+                and first.dst not in first.uses()
+                and _fusable_dst(first, second.dst)
+            ):
+                first.dst = second.dst
+                del blk.instrs[i + 1]
+                continue
+            i += 1
+
+
+_RMW_FIRST_OK = {
+    "add", "sub", "mul", "and", "or", "xor", "shl", "shr", "sar",
+    "fadd", "fsub", "fmul", "fdiv", "vadd", "vsub", "vmul",
+    "vand", "vor", "vxor",
+}
+
+
+def _fusable_dst(first: TInstr, new_dst: VReg) -> bool:
+    """The emitter loads operand `a` into dst first; fusing is unsafe when
+    new_dst is read anywhere except as that first operand."""
+    if new_dst not in first.uses():
+        return True
+    if first.op not in _RMW_FIRST_OK:
+        return False
+    if first.a != new_dst:
+        return False
+    if first.b == new_dst:
+        return False
+    if first.addr is not None and new_dst in first.addr.regs():
+        return False
+    return True
+
+
+def optimize(func: TFunc) -> TFunc:
+    """Run the standard cleanup sequence in place; returns the function."""
+    local_propagate(func)
+    dead_code_elim(func)
+    fuse_movs(func)
+    remove_empty_blocks(func)
+    return func

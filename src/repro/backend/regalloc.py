@@ -1,0 +1,238 @@
+"""Liveness analysis and linear-scan register allocation over TAC.
+
+Pools
+-----
+Integer vregs are allocated from rsi/rdi/r8..r11 (caller-saved) and
+rbx/r12..r15 (callee-saved); rax/rcx/rdx are reserved as emitter scratch
+(idiv, shifts, materialization).  Float/vector vregs share xmm0..xmm13;
+xmm14/xmm15 are emitter scratch.
+
+Call handling is by construction rather than by interference: an interval
+that spans a call site may only receive a callee-saved register (integers)
+or is spilled (floats — all xmm registers are caller-saved in SysV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.tac import TFunc, VReg
+from repro.x86.registers import RBX, RDI, RSI, R8, R9, R10, R11, R12, R13, R14, R15
+
+INT_CALLER_POOL: tuple[int, ...] = (RSI, RDI, R8, R9, R10, R11)
+INT_CALLEE_POOL: tuple[int, ...] = (RBX, R12, R13, R14, R15)
+FLOAT_POOL: tuple[int, ...] = tuple(range(14))  # xmm0..xmm13
+
+
+@dataclass
+class Interval:
+    vreg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+
+
+@dataclass
+class Assignment:
+    """Where a vreg lives: a physical register or a spill slot id."""
+
+    kind: str  # 'reg' or 'spill'
+    value: int  # register index, or slot id (keyed into frame layout)
+
+    @property
+    def is_reg(self) -> bool:
+        return self.kind == "reg"
+
+
+@dataclass
+class AllocResult:
+    assignments: dict[VReg, Assignment]
+    spill_slots: dict[int, tuple[int, int]]  # slot id -> (size, align)
+    used_callee_saved: list[int]
+
+
+def _liveness(func: TFunc) -> tuple[dict[str, set[VReg]], dict[str, set[VReg]]]:
+    """Classic backward dataflow; returns (live_in, live_out) per block."""
+    blocks = func.blocks
+    succ: dict[str, tuple[str, ...]] = {}
+    uevar: dict[str, set[VReg]] = {}
+    varkill: dict[str, set[VReg]] = {}
+    for blk in blocks:
+        succ[blk.label] = blk.terminator.successor_labels()
+        ue: set[VReg] = set()
+        kill: set[VReg] = set()
+        for ins in blk.instrs:
+            for u in ins.uses():
+                if u not in kill:
+                    ue.add(u)
+            for d in ins.defs():
+                kill.add(d)
+        uevar[blk.label] = ue
+        varkill[blk.label] = kill
+
+    live_in: dict[str, set[VReg]] = {b.label: set() for b in blocks}
+    live_out: dict[str, set[VReg]] = {b.label: set() for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for blk in reversed(blocks):
+            out: set[VReg] = set()
+            for s in succ[blk.label]:
+                out |= live_in[s]
+            inn = uevar[blk.label] | (out - varkill[blk.label])
+            if out != live_out[blk.label] or inn != live_in[blk.label]:
+                live_out[blk.label] = out
+                live_in[blk.label] = inn
+                changed = True
+    return live_in, live_out
+
+
+def build_intervals(func: TFunc) -> tuple[list[Interval], list[int]]:
+    """Compute conservative live intervals and call positions.
+
+    Positions are 2 apart; block boundaries participate so values live
+    across loop back-edges cover the whole loop body.
+    """
+    live_in, live_out = _liveness(func)
+    pos = 0
+    starts: dict[VReg, int] = {}
+    ends: dict[VReg, int] = {}
+    call_positions: list[int] = []
+
+    def touch(v: VReg, p: int) -> None:
+        if v not in starts:
+            starts[v] = p
+            ends[v] = p
+        else:
+            starts[v] = min(starts[v], p)
+            ends[v] = max(ends[v], p)
+
+    for v in func.iparams + func.fparams:
+        touch(v, 0)
+
+    for blk in func.blocks:
+        block_start = pos
+        for v in live_in[blk.label]:
+            touch(v, block_start)
+        for ins in blk.instrs:
+            for u in ins.uses():
+                touch(u, pos)
+            for d in ins.defs():
+                touch(d, pos + 1)
+            if ins.op == "call":
+                call_positions.append(pos)
+            pos += 2
+        block_end = pos - 1
+        for v in live_out[blk.label]:
+            touch(v, block_end)
+
+    intervals = [Interval(v, starts[v], ends[v]) for v in starts]
+    for iv in intervals:
+        # start <= cp: a value live *at* the call (e.g. an incoming parameter
+        # used afterwards) is clobbered too; values defined by the call start
+        # at cp+1 and are unaffected
+        iv.crosses_call = any(iv.start <= cp < iv.end for cp in call_positions)
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_positions
+
+
+def allocate(func: TFunc) -> AllocResult:
+    """Linear-scan allocation; never fails (falls back to spilling)."""
+    intervals, _calls = build_intervals(func)
+    assignments: dict[VReg, Assignment] = {}
+    spill_slots: dict[int, tuple[int, int]] = {}
+    next_slot = [10_000]  # spill slot ids live above frame-object ids
+    used_callee: set[int] = set()
+
+    free_int_caller = list(INT_CALLER_POOL)
+    free_int_callee = list(INT_CALLEE_POOL)
+    free_float = list(FLOAT_POOL)
+    active: list[tuple[Interval, int, str]] = []  # (interval, reg, pool)
+
+    def spill(v: VReg) -> Assignment:
+        next_slot[0] += 1
+        size, align = (16, 16) if v.cls == "v" else (8, 8)
+        spill_slots[next_slot[0]] = (size, align)
+        return Assignment("spill", next_slot[0])
+
+    def expire(current_start: int) -> None:
+        still: list[tuple[Interval, int, str]] = []
+        for iv, reg, pool in active:
+            if iv.end < current_start:
+                {"ic": free_int_caller, "ik": free_int_callee, "f": free_float}[pool].append(reg)
+            else:
+                still.append((iv, reg, pool))
+        active[:] = still
+
+    # allocation hints: parameters prefer their incoming ABI register so the
+    # prologue parallel move degenerates to nothing for leaf-ish functions
+    from repro.x86.registers import SYSV_INT_ARGS
+
+    hints: dict[VReg, tuple[str, int]] = {}
+    for i, v in enumerate(func.iparams):
+        if i < len(SYSV_INT_ARGS) and SYSV_INT_ARGS[i] in INT_CALLER_POOL:
+            hints[v] = ("ic", SYSV_INT_ARGS[i])
+    for i, v in enumerate(func.fparams):
+        hints[v] = ("f", i)
+
+    # move-coalescing hints: `mov dst, src` prefers sharing a register (the
+    # peephole then deletes the self-move).  Resolved lazily at allocation
+    # time through `move_partners`.
+    move_partners: dict[VReg, list[VReg]] = {}
+    for ins in func.instructions():
+        if ins.op == "mov" and ins.dst is not None and isinstance(ins.a, VReg):
+            move_partners.setdefault(ins.dst, []).append(ins.a)
+            move_partners.setdefault(ins.a, []).append(ins.dst)
+
+    for iv in intervals:
+        expire(iv.start)
+        v = iv.vreg
+        if v.cls == "i":
+            if iv.crosses_call:
+                pools = [("ik", free_int_callee)]
+            else:
+                pools = [("ic", free_int_caller), ("ik", free_int_callee)]
+        else:
+            if iv.crosses_call:
+                assignments[v] = spill(v)
+                continue
+            pools = [("f", free_float)]
+        assigned = False
+        # try the explicit hint, then any move partner's register
+        candidates: list[tuple[str, int]] = []
+        hint = hints.get(v)
+        if hint is not None:
+            candidates.append(hint)
+        for partner in move_partners.get(v, ()):
+            pa = assignments.get(partner)
+            if pa is not None and pa.is_reg:
+                pool_name = "f" if v.cls != "i" else (
+                    "ic" if pa.value in INT_CALLER_POOL else "ik"
+                )
+                candidates.append((pool_name, pa.value))
+        for pool_name, reg in candidates:
+            for pn, pool in pools:
+                if pn == pool_name and reg in pool:
+                    pool.remove(reg)
+                    assignments[v] = Assignment("reg", reg)
+                    active.append((iv, reg, pool_name))
+                    if pool_name == "ik":
+                        used_callee.add(reg)
+                    assigned = True
+                    break
+            if assigned:
+                break
+        if not assigned:
+            for pool_name, pool in pools:
+                if pool:
+                    reg = pool.pop(0)
+                    assignments[v] = Assignment("reg", reg)
+                    active.append((iv, reg, pool_name))
+                    if pool_name == "ik":
+                        used_callee.add(reg)
+                    assigned = True
+                    break
+        if not assigned:
+            assignments[v] = spill(v)
+
+    return AllocResult(assignments, spill_slots, sorted(used_callee))

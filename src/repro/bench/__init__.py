@@ -1,0 +1,6 @@
+"""Benchmark harness reproducing the paper's evaluation (Sec. VI)."""
+
+from repro.bench.modes import MODES, ModeResult, prepare_kernel
+from repro.bench.harness import ExperimentRow, run_experiment
+
+__all__ = ["MODES", "ExperimentRow", "ModeResult", "prepare_kernel", "run_experiment"]

@@ -1,0 +1,139 @@
+"""The five evaluation modes of Sec. VI, for each stencil code variant.
+
+====================  =========================================================
+Native                unmodified compiler output
+LLVM                  x86 -> IR -> -O3 -> JIT (identity transformation)
+LLVM-fix              as LLVM, plus IR-level parameter fixation (Sec. IV)
+DBrew                 binary specialization by rewriting (Sec. II)
+DBrew+LLVM            DBrew output post-processed through the LLVM pipeline
+====================  =========================================================
+
+``prepare_kernel`` returns the kernel address to install plus the
+transformation timings (Fig. 10's compile times).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dbrew import Rewriter
+from repro.jit import BinaryTransformer
+from repro.lift import FunctionSignature, LiftOptions
+from repro.lift.fixation import FixedMemory
+from repro.stencil.jacobi import StencilWorkspace
+from repro.stencil.sources import ELEMENT_SIGNATURE, LINE_SIGNATURE
+
+MODES = ("native", "llvm", "llvm-fix", "dbrew", "dbrew+llvm")
+CODES = ("direct", "flat", "sorted")
+
+
+@dataclass
+class ModeResult:
+    """A prepared kernel for one (code, kernel-type, mode) cell."""
+
+    kernel_addr: int
+    name: str
+    transform_seconds: float = 0.0
+    stages: dict[str, float] = field(default_factory=dict)
+
+
+def _signature(line: bool) -> FunctionSignature:
+    params = LINE_SIGNATURE if line else ELEMENT_SIGNATURE
+    return FunctionSignature(tuple(params), None)
+
+
+def _stencil_fix(ws: StencilWorkspace, code: str) -> dict[str, object]:
+    """Fixed-parameter configuration per code variant."""
+    if code == "direct":
+        return {"arg": 0, "regions": [], "fix_memory": None}
+    if code == "flat":
+        return {
+            "arg": ws.flat.addr,
+            "regions": [(ws.flat.addr, ws.flat.addr + ws.flat.size)],
+            "fix_memory": FixedMemory(ws.flat.addr, ws.flat.size),
+        }
+    if code == "sorted":
+        return {
+            "arg": ws.sorted.addr,
+            "regions": [(a, a + s) for a, s in ws.sorted.regions],
+            # Sec. IV: only the directly-pointed region becomes a constant
+            # global; nested pointers are not followed
+            "fix_memory": FixedMemory(ws.sorted.addr, ws.sorted.regions[0][1]),
+        }
+    raise ValueError(f"unknown code variant {code}")
+
+
+def _native_kernel(code: str, line: bool) -> str:
+    return (f"line_{code}" if line else f"apply_{code}")
+
+
+def _dbrew_input(code: str, line: bool) -> str:
+    # the line-kernel DBrew input keeps the element computation in a
+    # separate function that DBrew inlines (Sec. VI's setup)
+    return (f"line_call_{code}" if line else f"apply_{code}")
+
+
+def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
+                   line: bool, uid: str = "") -> ModeResult:
+    """Build the kernel for one evaluation cell; returns its address."""
+    if code not in CODES or mode not in MODES:
+        raise ValueError(f"unknown cell ({code}, {mode})")
+    native = _native_kernel(code, line)
+    sig = _signature(line)
+    fix = _stencil_fix(ws, code)
+    tag = f"{code}.{'line' if line else 'elem'}.{mode}{uid}"
+
+    if mode == "native":
+        return ModeResult(ws.image.symbol(native), native)
+
+    if mode == "llvm":
+        tx = BinaryTransformer(ws.image)
+        res = tx.llvm_identity(native, sig, name=f"k.{tag}")
+        return ModeResult(res.addr, res.name, res.total_seconds, {
+            "lift": res.lift_seconds, "opt": res.optimize_seconds,
+            "codegen": res.codegen_seconds,
+        })
+
+    if mode == "llvm-fix":
+        tx = BinaryTransformer(ws.image)
+        fixes: dict[int, object] = {}
+        if fix["fix_memory"] is not None:
+            fixes[0] = fix["fix_memory"]
+        res = tx.llvm_fixed(native, sig, fixes, name=f"k.{tag}")  # type: ignore[arg-type]
+        return ModeResult(res.addr, res.name, res.total_seconds, {
+            "lift": res.lift_seconds, "opt": res.optimize_seconds,
+            "codegen": res.codegen_seconds,
+        })
+
+    if mode == "dbrew":
+        t0 = time.perf_counter()
+        addr = _dbrew_rewrite(ws, code, line, f"k.{tag}")
+        dt = time.perf_counter() - t0
+        return ModeResult(addr, f"k.{tag}", dt, {"rewrite": dt})
+
+    # dbrew+llvm: rewrite first, then the identity transformation on top
+    t0 = time.perf_counter()
+    dbrew_addr = _dbrew_rewrite(ws, code, line, f"k.{tag}.dbrew")
+    t_rw = time.perf_counter() - t0
+    tx = BinaryTransformer(ws.image)
+    res = tx.llvm_identity(dbrew_addr, sig, name=f"k.{tag}")
+    return ModeResult(res.addr, res.name, t_rw + res.total_seconds, {
+        "rewrite": t_rw, "lift": res.lift_seconds,
+        "opt": res.optimize_seconds, "codegen": res.codegen_seconds,
+    })
+
+
+def _dbrew_rewrite(ws: StencilWorkspace, code: str, line: bool, name: str) -> int:
+    fix = _stencil_fix(ws, code)
+    target = _dbrew_input(code, line)
+    sig = LINE_SIGNATURE if line else ELEMENT_SIGNATURE
+    r = Rewriter(ws.image, target).set_signature(tuple(sig), None)
+    if code != "direct":
+        r.set_par(0, fix["arg"])  # type: ignore[arg-type]
+        for start, end in fix["regions"]:  # type: ignore[union-attr]
+            r.set_mem(start, end)
+    addr = r.rewrite(name=name)
+    if addr == ws.image.symbol(target):
+        raise RuntimeError(f"DBrew fell back to the original for {name}")
+    return addr

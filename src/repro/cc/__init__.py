@@ -1,0 +1,16 @@
+"""MCC — the mini C compiler used as this project's "GCC".
+
+MCC compiles the C subset needed by the paper's kernels (structs with
+flexible array members, pointers, ``for`` loops, doubles, function calls)
+into x86-64 machine code inside a simulated :class:`repro.cpu.Image`.
+
+Pipeline: ``lexer`` -> ``parser`` -> ``sema`` -> AST lowering (``lower``)
+-> TAC (``repro.backend``) -> optimization (``repro.backend.opt``) ->
+register allocation -> x86-64 emission.  An optional loop vectorizer
+(``vectorize``) reproduces GCC's ``-O3`` SSE vectorization for
+stencil-shaped innermost loops.
+"""
+
+from repro.cc.compiler import CompiledProgram, compile_c
+
+__all__ = ["CompiledProgram", "compile_c"]

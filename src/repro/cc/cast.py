@@ -1,0 +1,183 @@
+"""AST node definitions for the MCC C subset.
+
+Expression nodes carry a ``ctype`` slot filled in by semantic analysis
+(:mod:`repro.cc.sema`); lowering (:mod:`repro.cc.lower`) requires it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cc.ctypes import CType
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    ctype: Optional[CType] = field(default=None, init=False, repr=False)
+    line: int = field(default=0, init=False, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-', '!', '~', '*', '&', 'pre++', 'pre--', 'post++', 'post--'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % << >> < > <= >= == != & | ^ && ||
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str  # '=', '+=', '-=', '*=', '/=' ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: str
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    name: str
+    arrow: bool  # True for '->'
+
+
+@dataclass
+class Cast(Expr):
+    to: CType
+    operand: Expr
+
+
+@dataclass
+class SizeofType(Expr):
+    of: CType
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+# -- statements ------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, init=False, repr=False)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Decl(Stmt):
+    name: str
+    ctype: CType
+    init: Expr | None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None  # Decl or ExprStmt
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- top level -------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: CType
+    params: list[Param]
+    body: Block | None  # None for declarations
+
+
+@dataclass
+class Program:
+    functions: list[FuncDef]
+    structs: dict[str, object]  # name -> StructType

@@ -1,0 +1,135 @@
+"""MCC compiler driver: C source -> machine code inside an Image.
+
+``compile_c`` runs the whole pipeline and installs every defined function
+into the image's static code region, returning a :class:`CompiledProgram`
+with the symbol table, per-function TAC (for the vectorizer tests and
+debugging), and per-function instruction listings (for DBrew and the
+lifter tests that inspect compiler idioms).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.backend.emit import EmitOptions, emit_function
+from repro.backend.opt import optimize
+from repro.backend.tac import TFunc
+from repro.cc.lower import lower_function
+from repro.cc.parser import parse
+from repro.cc.sema import analyze
+from repro.cc.vectorize import try_vectorize
+from repro.cpu.image import Image
+from repro.errors import CompileError
+from repro.x86.asm import Item, Label, assemble_full
+from repro.x86.instr import Instruction
+
+
+class RodataPool:
+    """Interning constant pool backed by an image's rodata region."""
+
+    def __init__(self, image: Image) -> None:
+        self.image = image
+        self._f64: dict[bytes, int] = {}
+        self._blobs: dict[tuple[bytes, int], int] = {}
+
+    def f64(self, value: float) -> int:
+        key = struct.pack("<d", value)
+        addr = self._f64.get(key)
+        if addr is None:
+            addr = self.image.alloc_rodata(key, align=8)
+            self._f64[key] = addr
+        return addr
+
+    def data(self, payload: bytes, align: int = 16) -> int:
+        key = (payload, align)
+        addr = self._blobs.get(key)
+        if addr is None:
+            addr = self.image.alloc_rodata(payload, align=align)
+            self._blobs[key] = addr
+        return addr
+
+
+@dataclass
+class CompilerOptions:
+    """MCC behaviour knobs.
+
+    The defaults model ``gcc -O3 -mno-avx``: lea-chain constant multiplies
+    and SSE auto-vectorization of recognized stencil loops.
+    """
+
+    vectorize: bool = True
+    mul_style: str = "lea"
+    const_addressing: str = "riprel"
+
+
+@dataclass
+class CompiledProgram:
+    """Result of compiling one translation unit."""
+
+    image: Image
+    functions: dict[str, int]  # name -> entry address
+    tac: dict[str, TFunc] = field(default_factory=dict)
+    listings: dict[str, list[Instruction]] = field(default_factory=dict)
+    vectorized: set[str] = field(default_factory=set)
+
+    def disasm(self, name: str) -> str:
+        from repro.x86.printer import format_block
+        return format_block(self.listings[name])
+
+
+def compile_c(
+    source: str,
+    image: Image | None = None,
+    options: CompilerOptions | None = None,
+    extra_symbols: dict[str, int] | None = None,
+) -> CompiledProgram:
+    """Compile C source and install all functions into ``image``."""
+    options = options or CompilerOptions()
+    image = image or Image()
+    pool = RodataPool(image)
+    program = parse(source)
+    infos = analyze(program)
+
+    emit_opts = EmitOptions(
+        mul_style=options.mul_style,
+        const_addressing=options.const_addressing,
+    )
+
+    items: list[Item] = []
+    vectorized: set[str] = set()
+    tac_by_name: dict[str, TFunc] = {}
+    defined = [f for f in program.functions if f.body is not None]
+    if not defined:
+        raise CompileError("no function definitions in translation unit")
+    for func in defined:
+        tf = lower_function(func, infos[func.name], infos)
+        optimize(tf)  # clean lowering artifacts so the vectorizer sees canon shape
+        if options.vectorize and try_vectorize(tf):
+            vectorized.add(func.name)
+        optimize(tf)
+        tac_by_name[func.name] = tf
+        items.extend(emit_function(tf, pool, emit_opts, extra_symbols))
+
+    base = image.next_code_addr()
+    code, placed, labels = assemble_full(items, base)
+
+    # carve the blob into per-function symbols
+    func_addrs = {f.name: labels[f.name] for f in defined}
+    image.add_function("$tu", code)  # reserve the space under a unit symbol
+    del image.symbols["$tu"]
+    listings: dict[str, list[Instruction]] = {}
+    ordered = sorted(func_addrs.items(), key=lambda kv: kv[1])
+    for i, (name, addr) in enumerate(ordered):
+        end = ordered[i + 1][1] if i + 1 < len(ordered) else base + len(code)
+        image.symbols[name] = addr
+        image.func_sizes[name] = end - addr
+        listings[name] = [ins for ins in placed if addr <= ins.addr < end]
+
+    return CompiledProgram(
+        image=image,
+        functions=func_addrs,
+        tac=tac_by_name,
+        listings=listings,
+        vectorized=vectorized,
+    )

@@ -1,0 +1,106 @@
+"""Tokenizer for the MCC C subset, including a one-pass ``#define``
+preprocessor for object-like integer/float macros (enough for ``#define SZ
+649`` in the paper's stencil sources).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset({
+    "int", "long", "double", "float", "char", "void", "struct", "return",
+    "if", "else", "while", "for", "do", "break", "continue", "sizeof",
+    "const", "static", "unsigned",
+})
+
+_PUNCT = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCT) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int', 'float', 'ident', 'kw', 'punct', 'eof'
+    text: str
+    value: int | float | None
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _preprocess(source: str) -> str:
+    """Expand object-like #define macros; strip other # lines."""
+    defines: dict[str, str] = {}
+    out_lines: list[str] = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            m = re.match(r"#\s*define\s+(\w+)\s+(.+?)\s*(//.*)?$", stripped)
+            if m:
+                defines[m.group(1)] = m.group(2)
+            out_lines.append("")  # keep line numbers stable
+            continue
+        out_lines.append(line)
+    text = "\n".join(out_lines)
+    if defines:
+        # repeated expansion supports macros referencing earlier macros
+        for _ in range(8):
+            changed = False
+            for name, repl in defines.items():
+                new = re.sub(rf"\b{re.escape(name)}\b", repl, text)
+                if new != text:
+                    text, changed = new, True
+            if not changed:
+                break
+    return text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize preprocessed C source; appends an EOF token."""
+    text = _preprocess(source)
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise CompileError(f"line {line}: unexpected character {text[pos]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        tok_text = m.group()
+        line += tok_text.count("\n")
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "int":
+            tokens.append(Token("int", tok_text, int(tok_text, 0), line))
+        elif kind == "float":
+            tokens.append(Token("float", tok_text, float(tok_text), line))
+        elif kind == "ident":
+            if tok_text in KEYWORDS:
+                tokens.append(Token("kw", tok_text, None, line))
+            else:
+                tokens.append(Token("ident", tok_text, None, line))
+        else:
+            tokens.append(Token("punct", tok_text, None, line))
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,399 @@
+"""Recursive-descent parser for the MCC C subset.
+
+Produces the AST of :mod:`repro.cc.cast`.  Supported top level:
+struct definitions (with flexible trailing array members) and function
+definitions/declarations.  No typedefs, no function pointers, no globals —
+the paper's kernels pass all state through parameters, which is also what
+makes them specializable by DBrew.
+"""
+
+from __future__ import annotations
+
+from repro.cc import cast as A
+from repro.cc.ctypes import (
+    CHAR, DOUBLE, FLOAT, INT, LONG, UCHAR, UINT, ULONG, VOID,
+    CType, StructType, array_of, pointer_to,
+)
+from repro.cc.lexer import Token, tokenize
+from repro.errors import CompileError
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# binary precedence table: higher binds tighter
+_BIN_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.structs: dict[str, StructType] = {}
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok.kind in ("punct", "kw") and tok.text == text:
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if tok.kind in ("punct", "kw") and tok.text == text:
+            return self.next()
+        raise CompileError(f"line {tok.line}: expected {text!r}, got {tok.text!r}")
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise CompileError(f"line {tok.line}: expected identifier, got {tok.text!r}")
+        return tok.text
+
+    # -- types ---------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.text in (
+            "int", "long", "double", "float", "char", "void", "struct",
+            "const", "static", "unsigned",
+        )
+
+    def parse_base_type(self) -> CType:
+        while self.accept("const") or self.accept("static"):
+            pass
+        unsigned = False
+        if self.accept("unsigned"):
+            unsigned = True
+        tok = self.peek()
+        if tok.text == "struct":
+            self.next()
+            name = self.expect_ident()
+            st = self.structs.get(name)
+            if st is None:
+                st = StructType(name)
+                self.structs[name] = st
+            if self.peek().text == "{":
+                self._parse_struct_body(st)
+            return st.ctype
+        mapping = {
+            "void": VOID,
+            "char": UCHAR if unsigned else CHAR,
+            "int": UINT if unsigned else INT,
+            "long": ULONG if unsigned else LONG,
+            "double": DOUBLE,
+            "float": FLOAT,
+        }
+        if tok.kind == "kw" and tok.text in mapping:
+            self.next()
+            base = mapping[tok.text]
+            if tok.text == "long" and self.peek().text in ("long", "int"):
+                self.next()  # long long / long int
+            while self.accept("const"):
+                pass
+            return base
+        raise CompileError(f"line {tok.line}: expected a type, got {tok.text!r}")
+
+    def parse_pointers(self, base: CType) -> CType:
+        t = base
+        while self.accept("*"):
+            while self.accept("const"):
+                pass
+            t = pointer_to(t)
+        return t
+
+    def _parse_struct_body(self, st: StructType) -> None:
+        self.expect("{")
+        members: list[tuple[str, CType, int]] = []
+        while not self.accept("}"):
+            base = self.parse_base_type()
+            while True:
+                mtype = self.parse_pointers(base)
+                mname = self.expect_ident()
+                count = 1
+                if self.accept("["):
+                    if self.peek().text == "]":
+                        count = 0  # flexible array member
+                    else:
+                        tok = self.next()
+                        if tok.kind != "int":
+                            raise CompileError(
+                                f"line {tok.line}: array size must be an integer literal"
+                            )
+                        count = int(tok.value)  # type: ignore[arg-type]
+                    self.expect("]")
+                members.append((mname, mtype, count))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        st.define(members)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> A.Expr:
+        lhs = self.parse_conditional()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
+            self.next()
+            rhs = self.parse_assignment()
+            node: A.Expr = A.Assign(tok.text, lhs, rhs)
+            node.line = tok.line
+            return node
+        return lhs
+
+    def parse_conditional(self) -> A.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.expect(":")
+            other = self.parse_conditional()
+            return A.Conditional(cond, then, other)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> A.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _BIN_PREC.get(tok.text) if tok.kind == "punct" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(prec + 1)
+            node = A.Binary(tok.text, lhs, rhs)
+            node.line = tok.line
+            lhs = node
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.text in ("-", "!", "~", "*", "&") and tok.kind == "punct":
+            self.next()
+            operand = self.parse_unary()
+            node: A.Expr = A.Unary(tok.text, operand)
+            node.line = tok.line
+            return node
+        if tok.text in ("++", "--"):
+            self.next()
+            operand = self.parse_unary()
+            return A.Unary("pre" + tok.text, operand)
+        if tok.text == "sizeof":
+            self.next()
+            self.expect("(")
+            if self.at_type():
+                t = self.parse_pointers(self.parse_base_type())
+                self.expect(")")
+                return A.SizeofType(t)
+            inner = self.parse_expr()
+            self.expect(")")
+            return A.SizeofType(VOID)  # sizeof(expr) resolved in sema via ctype
+        if tok.text == "(" and self._is_cast_ahead():
+            self.next()
+            t = self.parse_pointers(self.parse_base_type())
+            self.expect(")")
+            return A.Cast(t, self.parse_unary())
+        return self.parse_postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        if self.peek().text != "(":
+            return False
+        nxt = self.peek(1)
+        return nxt.kind == "kw" and nxt.text in (
+            "int", "long", "double", "float", "char", "void", "struct", "unsigned", "const",
+        )
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.text == "[":
+                self.next()
+                idx = self.parse_expr()
+                self.expect("]")
+                expr = A.Index(expr, idx)
+            elif tok.text == ".":
+                self.next()
+                expr = A.Member(expr, self.expect_ident(), arrow=False)
+            elif tok.text == "->":
+                self.next()
+                expr = A.Member(expr, self.expect_ident(), arrow=True)
+            elif tok.text in ("++", "--"):
+                self.next()
+                expr = A.Unary("post" + tok.text, expr)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            node: A.Expr = A.IntLit(int(tok.value))  # type: ignore[arg-type]
+        elif tok.kind == "float":
+            node = A.FloatLit(float(tok.value))  # type: ignore[arg-type]
+        elif tok.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: list[A.Expr] = []
+                if self.peek().text != ")":
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                node = A.Call(tok.text, args)
+            else:
+                node = A.Ident(tok.text)
+        elif tok.text == "(":
+            node = self.parse_expr()
+            self.expect(")")
+        else:
+            raise CompileError(f"line {tok.line}: unexpected token {tok.text!r}")
+        node.line = tok.line
+        return node
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_stmt(self) -> A.Stmt:
+        tok = self.peek()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "if":
+            self.next()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self.parse_stmt()
+            otherwise = self.parse_stmt() if self.accept("else") else None
+            return A.If(cond, then, otherwise)
+        if tok.text == "while":
+            self.next()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            return A.While(cond, self.parse_stmt())
+        if tok.text == "do":
+            self.next()
+            body = self.parse_stmt()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return A.DoWhile(body, cond)
+        if tok.text == "for":
+            self.next()
+            self.expect("(")
+            init: A.Stmt | None = None
+            if not self.accept(";"):
+                if self.at_type():
+                    init = self.parse_declaration()
+                else:
+                    init = A.ExprStmt(self.parse_expr())
+                    self.expect(";")
+            cond = None
+            if not self.accept(";"):
+                cond = self.parse_expr()
+                self.expect(";")
+            step = None
+            if self.peek().text != ")":
+                step = self.parse_expr()
+            self.expect(")")
+            return A.For(init, cond, step, self.parse_stmt())
+        if tok.text == "return":
+            self.next()
+            value = None if self.peek().text == ";" else self.parse_expr()
+            self.expect(";")
+            return A.Return(value)
+        if tok.text == "break":
+            self.next()
+            self.expect(";")
+            return A.Break()
+        if tok.text == "continue":
+            self.next()
+            self.expect(";")
+            return A.Continue()
+        if self.at_type():
+            return self.parse_declaration()
+        expr = self.parse_expr()
+        self.expect(";")
+        return A.ExprStmt(expr)
+
+    def parse_declaration(self) -> A.Stmt:
+        """One or more declarators; multiple become a Block of Decls."""
+        base = self.parse_base_type()
+        decls: list[A.Stmt] = []
+        while True:
+            t = self.parse_pointers(base)
+            name = self.expect_ident()
+            if self.accept("["):
+                tok = self.next()
+                if tok.kind != "int":
+                    raise CompileError(f"line {tok.line}: local array size must be literal")
+                t = array_of(t, int(tok.value))  # type: ignore[arg-type]
+                self.expect("]")
+            init = self.parse_expr() if self.accept("=") else None
+            decls.append(A.Decl(name, t, init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return A.Block(decls)
+
+    def parse_block(self) -> A.Block:
+        self.expect("{")
+        stmts: list[A.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self.parse_stmt())
+        return A.Block(stmts)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        functions: list[A.FuncDef] = []
+        while self.peek().kind != "eof":
+            base = self.parse_base_type()
+            if self.accept(";"):
+                continue  # bare struct definition
+            t = self.parse_pointers(base)
+            name = self.expect_ident()
+            self.expect("(")
+            params: list[A.Param] = []
+            if self.peek().text != ")":
+                if self.peek().text == "void" and self.peek(1).text == ")":
+                    self.next()
+                else:
+                    while True:
+                        pbase = self.parse_base_type()
+                        ptype = self.parse_pointers(pbase)
+                        pname = self.expect_ident()
+                        params.append(A.Param(pname, ptype))
+                        if not self.accept(","):
+                            break
+            self.expect(")")
+            if self.accept(";"):
+                functions.append(A.FuncDef(name, t, params, None))
+                continue
+            body = self.parse_block()
+            functions.append(A.FuncDef(name, t, params, body))
+        return A.Program(functions, dict(self.structs))
+
+
+def parse(source: str) -> A.Program:
+    """Parse C source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,408 @@
+"""Semantic analysis: name resolution, type checking, implicit conversions.
+
+Annotates every expression node with ``ctype``, resolves identifiers to
+uniquely renamed local slots (stored as ``node.resolved``), and inserts
+explicit :class:`~repro.cc.cast.Cast` nodes for all implicit conversions so
+lowering never has to reason about type promotion.
+"""
+
+from __future__ import annotations
+
+from repro.cc import cast as A
+from repro.cc.ctypes import (
+    DOUBLE, INT, LONG, VOID,
+    CType, StructType, common_arith_type, pointer_to,
+)
+from repro.errors import CompileError
+
+
+class FunctionInfo:
+    """Signature + local slot table for one function."""
+
+    def __init__(self, func: A.FuncDef) -> None:
+        self.name = func.name
+        self.ret = func.ret
+        self.params = [(p.name, p.ctype) for p in func.params]
+        self.locals: dict[str, CType] = {}  # resolved name -> type
+
+    @property
+    def param_types(self) -> tuple[CType, ...]:
+        return tuple(t for _n, t in self.params)
+
+
+class Sema:
+    def __init__(self, program: A.Program) -> None:
+        self.program = program
+        self.functions: dict[str, FunctionInfo] = {}
+        self._scopes: list[dict[str, tuple[str, CType]]] = []
+        self._current: FunctionInfo | None = None
+        self._counter = 0
+
+    # -- scopes ----------------------------------------------------------
+
+    def push_scope(self) -> None:
+        self._scopes.append({})
+
+    def pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def declare(self, name: str, ctype: CType) -> str:
+        scope = self._scopes[-1]
+        if name in scope:
+            raise CompileError(f"redeclaration of {name!r}")
+        self._counter += 1
+        resolved = f"{name}.{self._counter}"
+        scope[name] = (resolved, ctype)
+        assert self._current is not None
+        self._current.locals[resolved] = ctype
+        return resolved
+
+    def lookup(self, name: str) -> tuple[str, CType]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise CompileError(f"use of undeclared identifier {name!r}")
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> dict[str, FunctionInfo]:
+        for func in self.program.functions:
+            if func.name in self.functions and func.body is not None:
+                existing = self.functions[func.name]
+                if existing.param_types != tuple(p.ctype for p in func.params):
+                    raise CompileError(f"conflicting declaration of {func.name!r}")
+            self.functions[func.name] = FunctionInfo(func)
+        for func in self.program.functions:
+            if func.body is not None:
+                self._check_function(func)
+        return self.functions
+
+    def _check_function(self, func: A.FuncDef) -> None:
+        info = self.functions[func.name]
+        self._current = info
+        self.push_scope()
+        for p in func.params:
+            if not (p.ctype.is_scalar):
+                raise CompileError(
+                    f"{func.name}: parameter {p.name!r} must be scalar "
+                    "(struct-by-value is not in the subset)"
+                )
+            resolved = self.declare(p.name, p.ctype)
+            p.name = resolved  # lowering reads the resolved name
+        self._stmt(func.body)
+        self.pop_scope()
+        self._current = None
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self.push_scope()
+            for s in stmt.stmts:
+                self._stmt(s)
+            self.pop_scope()
+        elif isinstance(stmt, A.Decl):
+            if stmt.init is not None:
+                value = self._expr(stmt.init)
+                stmt.init = self._convert(value, stmt.ctype)
+            stmt.name = self.declare(stmt.name, stmt.ctype)
+        elif isinstance(stmt, A.ExprStmt):
+            stmt.expr = self._expr(stmt.expr)
+        elif isinstance(stmt, A.If):
+            stmt.cond = self._scalar(self._expr(stmt.cond))
+            self._stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._stmt(stmt.otherwise)
+        elif isinstance(stmt, A.While):
+            stmt.cond = self._scalar(self._expr(stmt.cond))
+            self._stmt(stmt.body)
+        elif isinstance(stmt, A.DoWhile):
+            self._stmt(stmt.body)
+            stmt.cond = self._scalar(self._expr(stmt.cond))
+        elif isinstance(stmt, A.For):
+            self.push_scope()
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._scalar(self._expr(stmt.cond))
+            if stmt.step is not None:
+                stmt.step = self._expr(stmt.step)
+            self._stmt(stmt.body)
+            self.pop_scope()
+        elif isinstance(stmt, A.Return):
+            assert self._current is not None
+            if stmt.value is not None:
+                if self._current.ret is VOID:
+                    raise CompileError(f"{self._current.name}: returning a value from void")
+                stmt.value = self._convert(self._expr(stmt.value), self._current.ret)
+            elif self._current.ret is not VOID:
+                raise CompileError(f"{self._current.name}: missing return value")
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            pass
+        else:
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    # -- expressions --------------------------------------------------------
+
+    def _scalar(self, expr: A.Expr) -> A.Expr:
+        assert expr.ctype is not None
+        if not expr.ctype.is_scalar:
+            raise CompileError(f"scalar required, got {expr.ctype}")
+        return expr
+
+    def _convert(self, expr: A.Expr, to: CType) -> A.Expr:
+        """Insert an implicit cast when types differ."""
+        src = expr.ctype
+        assert src is not None
+        if src == to:
+            return expr
+        ok = (
+            (src.is_integer and (to.is_integer or to.is_float))
+            or (src.is_float and (to.is_integer or to.is_float))
+            or (src.is_pointer and to.is_pointer)
+            or (src.is_integer and to.is_pointer and isinstance(expr, A.IntLit) and expr.value == 0)
+            or (src.is_pointer and to.is_integer and to.size == 8)
+        )
+        if not ok:
+            raise CompileError(f"cannot convert {src} to {to}")
+        node = A.Cast(to, expr)
+        node.ctype = to
+        return node
+
+    def _decay(self, expr: A.Expr) -> A.Expr:
+        """Array-to-pointer decay."""
+        assert expr.ctype is not None
+        if expr.ctype.kind == "array":
+            assert expr.ctype.elem is not None
+            decayed = A.Unary("&decay", expr)
+            decayed.ctype = pointer_to(expr.ctype.elem)
+            return decayed
+        return expr
+
+    def _expr(self, expr: A.Expr) -> A.Expr:
+        result = self._expr_inner(expr)
+        assert result.ctype is not None, f"untyped expression {result!r}"
+        return result
+
+    def _expr_inner(self, expr: A.Expr) -> A.Expr:
+        if isinstance(expr, A.IntLit):
+            expr.ctype = LONG if expr.value > 2**31 - 1 or expr.value < -(2**31) else INT
+            return expr
+        if isinstance(expr, A.FloatLit):
+            expr.ctype = DOUBLE
+            return expr
+        if isinstance(expr, A.Ident):
+            resolved, ctype = self.lookup(expr.name)
+            expr.resolved = resolved  # type: ignore[attr-defined]
+            expr.ctype = ctype
+            return self._decay(expr)
+        if isinstance(expr, A.SizeofType):
+            expr.ctype = LONG
+            return expr
+        if isinstance(expr, A.Cast):
+            expr.operand = self._expr(expr.operand)
+            expr.ctype = expr.to
+            return expr
+        if isinstance(expr, A.Unary):
+            return self._unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._binary(expr)
+        if isinstance(expr, A.Assign):
+            return self._assign(expr)
+        if isinstance(expr, A.Conditional):
+            expr.cond = self._scalar(self._expr(expr.cond))
+            expr.then = self._expr(expr.then)
+            expr.otherwise = self._expr(expr.otherwise)
+            t = common_arith_type(expr.then.ctype, expr.otherwise.ctype) \
+                if not expr.then.ctype.is_pointer else expr.then.ctype
+            expr.then = self._convert(expr.then, t)
+            expr.otherwise = self._convert(expr.otherwise, t)
+            expr.ctype = t
+            return expr
+        if isinstance(expr, A.Call):
+            info = self.functions.get(expr.func)
+            if info is None:
+                raise CompileError(f"call to undeclared function {expr.func!r}")
+            if len(expr.args) != len(info.params):
+                raise CompileError(
+                    f"{expr.func} expects {len(info.params)} args, got {len(expr.args)}"
+                )
+            expr.args = [
+                self._convert(self._expr(a), t)
+                for a, (_n, t) in zip(expr.args, info.params)
+            ]
+            expr.ctype = info.ret
+            return expr
+        if isinstance(expr, A.Index):
+            expr.base = self._expr(expr.base)
+            expr.index = self._convert(self._expr(expr.index), LONG)
+            bt = expr.base.ctype
+            assert bt is not None
+            if not bt.is_pointer:
+                raise CompileError(f"cannot index {bt}")
+            assert bt.pointee is not None
+            expr.ctype = bt.pointee
+            return self._decay(expr)
+        if isinstance(expr, A.Member):
+            expr.base = self._expr(expr.base)
+            bt = expr.base.ctype
+            assert bt is not None
+            if expr.arrow:
+                if not bt.is_pointer or bt.pointee is None or bt.pointee.kind != "struct":
+                    raise CompileError(f"-> on non-struct-pointer {bt}")
+                st = bt.pointee.struct
+            else:
+                if bt.kind != "struct":
+                    raise CompileError(f". on non-struct {bt}")
+                st = bt.struct
+            assert isinstance(st, StructType)
+            mtype, _off = st.member(expr.name)
+            expr.ctype = mtype
+            return self._decay(expr)
+        raise CompileError(f"unknown expression {expr!r}")
+
+    def _unary(self, expr: A.Unary) -> A.Expr:
+        op = expr.op
+        expr.operand = self._expr(expr.operand)
+        t = expr.operand.ctype
+        assert t is not None
+        if op == "-":
+            if not (t.is_integer or t.is_float):
+                raise CompileError(f"unary - on {t}")
+            expr.ctype = common_arith_type(t, INT) if t.is_integer else t
+            expr.operand = self._convert(expr.operand, expr.ctype)
+        elif op in ("!",):
+            self._scalar(expr.operand)
+            expr.ctype = INT
+        elif op == "~":
+            if not t.is_integer:
+                raise CompileError(f"~ on {t}")
+            expr.ctype = common_arith_type(t, INT)
+            expr.operand = self._convert(expr.operand, expr.ctype)
+        elif op == "*":
+            if not t.is_pointer or t.pointee is None:
+                raise CompileError(f"dereference of {t}")
+            expr.ctype = t.pointee
+            return self._decay(expr)
+        elif op == "&":
+            if not self._is_lvalue(expr.operand):
+                raise CompileError("& requires an lvalue")
+            expr.ctype = pointer_to(t)
+        elif op in ("pre++", "pre--", "post++", "post--"):
+            if not self._is_lvalue(expr.operand):
+                raise CompileError(f"{op} requires an lvalue")
+            if not (t.is_integer or t.is_pointer):
+                raise CompileError(f"{op} on {t}")
+            expr.ctype = t
+        else:
+            raise CompileError(f"unknown unary {op}")
+        return expr
+
+    def _binary(self, expr: A.Binary) -> A.Expr:
+        op = expr.op
+        expr.lhs = self._expr(expr.lhs)
+        expr.rhs = self._expr(expr.rhs)
+        lt, rt = expr.lhs.ctype, expr.rhs.ctype
+        assert lt is not None and rt is not None
+        if op in ("&&", "||"):
+            self._scalar(expr.lhs)
+            self._scalar(expr.rhs)
+            expr.ctype = INT
+            return expr
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if lt.is_pointer and rt.is_pointer:
+                pass
+            elif lt.is_pointer and rt.is_integer:
+                expr.rhs = self._convert(expr.rhs, LONG)
+            elif rt.is_pointer and lt.is_integer:
+                expr.lhs = self._convert(expr.lhs, LONG)
+            else:
+                common = common_arith_type(lt, rt)
+                expr.lhs = self._convert(expr.lhs, common)
+                expr.rhs = self._convert(expr.rhs, common)
+            expr.ctype = INT
+            return expr
+        if op in ("+", "-") and (lt.is_pointer or rt.is_pointer):
+            if lt.is_pointer and rt.is_integer:
+                expr.rhs = self._convert(expr.rhs, LONG)
+                expr.ctype = lt
+            elif rt.is_pointer and lt.is_integer and op == "+":
+                expr.lhs, expr.rhs = expr.rhs, self._convert(expr.lhs, LONG)
+                expr.ctype = rt
+            elif lt.is_pointer and rt.is_pointer and op == "-":
+                if lt.pointee != rt.pointee:
+                    raise CompileError("pointer difference of unrelated types")
+                expr.ctype = LONG
+            else:
+                raise CompileError(f"invalid pointer arithmetic {lt} {op} {rt}")
+            return expr
+        if op in ("<<", ">>"):
+            if not (lt.is_integer and rt.is_integer):
+                raise CompileError(f"shift on {lt}, {rt}")
+            expr.lhs = self._convert(expr.lhs, common_arith_type(lt, INT))
+            expr.rhs = self._convert(expr.rhs, INT)
+            expr.ctype = expr.lhs.ctype
+            return expr
+        if op in ("&", "|", "^", "%") and not (lt.is_integer and rt.is_integer):
+            raise CompileError(f"{op} on {lt}, {rt}")
+        common = common_arith_type(lt, rt)
+        expr.lhs = self._convert(expr.lhs, common)
+        expr.rhs = self._convert(expr.rhs, common)
+        expr.ctype = common
+        return expr
+
+    def _assign(self, expr: A.Assign) -> A.Expr:
+        expr.target = self._expr(expr.target)
+        if not self._is_lvalue(expr.target):
+            raise CompileError("assignment target is not an lvalue")
+        tt = expr.target.ctype
+        assert tt is not None
+        if expr.op != "=":
+            # desugar a OP= b -> a = a OP b; that re-evaluates the target
+            # expression, which is only sound without side effects in it
+            if _has_side_effects(expr.target):
+                raise CompileError(
+                    "side effects in a compound-assignment target are not "
+                    "supported (the target is evaluated twice)"
+                )
+            binop = expr.op[:-1]
+            rhs = A.Binary(binop, expr.target, expr.value)
+            rhs = self._binary(rhs)
+            expr.op = "="
+            expr.value = self._convert(rhs, tt)
+        else:
+            expr.value = self._convert(self._expr(expr.value), tt)
+        expr.ctype = tt
+        return expr
+
+    @staticmethod
+    def _is_lvalue(expr: A.Expr) -> bool:
+        if isinstance(expr, (A.Ident, A.Index, A.Member)):
+            return True
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return True
+        return False
+
+
+def _has_side_effects(expr: A.Expr) -> bool:
+    """True when evaluating ``expr`` twice would differ from once."""
+    if isinstance(expr, (A.Call, A.Assign)):
+        return True
+    if isinstance(expr, A.Unary) and expr.op in (
+        "pre++", "pre--", "post++", "post--",
+    ):
+        return True
+    for name in getattr(expr, "__dataclass_fields__", {}):
+        child = getattr(expr, name)
+        if isinstance(child, A.Expr) and _has_side_effects(child):
+            return True
+        if isinstance(child, list) and any(
+            isinstance(c, A.Expr) and _has_side_effects(c) for c in child
+        ):
+            return True
+    return False
+
+
+def analyze(program: A.Program) -> dict[str, FunctionInfo]:
+    """Run semantic analysis; returns per-function info keyed by name."""
+    return Sema(program).run()

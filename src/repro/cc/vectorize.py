@@ -1,0 +1,220 @@
+"""SSE loop vectorizer for stencil-shaped innermost loops (GCC -O3 model).
+
+Operates on TAC before the cleanup passes.  The recognizer matches the
+counted-loop shape MCC's ``for`` lowering produces::
+
+    head:  br l  i, limit -> body, exit
+    body:  fload/lf/fadd/fsub/fmul ... ; fstore [sbase + i*8 + d] ; jmp step
+    step:  add t, i, 1 ; mov i, t ; jmp head
+
+with every ``fload`` addressing ``[base + i*8 + const]`` and the stored
+value an expression DAG over those loads, f64 constants and +,-,*: exactly
+a 2d stencil row sweep.  On a match the loop is rewritten to process two
+elements per iteration with packed-double TAC ops:
+
+* a scalar *peel* loop runs until the store address is 16-byte aligned
+  (GCC's alignment peeling — the paper's Sec. VI-B notes GCC "includes
+  alignment checks to perform aligned loads where possible" while LLVM's
+  forced vectorization uses unaligned accesses throughout);
+* the vector loop uses an aligned store and unaligned loads (the ±1-point
+  neighbours of a stencil can never be co-aligned with the store);
+* the original scalar loop remains as the remainder epilogue.
+
+Loops with calls, integer side effects, or multiple stores are rejected —
+real auto-vectorizers are exactly this narrow, which the paper leans on
+(LLVM refuses the lifted loop entirely for lack of type metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.backend.tac import TAddr, TBlock, TFunc, TInstr, VReg
+
+_SCALAR_TO_VECTOR = {"fadd": "vadd", "fsub": "vsub", "fmul": "vmul"}
+
+
+def _match_step(step: TBlock, ivar: VReg, head_label: str) -> bool:
+    """Recognize `i += 1` in either fused or add+mov form."""
+    ins = step.instrs
+    if not ins or ins[-1].op != "jmp" or ins[-1].labels != (head_label,):
+        return False
+    body = ins[:-1]
+    if len(body) == 1:
+        (a,) = body
+        return a.op == "add" and a.dst == ivar and a.a == ivar and a.b == 1
+    if len(body) == 2:
+        a, b = body
+        return (
+            a.op == "add" and a.a == ivar and a.b == 1 and a.dst is not None
+            and b.op == "mov" and b.dst == ivar and b.a == a.dst
+        )
+    return False
+
+
+def _find_candidate(func: TFunc) -> tuple[TBlock, TBlock, TBlock] | None:
+    """Find (head, body, step) blocks of a vectorizable counted loop."""
+    bmap = func.block_map()
+    for head in func.blocks:
+        term = head.terminator
+        if term.op != "br" or term.cc != "l" or len(head.instrs) != 1:
+            continue
+        if not isinstance(term.a, VReg):
+            continue
+        body = bmap.get(term.labels[0])
+        if body is None or body.terminator.op != "jmp":
+            continue
+        step = bmap.get(body.terminator.labels[0])
+        if step is None:
+            continue
+        if not _match_step(step, term.a, head.label):
+            continue
+        return head, body, step
+    return None
+
+
+def try_vectorize(func: TFunc) -> bool:
+    """Vectorize one innermost loop in place; returns True on success."""
+    cand = _find_candidate(func)
+    if cand is None:
+        return False
+    head, body, step = cand
+    br = head.terminator
+    ivar = br.a
+    limit = br.b
+    assert isinstance(ivar, VReg)
+
+    # --- analyze the body ---------------------------------------------------
+    loads: dict[VReg, TAddr] = {}
+    computed: dict[VReg, TInstr] = {}
+    consts: set[VReg] = set()
+    store: TInstr | None = None
+    for ins in body.instrs[:-1]:  # exclude the jmp
+        if ins.op == "fload":
+            assert ins.addr is not None and ins.dst is not None
+            addr = ins.addr
+            if addr.index != ivar or addr.scale != 8 or addr.base is None:
+                return False
+            loads[ins.dst] = addr
+            computed[ins.dst] = ins
+        elif ins.op in ("fadd", "fsub", "fmul"):
+            assert ins.dst is not None
+            computed[ins.dst] = ins
+        elif ins.op == "lf":
+            assert ins.dst is not None
+            consts.add(ins.dst)
+            computed[ins.dst] = ins
+        elif ins.op == "fstore":
+            if store is not None:
+                return False
+            store = ins
+        else:
+            return False
+    if store is None or store.addr is None or not isinstance(store.a, VReg):
+        return False
+    saddr = store.addr
+    if saddr.index != ivar or saddr.scale != 8 or saddr.base is None:
+        return False
+    if store.a not in computed:
+        return False
+
+    # every computation must feed the store (no stray side outputs)
+    needed: set[VReg] = set()
+    work = [store.a]
+    while work:
+        v = work.pop()
+        if v in needed:
+            continue
+        needed.add(v)
+        ins = computed.get(v)
+        if ins is None:
+            return False  # value defined outside the loop: not handled
+        for u in (ins.a, ins.b):
+            if isinstance(u, VReg) and u != ivar:
+                if u in computed:
+                    work.append(u)
+                else:
+                    return False
+    for v in computed:
+        if v not in needed:
+            return False
+
+    # --- build the vector body ----------------------------------------------
+    vhead_label = func.new_label("vhead")
+    vbody_label = func.new_label("vbody")
+    vmap: dict[VReg, VReg] = {}
+
+    def vreg_for(v: VReg) -> VReg:
+        if v not in vmap:
+            vmap[v] = func.new_vreg("v")
+        return vmap[v]
+
+    vinstrs: list[TInstr] = []
+    for ins in body.instrs[:-1]:
+        if ins is store:
+            continue
+        assert ins.dst is not None
+        if ins.op == "fload":
+            vinstrs.append(
+                TInstr(op="vload", dst=vreg_for(ins.dst), addr=ins.addr, aligned=False)
+            )
+        elif ins.op == "lf":
+            scalar = func.new_vreg("f")
+            vinstrs.append(TInstr(op="lf", dst=scalar, fimm=ins.fimm))
+            vinstrs.append(TInstr(op="vbroadcast", dst=vreg_for(ins.dst), a=scalar))
+        else:
+            assert isinstance(ins.a, VReg) and isinstance(ins.b, VReg)
+            vinstrs.append(
+                TInstr(op=_SCALAR_TO_VECTOR[ins.op], dst=vreg_for(ins.dst),
+                       a=vreg_for(ins.a), b=vreg_for(ins.b))
+            )
+    vinstrs.append(TInstr(op="vstore", addr=saddr, a=vmap[store.a], aligned=True))
+    vinstrs.append(TInstr(op="add", dst=ivar, a=ivar, b=2))
+    vinstrs.append(TInstr(op="jmp", labels=(vhead_label,)))
+
+    # --- stitch the CFG --------------------------------------------------------
+    # The original head label becomes the alignment/peel entry so incoming
+    # edges need no rewriting; the scalar loop is retained as the tail.
+    entry_label = head.label
+    tail_label = func.new_label("vtail")
+    peel_label = func.new_label("vpeel")
+    chk_label = func.new_label("valignchk")
+    exit_label = br.labels[1]
+
+    head.label = tail_label  # scalar loop head now serves the remainder
+
+    # peel body: copy of the scalar body + step, looping to the entry check
+    b_peel = TBlock(peel_label)
+    for ins in body.instrs[:-1]:
+        b_peel.instrs.append(replace(ins))
+    for ins in step.instrs[:-1]:
+        b_peel.instrs.append(replace(ins))
+    b_peel.instrs.append(TInstr(op="jmp", labels=(entry_label,)))
+
+    b_entry = TBlock(entry_label)
+    b_entry.instrs.append(
+        TInstr(op="br", cc="l", a=ivar, b=limit, labels=(chk_label, exit_label))
+    )
+
+    b_chk = TBlock(chk_label)
+    taddr = func.new_vreg("i")
+    tlow = func.new_vreg("i")
+    b_chk.instrs.append(TInstr(op="lea", dst=taddr, addr=saddr))
+    b_chk.instrs.append(TInstr(op="and", dst=tlow, a=taddr, b=15))
+    b_chk.instrs.append(
+        TInstr(op="br", cc="ne", a=tlow, b=0, labels=(peel_label, vhead_label))
+    )
+
+    b_vhead = TBlock(vhead_label)
+    ip1 = func.new_vreg("i")
+    b_vhead.instrs.append(TInstr(op="add", dst=ip1, a=ivar, b=1))
+    b_vhead.instrs.append(
+        TInstr(op="br", cc="l", a=ip1, b=limit, labels=(vbody_label, tail_label))
+    )
+
+    b_vbody = TBlock(vbody_label)
+    b_vbody.instrs.extend(vinstrs)
+
+    idx = func.blocks.index(head)
+    func.blocks[idx:idx] = [b_entry, b_chk, b_peel, b_vhead, b_vbody]
+    return True

@@ -1,0 +1,13 @@
+"""Deterministic x86-64 architectural simulator with a cycle cost model.
+
+This is the project's substitute for the paper's Haswell testbed: machine
+code produced by MCC, DBrew, or the MiniLLVM JIT executes here, and "running
+time" is simulated cycles under :class:`repro.cpu.costs.CostModel`.
+"""
+
+from repro.cpu.state import CPUState
+from repro.cpu.costs import CostModel, HASWELL
+from repro.cpu.image import Image
+from repro.cpu.simulator import Simulator
+
+__all__ = ["CPUState", "CostModel", "HASWELL", "Image", "Simulator"]

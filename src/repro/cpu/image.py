@@ -1,0 +1,116 @@
+"""Executable image: simulated memory + symbols + allocators.
+
+An :class:`Image` is what MCC's linker produces and what DBrew / the JIT
+extend at "runtime": it owns the simulated memory, a symbol table, a bump
+allocator for data, and a code allocator for newly generated functions.
+Layout mirrors a small static Linux binary:
+
+* code at ``0x0040_0000``
+* read-only data at ``0x0060_0000``
+* mutable globals / heap at ``0x0080_0000``
+* JIT code area at ``0x0100_0000``
+* stack top at ``0x7fff_f000`` growing down
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulatorError
+from repro.mem.layout import align_up
+from repro.mem.memory import Memory
+
+CODE_BASE = 0x0040_0000
+RODATA_BASE = 0x0060_0000
+DATA_BASE = 0x0080_0000
+JIT_BASE = 0x0100_0000
+STACK_TOP = 0x7FFF_F000
+STACK_SIZE = 0x10_0000
+
+#: magic return address that stops the simulator when popped by `ret`
+RETURN_SENTINEL = 0x00DE_AD00
+
+
+class Image:
+    """A loaded program plus room for runtime code generation."""
+
+    def __init__(self, *, code_size: int = 1 << 20, rodata_size: int = 1 << 20,
+                 data_size: int = 1 << 22, jit_size: int = 1 << 20) -> None:
+        self.memory = Memory()
+        self.memory.map(CODE_BASE, code_size)
+        self.memory.map(RODATA_BASE, rodata_size)
+        self.memory.map(DATA_BASE, data_size)
+        self.memory.map(JIT_BASE, jit_size)
+        self.memory.map(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000)
+        self.symbols: dict[str, int] = {}
+        self.func_sizes: dict[str, int] = {}
+        self._code_cursor = CODE_BASE
+        self._rodata_cursor = RODATA_BASE
+        self._data_cursor = DATA_BASE
+        self._jit_cursor = JIT_BASE
+        self._code_limit = CODE_BASE + code_size
+        self._rodata_limit = RODATA_BASE + rodata_size
+        self._data_limit = DATA_BASE + data_size
+        self._jit_limit = JIT_BASE + jit_size
+
+    # -- allocation ------------------------------------------------------------
+
+    def _bump(self, cursor: int, limit: int, size: int, align: int) -> tuple[int, int]:
+        addr = align_up(cursor, align)
+        if addr + size > limit:
+            raise SimulatorError("image region exhausted")
+        return addr, addr + size
+
+    def reserve_code(self, size: int, align: int = 16) -> int:
+        """Reserve static code space; returns its address."""
+        addr, self._code_cursor = self._bump(self._code_cursor, self._code_limit, size, align)
+        return addr
+
+    def add_function(self, name: str, code: bytes, *, jit: bool = False) -> int:
+        """Install machine code under ``name``; returns the entry address."""
+        if jit:
+            addr, self._jit_cursor = self._bump(self._jit_cursor, self._jit_limit, len(code), 16)
+        else:
+            addr, self._code_cursor = self._bump(self._code_cursor, self._code_limit, len(code), 16)
+        self.memory.write(addr, code)
+        self.symbols[name] = addr
+        self.func_sizes[name] = len(code)
+        return addr
+
+    def next_code_addr(self, *, jit: bool = False, align: int = 16) -> int:
+        """The address the next add_function call would use (for label layout)."""
+        cursor = self._jit_cursor if jit else self._code_cursor
+        return align_up(cursor, align)
+
+    def alloc_rodata(self, data: bytes, align: int = 16) -> int:
+        """Place read-only bytes; returns their address."""
+        addr, self._rodata_cursor = self._bump(
+            self._rodata_cursor, self._rodata_limit, len(data), align
+        )
+        self.memory.write(addr, data)
+        return addr
+
+    def alloc_data(self, size: int, align: int = 16, data: bytes | None = None) -> int:
+        """Allocate zeroed mutable space (the "heap"); returns its address."""
+        addr, self._data_cursor = self._bump(self._data_cursor, self._data_limit, size, align)
+        if data is not None:
+            self.memory.write(addr, data)
+        return addr
+
+    # -- symbols ----------------------------------------------------------------
+
+    def symbol(self, name: str) -> int:
+        """Address of a defined symbol."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise SimulatorError(f"undefined symbol {name!r}") from None
+
+    def function_bytes(self, name: str) -> bytes:
+        """The machine code installed for a function symbol."""
+        return self.memory.read(self.symbol(name), self.func_sizes[name])
+
+    def symbol_at(self, addr: int) -> str | None:
+        """Reverse-lookup a symbol name by address (exact match)."""
+        for name, a in self.symbols.items():
+            if a == addr:
+                return name
+        return None

@@ -1,0 +1,681 @@
+"""Architectural semantics: execute one decoded instruction.
+
+``execute(ins, st, mem)`` mutates :class:`~repro.cpu.state.CPUState` and
+:class:`~repro.mem.memory.Memory` and returns ``(taken, mem_addr)`` for the
+cost model — whether a conditional branch was taken and which effective
+address (if any) a memory operand touched.
+
+Integer values are kept as unsigned Python ints masked to operand width;
+floating point goes through ``struct`` so IEEE-754 double behaviour is
+bit-exact with hardware for the supported operations.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SimulatorError
+from repro.mem.memory import Memory
+from repro.x86 import isa
+from repro.x86.instr import Imm, Instruction, Mem, Operand, Reg
+from repro.cpu.state import CPUState, MASK64, MASK128, to_signed
+
+_F64 = struct.Struct("<d")
+_F32 = struct.Struct("<f")
+
+
+def f64_to_bits(v: float) -> int:
+    return int.from_bytes(_F64.pack(v), "little")
+
+
+def bits_to_f64(b: int) -> float:
+    return _F64.unpack((b & MASK64).to_bytes(8, "little"))[0]
+
+
+def f32_to_bits(v: float) -> int:
+    return int.from_bytes(_F32.pack(v), "little")
+
+
+def bits_to_f32(b: int) -> float:
+    return _F32.unpack((b & 0xFFFFFFFF).to_bytes(4, "little"))[0]
+
+
+def _f32_round(v: float) -> float:
+    """Round a Python float to binary32 precision."""
+    return bits_to_f32(f32_to_bits(v))
+
+
+def effective_address(mem: Mem, st: CPUState) -> int:
+    """Compute the effective address of a memory operand (mod 2^64)."""
+    if mem.riprel or mem.is_absolute:
+        return mem.disp & MASK64
+    addr = mem.disp
+    if mem.base is not None:
+        addr += st.gpr[mem.base.index]
+    if mem.index is not None:
+        addr += st.gpr[mem.index.index] * mem.scale
+    return addr & MASK64
+
+
+def _opsize(ins: Instruction) -> int:
+    for op in ins.operands:
+        if isinstance(op, Reg) and op.kind == "gp":
+            return op.size
+    for op in ins.operands:
+        if isinstance(op, Mem):
+            return op.size
+    return 8
+
+
+def _read(op: Operand, st: CPUState, mem: Memory, ea: int | None, size: int) -> int:
+    if isinstance(op, Reg):
+        return st.read_reg(op)
+    if isinstance(op, Imm):
+        return op.value & ((1 << (size * 8)) - 1)
+    assert ea is not None
+    return mem.read_uint(ea, op.size)
+
+
+def _write(op: Operand, value: int, st: CPUState, mem: Memory, ea: int | None) -> None:
+    if isinstance(op, Reg):
+        st.write_reg(op, value)
+        return
+    assert isinstance(op, Mem) and ea is not None
+    mem.write_uint(ea, value, op.size)
+
+
+# -- flag computation ----------------------------------------------------------
+
+
+def _parity(res: int) -> bool:
+    return bin(res & 0xFF).count("1") % 2 == 0
+
+
+def _szp(st: CPUState, res: int, bits: int) -> None:
+    st.zf = res == 0
+    st.sf = bool(res >> (bits - 1))
+    st.pf = _parity(res)
+
+
+def _flags_add(st: CPUState, a: int, b: int, res_full: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    res = res_full & mask
+    st.cf = res_full > mask or res_full < 0
+    sa, sb, sr = a >> (bits - 1), b >> (bits - 1), res >> (bits - 1)
+    st.of = (sa == sb) and (sr != sa)
+    st.af = ((a & 0xF) + (b & 0xF)) > 0xF
+    _szp(st, res, bits)
+    return res
+
+
+def _flags_sub(st: CPUState, a: int, b: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    res = (a - b) & mask
+    st.cf = a < b
+    sa, sb, sr = a >> (bits - 1), b >> (bits - 1), res >> (bits - 1)
+    st.of = (sa != sb) and (sr != sa)
+    st.af = (a & 0xF) < (b & 0xF)
+    _szp(st, res, bits)
+    return res
+
+
+def _flags_logic(st: CPUState, res: int, bits: int) -> None:
+    st.cf = False
+    st.of = False
+    st.af = False
+    _szp(st, res, bits)
+
+
+def eval_cc(st: CPUState, cc: str) -> bool:
+    """Evaluate a canonical condition code against current flags."""
+    if cc == "o":
+        return st.of
+    if cc == "no":
+        return not st.of
+    if cc == "b":
+        return st.cf
+    if cc == "ae":
+        return not st.cf
+    if cc == "e":
+        return st.zf
+    if cc == "ne":
+        return not st.zf
+    if cc == "be":
+        return st.cf or st.zf
+    if cc == "a":
+        return not (st.cf or st.zf)
+    if cc == "s":
+        return st.sf
+    if cc == "ns":
+        return not st.sf
+    if cc == "p":
+        return st.pf
+    if cc == "np":
+        return not st.pf
+    if cc == "l":
+        return st.sf != st.of
+    if cc == "ge":
+        return st.sf == st.of
+    if cc == "le":
+        return st.zf or (st.sf != st.of)
+    if cc == "g":
+        return not st.zf and (st.sf == st.of)
+    raise SimulatorError(f"unknown condition code {cc}")
+
+
+# -- SSE lane helpers ----------------------------------------------------------
+
+
+def _xmm_lane64(v: int, lane: int) -> int:
+    return (v >> (64 * lane)) & MASK64
+
+
+def _xmm_set_lane64(v: int, lane: int, bits: int) -> int:
+    shift = 64 * lane
+    return (v & ~(MASK64 << shift)) | ((bits & MASK64) << shift)
+
+
+_SD_OPS = {
+    "addsd": lambda a, b: a + b,
+    "subsd": lambda a, b: a - b,
+    "mulsd": lambda a, b: a * b,
+    "minsd": min,
+    "maxsd": max,
+}
+_PD_OPS = _SD_OPS  # packed double uses the same lane function per lane name
+
+
+def _fp_div(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0:
+            return float("nan")
+        inf = float("inf") if a > 0 else float("-inf")
+        # sign of zero matters in IEEE; Python 0.0 == -0.0, check bits
+        if f64_to_bits(b) >> 63:
+            inf = -inf
+        return inf
+    return a / b
+
+
+# -- main dispatch --------------------------------------------------------------
+
+
+def execute(ins: Instruction, st: CPUState, mem: Memory) -> tuple[bool, int | None]:
+    """Execute ``ins``; returns (branch_taken, effective_mem_addr)."""
+    m = ins.mnemonic
+    ops = ins.operands
+    memop = next((o for o in ops if isinstance(o, Mem)), None)
+    ea = effective_address(memop, st) if memop is not None else None
+    st.rip = ins.end
+    taken = False
+
+    # ---- control flow ----
+    cls = isa.control_class(m)
+    if cls == "jmp":
+        st.rip = ops[0].value  # type: ignore[union-attr]
+        return False, None
+    if cls == "jcc":
+        cc = isa.cc_of(m)
+        assert cc is not None
+        if eval_cc(st, cc):
+            st.rip = ops[0].value  # type: ignore[union-attr]
+            taken = True
+        return taken, None
+    if cls == "call":
+        st.gpr[4] = (st.gpr[4] - 8) & MASK64
+        mem.write_u64(st.gpr[4], ins.end)
+        st.rip = ops[0].value  # type: ignore[union-attr]
+        return False, st.gpr[4]
+    if cls == "ret":
+        st.rip = mem.read_u64(st.gpr[4])
+        st.gpr[4] = (st.gpr[4] + 8) & MASK64
+        return False, None
+
+    size = _opsize(ins)
+    bits = size * 8
+
+    # ---- integer data movement ----
+    if m == "mov" and not any(isinstance(o, Reg) and o.kind == "xmm" for o in ops):
+        dst, src = ops
+        _write(dst, _read(src, st, mem, ea, size), st, mem, ea)
+        return False, ea
+    if m in ("movzx", "movsx", "movsxd"):
+        dst, src = ops
+        ssize = src.size if isinstance(src, (Reg, Mem)) else 4
+        val = _read(src, st, mem, ea, ssize)
+        if m != "movzx":
+            val = to_signed(val, ssize * 8) & ((1 << (dst.size * 8)) - 1)  # type: ignore[union-attr]
+        _write(dst, val, st, mem, ea)
+        return False, ea
+    if m == "lea":
+        dst, src = ops
+        assert isinstance(src, Mem) and isinstance(dst, Reg)
+        st.write_reg(dst, ea & ((1 << (dst.size * 8)) - 1))  # type: ignore[operator]
+        return False, None
+    if m == "push":
+        val = _read(ops[0], st, mem, ea, 8)
+        if isinstance(ops[0], Imm):
+            val = to_signed(val, ops[0].size * 8 if ops[0].size else 32) & MASK64
+        st.gpr[4] = (st.gpr[4] - 8) & MASK64
+        mem.write_u64(st.gpr[4], val)
+        return False, st.gpr[4]
+    if m == "pop":
+        val = mem.read_u64(st.gpr[4])
+        st.gpr[4] = (st.gpr[4] + 8) & MASK64
+        _write(ops[0], val, st, mem, ea)
+        return False, None
+    if m == "leave":
+        st.gpr[4] = st.gpr[5]
+        st.gpr[5] = mem.read_u64(st.gpr[4])
+        st.gpr[4] = (st.gpr[4] + 8) & MASK64
+        return False, None
+
+    # ---- integer ALU ----
+    if m in ("add", "adc"):
+        dst, src = ops
+        a = _read(dst, st, mem, ea, size)
+        b = _read(src, st, mem, ea, size)
+        carry = int(st.cf) if m == "adc" else 0
+        res = _flags_add(st, a, b, a + b + carry, bits)
+        _write(dst, res, st, mem, ea)
+        return False, ea
+    if m in ("sub", "sbb", "cmp"):
+        dst, src = ops
+        a = _read(dst, st, mem, ea, size)
+        b = _read(src, st, mem, ea, size)
+        borrow = int(st.cf) if m == "sbb" else 0
+        res = _flags_sub(st, a, (b + borrow) & ((1 << bits) - 1), bits)
+        if m != "cmp":
+            _write(dst, res, st, mem, ea)
+        return False, ea
+    if m in ("and", "or", "xor", "test"):
+        dst, src = ops
+        a = _read(dst, st, mem, ea, size)
+        b = _read(src, st, mem, ea, size)
+        res = a & b if m in ("and", "test") else (a | b if m == "or" else a ^ b)
+        _flags_logic(st, res, bits)
+        if m != "test":
+            _write(dst, res, st, mem, ea)
+        return False, ea
+    if m in ("inc", "dec"):
+        (dst,) = ops
+        a = _read(dst, st, mem, ea, size)
+        cf = st.cf  # inc/dec preserve CF
+        if m == "inc":
+            res = _flags_add(st, a, 1, a + 1, bits)
+        else:
+            res = _flags_sub(st, a, 1, bits)
+        st.cf = cf
+        _write(dst, res, st, mem, ea)
+        return False, ea
+    if m == "neg":
+        (dst,) = ops
+        a = _read(dst, st, mem, ea, size)
+        res = _flags_sub(st, 0, a, bits)
+        st.cf = a != 0
+        _write(dst, res, st, mem, ea)
+        return False, ea
+    if m == "not":
+        (dst,) = ops
+        a = _read(dst, st, mem, ea, size)
+        _write(dst, (~a) & ((1 << bits) - 1), st, mem, ea)
+        return False, ea
+    if m == "imul":
+        if len(ops) == 1:
+            a = to_signed(st.read_gp(0, size), bits)
+            b = to_signed(_read(ops[0], st, mem, ea, size), bits)
+            full = a * b
+            lo = full & ((1 << bits) - 1)
+            hi = (full >> bits) & ((1 << bits) - 1)
+            if size == 1:
+                st.write_gp(0, (hi << 8) | lo, 2)
+            else:
+                st.write_gp(0, lo, size)
+                st.write_gp(2, hi, size)
+            st.cf = st.of = full != to_signed(lo, bits)
+            return False, ea
+        if len(ops) == 2:
+            dst, src = ops
+            a = to_signed(_read(dst, st, mem, ea, size), bits)
+            b = to_signed(_read(src, st, mem, ea, size), bits)
+        else:
+            dst, src, imm = ops
+            a = to_signed(_read(src, st, mem, ea, size), bits)
+            b = to_signed(imm.value, 64)  # type: ignore[union-attr]
+        full = a * b
+        res = full & ((1 << bits) - 1)
+        st.cf = st.of = full != to_signed(res, bits)
+        _szp(st, res, bits)
+        _write(dst, res, st, mem, ea)
+        return False, ea
+    if m == "mul":
+        a = st.read_gp(0, size)
+        b = _read(ops[0], st, mem, ea, size)
+        full = a * b
+        lo = full & ((1 << bits) - 1)
+        hi = (full >> bits) & ((1 << bits) - 1)
+        if size == 1:
+            st.write_gp(0, (hi << 8) | lo, 2)
+        else:
+            st.write_gp(0, lo, size)
+            st.write_gp(2, hi, size)
+        st.cf = st.of = hi != 0
+        return False, ea
+    if m in ("idiv", "div"):
+        divisor_u = _read(ops[0], st, mem, ea, size)
+        lo = st.read_gp(0, size)
+        hi = st.read_gp(2, size) if size > 1 else (st.read_gp(0, 2) >> 8)
+        dividend_u = (hi << bits) | lo
+        if m == "idiv":
+            dividend = to_signed(dividend_u, bits * 2)
+            divisor = to_signed(divisor_u, bits)
+            if divisor == 0:
+                raise SimulatorError("integer division by zero")
+            quot = int(dividend / divisor)  # trunc toward zero
+            rem = dividend - quot * divisor
+        else:
+            if divisor_u == 0:
+                raise SimulatorError("integer division by zero")
+            quot, rem = divmod(dividend_u, divisor_u)
+        if quot > (1 << bits) - 1 or quot < -(1 << (bits - 1)):
+            raise SimulatorError("division overflow")
+        st.write_gp(0, quot & ((1 << bits) - 1), size)
+        if size > 1:
+            st.write_gp(2, rem & ((1 << bits) - 1), size)
+        else:
+            st.write_gp(0, ((rem & 0xFF) << 8) | (quot & 0xFF), 2)
+        return False, ea
+    if m == "cqo":
+        st.gpr[2] = MASK64 if st.gpr[0] >> 63 else 0
+        return False, None
+    if m == "cdq":
+        st.write_gp(2, 0xFFFFFFFF if (st.read_gp(0, 4) >> 31) else 0, 4)
+        return False, None
+    if m in ("shl", "shr", "sar", "rol", "ror"):
+        dst, src = ops
+        a = _read(dst, st, mem, ea, size)
+        count = _read(src, st, mem, ea, 1) & (63 if size == 8 else 31)
+        if count == 0:
+            return False, ea
+        if m == "shl":
+            full = a << count
+            res = full & ((1 << bits) - 1)
+            st.cf = bool((full >> bits) & 1)
+        elif m == "shr":
+            res = a >> count
+            st.cf = bool((a >> (count - 1)) & 1)
+        elif m == "sar":
+            sa = to_signed(a, bits)
+            res = (sa >> count) & ((1 << bits) - 1)
+            st.cf = bool((sa >> (count - 1)) & 1)
+        elif m == "rol":
+            count %= bits
+            res = ((a << count) | (a >> (bits - count))) & ((1 << bits) - 1)
+            st.cf = bool(res & 1)
+        else:  # ror
+            count %= bits
+            res = ((a >> count) | (a << (bits - count))) & ((1 << bits) - 1)
+            st.cf = bool(res >> (bits - 1))
+        if m in ("shl", "shr", "sar"):
+            _szp(st, res, bits)
+            st.of = bool((res >> (bits - 1)) != (a >> (bits - 1))) if count == 1 else st.of
+        _write(dst, res, st, mem, ea)
+        return False, ea
+    if m.startswith("cmov"):
+        cc = isa.cc_of(m)
+        assert cc is not None
+        dst, src = ops
+        if eval_cc(st, cc):
+            _write(dst, _read(src, st, mem, ea, size), st, mem, ea)
+        elif isinstance(dst, Reg) and dst.size == 4:
+            st.write_reg(dst, st.read_reg(dst))  # 32-bit cmov always zexts
+        return False, ea
+    if m.startswith("set"):
+        cc = isa.cc_of(m)
+        assert cc is not None
+        _write(ops[0], int(eval_cc(st, cc)), st, mem, ea)
+        return False, ea
+    if m == "nop":
+        return False, None
+
+    # ---- SSE ----
+    return _execute_sse(ins, st, mem, ea)
+
+
+def _execute_sse(
+    ins: Instruction, st: CPUState, mem: Memory, ea: int | None
+) -> tuple[bool, int | None]:
+    m = ins.mnemonic
+    ops = ins.operands
+
+    def read_xmm_or_mem(op: Operand, width: int) -> int:
+        if isinstance(op, Reg):
+            if op.kind == "xmm":
+                return st.xmm[op.index] & ((1 << (width * 8)) - 1)
+            return st.read_reg(op)
+        assert isinstance(op, Mem) and ea is not None
+        return mem.read_uint(ea, width)
+
+    if m in ("movsd", "movss"):
+        width = 8 if m == "movsd" else 4
+        dst, src = ops
+        val = read_xmm_or_mem(src, width)
+        if isinstance(dst, Reg):
+            if isinstance(src, Reg):
+                # reg-reg: merge low lane, preserve upper
+                mask = (1 << (width * 8)) - 1
+                st.xmm[dst.index] = (st.xmm[dst.index] & ~mask) | val
+            else:
+                st.xmm[dst.index] = val  # load zero-extends
+        else:
+            assert ea is not None
+            mem.write_uint(ea, val, width)
+        return False, ea
+    if m in ("movapd", "movaps", "movupd", "movups"):
+        dst, src = ops
+        if m in ("movapd", "movaps") and ea is not None and ea % 16 != 0:
+            raise SimulatorError(f"misaligned {m} access at {ea:#x}")
+        val = read_xmm_or_mem(src, 16)
+        if isinstance(dst, Reg):
+            st.xmm[dst.index] = val
+        else:
+            assert ea is not None
+            mem.write_u128(ea, val)
+        return False, ea
+    if m in ("movq", "movd"):
+        width = 8 if m == "movq" else 4
+        dst, src = ops
+        if isinstance(src, Reg) and src.kind == "xmm":
+            val = st.xmm[src.index] & ((1 << (width * 8)) - 1)
+        else:
+            val = _read(src, st, mem, ea, width)
+        if isinstance(dst, Reg) and dst.kind == "xmm":
+            st.xmm[dst.index] = val  # zero-extends (Fig. 4b note on movq)
+        else:
+            _write(dst, val, st, mem, ea)
+        return False, ea
+    if m in ("movlpd", "movhpd"):
+        lane = 0 if m == "movlpd" else 1
+        dst, src = ops
+        if isinstance(dst, Reg):
+            val = read_xmm_or_mem(src, 8)
+            st.xmm[dst.index] = _xmm_set_lane64(st.xmm[dst.index], lane, val)
+        else:
+            assert isinstance(src, Reg) and ea is not None
+            mem.write_u64(ea, _xmm_lane64(st.xmm[src.index], lane))
+        return False, ea
+    if m in ("pxor", "por", "pand", "pandn", "xorpd", "xorps", "andpd", "andps",
+             "orpd", "orps"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        a = st.xmm[dst.index]
+        b = read_xmm_or_mem(src, 16)
+        if m in ("pxor", "xorpd", "xorps"):
+            res = a ^ b
+        elif m in ("pand", "andpd", "andps"):
+            res = a & b
+        elif m == "pandn":
+            res = (~a & MASK128) & b
+        else:
+            res = a | b
+        st.xmm[dst.index] = res
+        return False, ea
+    if m in ("addsd", "subsd", "mulsd", "minsd", "maxsd", "divsd", "sqrtsd"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        a = bits_to_f64(st.xmm[dst.index])
+        b = bits_to_f64(read_xmm_or_mem(src, 8))
+        if m == "divsd":
+            r = _fp_div(a, b)
+        elif m == "sqrtsd":
+            r = b ** 0.5 if b >= 0 else float("nan")
+        else:
+            r = _SD_OPS[m](a, b)
+        st.xmm[dst.index] = _xmm_set_lane64(st.xmm[dst.index], 0, f64_to_bits(r))
+        return False, ea
+    if m in ("addss", "subss", "mulss", "divss", "minss", "maxss", "sqrtss"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        a = bits_to_f32(st.xmm[dst.index])
+        b = bits_to_f32(read_xmm_or_mem(src, 4))
+        core = m[:-2] + "sd"
+        if m == "divss":
+            r = _fp_div(a, b)
+        elif m == "sqrtss":
+            r = b ** 0.5 if b >= 0 else float("nan")
+        else:
+            r = _SD_OPS[core](a, b)
+        r32 = f32_to_bits(_f32_round(r))
+        st.xmm[dst.index] = (st.xmm[dst.index] & ~0xFFFFFFFF) | r32
+        return False, ea
+    if m in ("addpd", "subpd", "mulpd", "divpd", "minpd", "maxpd", "sqrtpd"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        a = st.xmm[dst.index]
+        b = read_xmm_or_mem(src, 16)
+        out = 0
+        for lane in (0, 1):
+            x = bits_to_f64(_xmm_lane64(a, lane))
+            y = bits_to_f64(_xmm_lane64(b, lane))
+            core = m[:-2] + "sd"
+            if m == "divpd":
+                r = _fp_div(x, y)
+            elif m == "sqrtpd":
+                r = y ** 0.5 if y >= 0 else float("nan")
+            else:
+                r = _SD_OPS[core](x, y)
+            out = _xmm_set_lane64(out, lane, f64_to_bits(r))
+        st.xmm[dst.index] = out
+        return False, ea
+    if m == "haddpd":
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        a = st.xmm[dst.index]
+        b = read_xmm_or_mem(src, 16)
+        lo = bits_to_f64(_xmm_lane64(a, 0)) + bits_to_f64(_xmm_lane64(a, 1))
+        hi = bits_to_f64(_xmm_lane64(b, 0)) + bits_to_f64(_xmm_lane64(b, 1))
+        st.xmm[dst.index] = _xmm_set_lane64(_xmm_set_lane64(0, 0, f64_to_bits(lo)), 1, f64_to_bits(hi))
+        return False, ea
+    if m in ("unpcklpd", "unpckhpd"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        lane = 0 if m == "unpcklpd" else 1
+        a = _xmm_lane64(st.xmm[dst.index], lane)
+        b = _xmm_lane64(read_xmm_or_mem(src, 16), lane)
+        st.xmm[dst.index] = _xmm_set_lane64(_xmm_set_lane64(0, 0, a), 1, b)
+        return False, ea
+    if m == "shufpd":
+        dst, src, sel = ops
+        assert isinstance(dst, Reg) and isinstance(sel, Imm)
+        a = st.xmm[dst.index]
+        b = read_xmm_or_mem(src, 16)
+        lo = _xmm_lane64(a, sel.value & 1)
+        hi = _xmm_lane64(b, (sel.value >> 1) & 1)
+        st.xmm[dst.index] = _xmm_set_lane64(_xmm_set_lane64(0, 0, lo), 1, hi)
+        return False, ea
+    if m == "pshufd":
+        dst, src, sel = ops
+        assert isinstance(dst, Reg) and isinstance(sel, Imm)
+        b = read_xmm_or_mem(src, 16)
+        out = 0
+        for i in range(4):
+            j = (sel.value >> (2 * i)) & 3
+            lane = (b >> (32 * j)) & 0xFFFFFFFF
+            out |= lane << (32 * i)
+        st.xmm[dst.index] = out
+        return False, ea
+    if m in ("paddq", "psubq", "paddd", "psubd", "pcmpeqd", "pcmpeqb", "pmuludq",
+             "paddw", "paddb"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        a = st.xmm[dst.index]
+        b = read_xmm_or_mem(src, 16)
+        lane_bits = {"q": 64, "d": 32, "w": 16, "b": 8}[m[-1]]
+        if m == "pmuludq":
+            lo = ((a & 0xFFFFFFFF) * (b & 0xFFFFFFFF)) & MASK64
+            hi = (((a >> 64) & 0xFFFFFFFF) * ((b >> 64) & 0xFFFFFFFF)) & MASK64
+            st.xmm[dst.index] = lo | (hi << 64)
+            return False, ea
+        out = 0
+        mask = (1 << lane_bits) - 1
+        for sh in range(0, 128, lane_bits):
+            x = (a >> sh) & mask
+            y = (b >> sh) & mask
+            if m.startswith("padd"):
+                r = (x + y) & mask
+            elif m.startswith("psub"):
+                r = (x - y) & mask
+            else:  # pcmpeq*
+                r = mask if x == y else 0
+            out |= r << sh
+        st.xmm[dst.index] = out
+        return False, ea
+    if m in ("ucomisd", "comisd", "ucomiss", "comiss"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        width = 8 if m.endswith("sd") else 4
+        conv = bits_to_f64 if width == 8 else bits_to_f32
+        a = conv(st.xmm[dst.index])
+        b = conv(read_xmm_or_mem(src, width))
+        st.of = st.af = st.sf = False
+        if a != a or b != b:  # unordered
+            st.zf = st.pf = st.cf = True
+        else:
+            st.zf = a == b
+            st.cf = a < b
+            st.pf = False
+        return False, ea
+    if m in ("cvtsi2sd", "cvtsi2ss"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        ssize = src.size if isinstance(src, (Reg, Mem)) else 8
+        val = to_signed(_read(src, st, mem, ea, ssize), ssize * 8)
+        if m == "cvtsi2sd":
+            st.xmm[dst.index] = _xmm_set_lane64(st.xmm[dst.index], 0, f64_to_bits(float(val)))
+        else:
+            st.xmm[dst.index] = (st.xmm[dst.index] & ~0xFFFFFFFF) | f32_to_bits(_f32_round(float(val)))
+        return False, ea
+    if m in ("cvttsd2si", "cvtsd2si", "cvttss2si", "cvtss2si"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        width = 8 if "sd" in m else 4
+        conv = bits_to_f64 if width == 8 else bits_to_f32
+        val = conv(read_xmm_or_mem(src, width))
+        if m.startswith("cvtt"):
+            i = int(val)  # truncation toward zero
+        else:
+            i = round(val)  # round-to-nearest-even matches Python round()
+        st.write_reg(dst, i & ((1 << (dst.size * 8)) - 1))
+        return False, ea
+    if m in ("cvtsd2ss", "cvtss2sd"):
+        dst, src = ops
+        assert isinstance(dst, Reg)
+        if m == "cvtsd2ss":
+            v = bits_to_f64(read_xmm_or_mem(src, 8))
+            st.xmm[dst.index] = (st.xmm[dst.index] & ~0xFFFFFFFF) | f32_to_bits(_f32_round(v))
+        else:
+            v = bits_to_f32(read_xmm_or_mem(src, 4))
+            st.xmm[dst.index] = _xmm_set_lane64(st.xmm[dst.index], 0, f64_to_bits(v))
+        return False, ea
+
+    raise SimulatorError(f"unimplemented instruction {ins!r}")

@@ -1,0 +1,157 @@
+"""Fetch/decode/execute loop with cycle accounting and a SysV call helper.
+
+The simulator is the measurement instrument for every figure reproduced in
+this project: DBrew output, MCC output, and JIT output all run here under
+the same :class:`~repro.cpu.costs.CostModel`, so comparisons between code
+variants are apples-to-apples by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatorError
+from repro.cpu.costs import HASWELL, CostModel
+from repro.cpu.image import RETURN_SENTINEL, STACK_TOP, Image
+from repro.cpu.semantics import bits_to_f64, execute, f64_to_bits
+from repro.cpu.state import MASK64, CPUState, to_signed
+from repro.x86.decoder import decode_one
+from repro.x86.instr import Instruction
+from repro.x86.registers import SYSV_INT_ARGS
+
+
+@dataclass
+class RunStats:
+    """Dynamic execution statistics of one or more calls."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    per_mnemonic: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "RunStats") -> None:
+        self.instructions += other.instructions
+        self.cycles += other.cycles
+        self.taken_branches += other.taken_branches
+        self.loads += other.loads
+        self.stores += other.stores
+        for k, v in other.per_mnemonic.items():
+            self.per_mnemonic[k] = self.per_mnemonic.get(k, 0) + v
+
+
+@dataclass
+class CallResult:
+    """Result of one simulated SysV call."""
+
+    rax: int
+    xmm0: int
+    stats: RunStats
+
+    @property
+    def int_value(self) -> int:
+        """Return value interpreted as signed 64-bit."""
+        return to_signed(self.rax, 64)
+
+    @property
+    def f64_value(self) -> float:
+        """Return value interpreted as a double in xmm0."""
+        return bits_to_f64(self.xmm0)
+
+
+class Simulator:
+    """Executes machine code from an :class:`Image`."""
+
+    def __init__(self, image: Image, costs: CostModel = HASWELL) -> None:
+        self.image = image
+        self.costs = costs
+        self.state = CPUState()
+        self._decode_cache: dict[int, Instruction] = {}
+
+    def invalidate_code(self) -> None:
+        """Drop the decode cache (call after writing new code to memory)."""
+        self._decode_cache.clear()
+
+    def _fetch(self, rip: int) -> Instruction:
+        ins = self._decode_cache.get(rip)
+        if ins is None:
+            window = self.image.memory.read(
+                rip, min(16, self._bytes_left(rip))
+            )
+            ins = decode_one(window, 0, rip)
+            self._decode_cache[rip] = ins
+        return ins
+
+    def _bytes_left(self, addr: int) -> int:
+        for start, size in self.image.memory.regions():
+            if start <= addr < start + size:
+                return start + size - addr
+        raise SimulatorError(f"rip at unmapped address {addr:#x}")
+
+    def call(
+        self,
+        target: int | str,
+        int_args: tuple[int, ...] = (),
+        f64_args: tuple[float, ...] = (),
+        *,
+        max_steps: int = 200_000_000,
+        stats: RunStats | None = None,
+    ) -> CallResult:
+        """Call ``target`` with the System V calling convention.
+
+        ``int_args`` fill rdi/rsi/rdx/rcx/r8/r9; ``f64_args`` fill
+        xmm0..xmm7.  Stack arguments are not supported (the paper's kernels
+        never need them).  Returns rax / xmm0 and execution statistics.
+        """
+        if isinstance(target, str):
+            target = self.image.symbol(target)
+        if len(int_args) > 6 or len(f64_args) > 8:
+            raise SimulatorError("stack-passed arguments are not supported")
+        st = self.state
+        st.gpr = [0] * 16
+        st.xmm = [0] * 16
+        st.gpr[4] = STACK_TOP - 8  # ensure (rsp % 16) == 8 at entry, like call
+        for reg, val in zip(SYSV_INT_ARGS, int_args):
+            st.gpr[reg] = val & MASK64
+        for i, val in enumerate(f64_args):
+            st.xmm[i] = f64_to_bits(val)
+        self.image.memory.write_u64(st.gpr[4], RETURN_SENTINEL)
+        st.rip = target
+
+        local = stats if stats is not None else RunStats()
+        mem = self.image.memory
+        costs = self.costs
+        fetch = self._fetch
+        per = local.per_mnemonic
+        steps = 0
+        cycles = 0.0
+        while st.rip != RETURN_SENTINEL:
+            ins = fetch(st.rip)
+            taken, mem_addr = execute(ins, st, mem)
+            cycles += costs.instruction_cost(ins, taken=taken, mem_addr=mem_addr)
+            steps += 1
+            per[ins.mnemonic] = per.get(ins.mnemonic, 0) + 1
+            if taken:
+                local.taken_branches += 1
+            if steps > max_steps:
+                raise SimulatorError(f"exceeded {max_steps} simulated instructions")
+        local.instructions += steps
+        local.cycles += cycles
+        return CallResult(rax=st.gpr[0], xmm0=st.xmm[0], stats=local)
+
+    def call_f64(self, target: int | str, int_args: tuple[int, ...] = (),
+                 f64_args: tuple[float, ...] = (), **kw: object) -> float:
+        """Shorthand: call and return xmm0 as a double."""
+        return self.call(target, int_args, f64_args, **kw).f64_value  # type: ignore[arg-type]
+
+    def call_int(self, target: int | str, int_args: tuple[int, ...] = (),
+                 f64_args: tuple[float, ...] = (), **kw: object) -> int:
+        """Shorthand: call and return rax as signed."""
+        return self.call(target, int_args, f64_args, **kw).int_value  # type: ignore[arg-type]
+
+
+def pack_f64(values: list[float]) -> bytes:
+    """Pack doubles little-endian (helper for test fixtures)."""
+    return struct.pack(f"<{len(values)}d", *values)

@@ -1,0 +1,23 @@
+"""DBrew: dynamic binary rewriting by partial evaluation (Sec. II).
+
+The rewriter decodes a compiled function, *emulates* every instruction whose
+inputs are known (function parameters fixed via ``set_par``, memory regions
+declared fixed via ``set_mem``, the guest stack), and *emits* specialized
+copies of the rest — materializing known register values with ``mov``
+instructions and folding known addresses into absolute memory operands,
+exactly the code shapes of the paper's Fig. 8.
+
+Known conditional branches are followed (loops over fixed descriptors fully
+unroll); unknown branches fork the meta-state and the loop-closing states
+are deduplicated by digest, with a widening fallback that bounds unrolling.
+Direct calls are inlined up to a configurable depth.
+
+``Rewriter`` mirrors the C API of Fig. 2/3: ``dbrew_new`` ->
+:class:`Rewriter`, ``dbrew_setpar`` -> :meth:`Rewriter.set_par`,
+``dbrew_setmem`` -> :meth:`Rewriter.set_mem`, ``dbrew_rewrite`` ->
+:meth:`Rewriter.rewrite`.
+"""
+
+from repro.dbrew.rewriter import Rewriter, RewriteStats
+
+__all__ = ["Rewriter", "RewriteStats"]

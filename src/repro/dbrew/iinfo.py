@@ -1,0 +1,120 @@
+"""Per-instruction dataflow facts used by DBrew's partial evaluator.
+
+``analyze(ins)`` reports which registers an instruction reads and writes
+(explicit operands + implicit ones), whether the first operand is
+read-modify-write, and the flag sets involved.  This drives the decision
+"emulate (all inputs known) vs emit (something unknown)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86 import isa
+from repro.x86.instr import Imm, Instruction, Mem, Reg
+
+RegKey = tuple[str, int]  # (kind, index)
+
+#: mnemonics whose first operand is written without being read
+_WRITE_ONLY_DST = frozenset({
+    "mov", "movzx", "movsx", "movsxd", "lea", "movapd", "movaps", "movupd",
+    "movups", "movq", "movd", "pop",
+})
+#: SSE ops that merge into the low lane (read the old dst for upper bits)
+_MERGE_DST = frozenset({
+    "movsd", "movss", "addsd", "subsd", "mulsd", "divsd", "minsd", "maxsd",
+    "sqrtsd", "cvtsi2sd", "cvtsi2ss", "movlpd", "movhpd",
+})
+
+
+@dataclass
+class InstrInfo:
+    reads: set[RegKey] = field(default_factory=set)
+    writes: set[RegKey] = field(default_factory=set)
+    mem_read: bool = False
+    mem_write: bool = False
+    reads_flags: str = ""
+    writes_flags: str = ""
+
+
+def _key(reg: Reg) -> RegKey:
+    return (reg.kind, reg.index)
+
+
+def analyze(ins: Instruction) -> InstrInfo:
+    """Dataflow facts for one decoded instruction."""
+    info = InstrInfo()
+    m = ins.mnemonic
+    info.writes_flags = isa.flags_written(m)
+    info.reads_flags = isa.flags_read(m)
+    ops = ins.operands
+
+    # implicit registers
+    if m in ("cqo", "cdq"):
+        info.reads.add(("gp", 0))
+        info.writes.add(("gp", 2))
+        return info
+    if m in ("idiv", "div"):
+        info.reads.update({("gp", 0), ("gp", 2)})
+        info.writes.update({("gp", 0), ("gp", 2)})
+    if m in ("mul",) or (m == "imul" and len(ops) == 1):
+        info.reads.add(("gp", 0))
+        info.writes.update({("gp", 0), ("gp", 2)})
+    if m in ("push", "call"):
+        info.reads.add(("gp", 4))
+        info.writes.add(("gp", 4))
+        info.mem_write = True
+    if m in ("pop", "ret", "leave"):
+        info.reads.add(("gp", 4))
+        info.writes.add(("gp", 4))
+        info.mem_read = True
+    if m == "leave":
+        info.reads.add(("gp", 5))
+        info.writes.add(("gp", 5))
+
+    for i, op in enumerate(ops):
+        if isinstance(op, Imm):
+            continue
+        if isinstance(op, Mem):
+            # address registers are always read
+            if op.base is not None:
+                info.reads.add(_key(op.base))
+            if op.index is not None:
+                info.reads.add(_key(op.index))
+            if m == "lea":
+                continue  # address computation only, no memory access
+            if i == 0 and m not in ("cmp", "test", "ucomisd", "ucomiss",
+                                    "comisd", "comiss"):
+                # destination memory operand
+                if m in _WRITE_ONLY_DST or m in _MERGE_DST or m.startswith("set"):
+                    info.mem_write = True
+                else:
+                    info.mem_read = True
+                    info.mem_write = True
+            else:
+                info.mem_read = True
+            continue
+        assert isinstance(op, Reg)
+        if i == 0:
+            if m in ("cmp", "test", "ucomisd", "ucomiss", "comisd", "comiss"):
+                info.reads.add(_key(op))
+            elif m in _WRITE_ONLY_DST or m.startswith("set"):
+                info.writes.add(_key(op))
+            elif m in ("movsd", "movss") and isinstance(ops[1], Mem):
+                info.writes.add(_key(op))  # load form zeroes the upper lane
+            elif m in _MERGE_DST:
+                info.reads.add(_key(op))
+                info.writes.add(_key(op))
+            elif m.startswith("cmov"):
+                info.reads.add(_key(op))
+                info.writes.add(_key(op))
+            elif m == "imul" and len(ops) == 3:
+                info.writes.add(_key(op))
+            else:  # RMW ALU / SSE packed
+                info.reads.add(_key(op))
+                info.writes.add(_key(op))
+        else:
+            info.reads.add(_key(op))
+
+    # shifts by cl read rcx even though the operand is cl (size 1 covers it)
+    return info

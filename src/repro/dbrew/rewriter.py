@@ -1,0 +1,853 @@
+"""The DBrew rewriter: decode -> partially evaluate -> encode (Sec. II).
+
+The rewrite driver walks *trace points* — (guest address, inline return
+stack, meta-state) triples.  Known control flow is followed inline (this is
+what unrolls loops over fixed descriptors); unknown conditional branches
+fork the state and targets are deduplicated by state digest, so loops whose
+condition is unknown close after at most one peeled copy.  A widening
+fallback bounds unrolling of known-trip loops (``unroll_limit``).
+
+Emitted code runs under a small fixed frame (``sub rsp, 136``) so that
+stack slots of *emulated* pushes can be addressed rsp-relative without
+clashing with calls; all guest rbp/rsp addressing is rewritten to
+rsp-relative absolute slots, which is why DBrew output looks "flat"
+(Fig. 8 top).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cpu.image import Image
+from repro.cpu.semantics import execute
+from repro.cpu.state import CPUState
+from repro.dbrew.iinfo import analyze
+from repro.dbrew.metastate import (
+    VSP_BASE, MetaState, MetaValue, StackSlot, is_stack_address, stack_offset,
+)
+from repro.errors import RewriteError
+from repro.mem.memory import Memory
+from repro.x86 import isa
+from repro.x86.asm import Item, Label, LabelRef, assemble_full
+from repro.x86.decoder import decode_one
+from repro.x86.instr import Imm, Instruction, Mem, Reg, gp, make, xmm
+from repro.x86.registers import RSP, SYSV_INT_ARGS
+
+_FRAME = 136  # keeps rsp 16-aligned at emitted call sites
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class RewriteStats:
+    """Counters for one rewrite."""
+
+    decoded: int = 0
+    emulated: int = 0
+    emitted: int = 0
+    materializations: int = 0
+    points: int = 0
+    widenings: int = 0
+
+
+@dataclass
+class _Point:
+    label: str
+    addr: int
+    rstack: tuple[int, ...]
+    state: MetaState
+
+
+class Rewriter:
+    """Mirror of the Fig. 2/3 configuration API."""
+
+    def __init__(self, image: Image, func: str | int) -> None:
+        self.image = image
+        self.entry = image.symbol(func) if isinstance(func, str) else func
+        self.func_name = func if isinstance(func, str) else f"f{func:x}"
+        self.signature: tuple[str, ...] = ()
+        self.ret_class: str | None = "i"
+        self._fixed: dict[int, int] = {}  # param index -> raw 64-bit value
+        self._mem_regions: list[tuple[int, int]] = []
+        self.unroll_limit = 512
+        self.inline_depth = 8
+        self.code_size_limit = 1 << 16
+        self.error_handler = None  # type: ignore[assignment]
+        self.stats = RewriteStats()
+        self.verbose = False
+        self._decode_cache: dict[int, Instruction] = {}
+
+    # -- configuration (dbrew_setpar / dbrew_setmem) ---------------------------
+
+    def set_signature(self, params: tuple[str, ...], ret: str | None = "i") -> "Rewriter":
+        """Parameter classes ('i'/'f') and return class, required before
+        set_par (DBrew's C-ABI contract, Sec. II)."""
+        self.signature = params
+        self.ret_class = ret
+        return self
+
+    def set_par(self, index: int, value: int) -> "Rewriter":
+        """Fix an integer/pointer parameter to a constant (dbrew_setpar)."""
+        self._fixed[index] = value & _MASK64
+        return self
+
+    def set_par_f64(self, index: int, value: float) -> "Rewriter":
+        """Fix a double parameter to a constant."""
+        self._fixed[index] = int.from_bytes(struct.pack("<d", value), "little")
+        return self
+
+    def set_mem(self, start: int, end: int) -> "Rewriter":
+        """Declare [start, end) as fixed memory (dbrew_setmem)."""
+        self._mem_regions.append((start, end))
+        return self
+
+    def set_unroll_limit(self, n: int) -> "Rewriter":
+        self.unroll_limit = n
+        return self
+
+    def set_inline_depth(self, n: int) -> "Rewriter":
+        self.inline_depth = n
+        return self
+
+    # -- rewriting -----------------------------------------------------------------
+
+    def rewrite(self, *, name: str | None = None) -> int:
+        """Rewrite; returns the new entry address.
+
+        On internal failure the default error handler returns the original
+        function (Sec. II); a custom ``error_handler(rewriter, exc)`` may
+        return an address instead.
+        """
+        try:
+            return self._rewrite(name)
+        except RewriteError as exc:
+            if self.error_handler is not None:
+                return self.error_handler(self, exc)  # type: ignore[misc]
+            return self.entry
+
+    def _initial_state(self) -> MetaState:
+        for idx in self._fixed:
+            if not 0 <= idx < len(self.signature):
+                raise RewriteError(
+                    f"set_par index {idx} outside the declared signature "
+                    f"(set_signature must describe all parameters, Sec. II)"
+                )
+        st = MetaState()
+        st.gpr[RSP] = MetaValue.of(VSP_BASE)
+        st.runtime_sp_off = -_FRAME
+        int_idx = 0
+        f_idx = 0
+        for i, cls in enumerate(self.signature):
+            if cls == "i":
+                if i in self._fixed:
+                    st.gpr[SYSV_INT_ARGS[int_idx]] = MetaValue.of(self._fixed[i])
+                int_idx += 1
+            else:
+                if i in self._fixed:
+                    st.xmm[f_idx] = MetaValue.of(self._fixed[i], 128)
+                f_idx += 1
+        return st
+
+    def _rewrite(self, name: str | None) -> int:
+        self.stats = RewriteStats()
+        out: list[Item] = []
+        new_name = name or f"{self.func_name}.rewritten"
+        out.append(Label(new_name))
+        out.append(make("sub", gp(RSP), Imm(_FRAME)))
+
+        self._labels: dict[tuple, str] = {}
+        self._label_counter = 0
+        self._back_visits: Counter = Counter()
+        self._fork_backs: Counter = Counter()
+        self._total_forks = 0
+        self._forks_at_visit: dict[int, int] = {}
+        self._last_state_at: dict[int, MetaState] = {}
+        worklist: list[_Point] = []
+
+        state0 = self._initial_state()
+        entry_label = self._point_label(self.entry, (), state0, worklist)
+        out.append(make("jmp", LabelRef(entry_label)))
+
+        while worklist:
+            point = worklist.pop(0)
+            self.stats.points += 1
+            if self.stats.points > 4096:
+                raise RewriteError("too many trace points (state explosion)")
+            out.append(Label(point.label))
+            self._process_point(point, out, worklist)
+            if len(out) * 4 > self.code_size_limit:
+                raise RewriteError("generated code exceeds the buffer limit")
+
+        from repro.backend.emit import peephole
+        out = peephole(out)
+        base = self.image.next_code_addr(jit=True)
+        code, _placed, _labels = assemble_full(out, base)
+        if len(code) > self.code_size_limit:
+            raise RewriteError("generated code exceeds the buffer limit")
+        addr = self.image.add_function(new_name, code, jit=True)
+        return addr
+
+    # -- trace points --------------------------------------------------------------
+
+    def _point_label(self, addr: int, rstack: tuple[int, ...], state: MetaState,
+                     worklist: list[_Point]) -> str:
+        key = (addr, rstack, state.digest())
+        label = self._labels.get(key)
+        if label is None:
+            self._label_counter += 1
+            label = f"P{self._label_counter}"
+            self._labels[key] = label
+            worklist.append(_Point(label, addr, rstack, state.copy()))
+        return label
+
+    def _decode(self, pc: int) -> Instruction:
+        ins = self._decode_cache.get(pc)
+        if ins is None:
+            window = self.image.memory.read(pc, min(16, _readable(self.image.memory, pc)))
+            try:
+                ins = decode_one(window, 0, pc)
+            except Exception as exc:  # decoding gap -> internal error (Sec. II)
+                raise RewriteError(f"cannot decode at {pc:#x}: {exc}") from exc
+            self._decode_cache[pc] = ins
+            self.stats.decoded += 1
+        return ins
+
+    def _process_point(self, point: _Point, out: list[Item],
+                       worklist: list[_Point]) -> None:
+        pc = point.addr
+        rstack = list(point.rstack)
+        state = point.state
+        for _ in range(200_000):
+            ins = self._decode(pc)
+            cls = isa.control_class(ins.mnemonic)
+            if cls == "jmp":
+                (t,) = ins.operands
+                if not isinstance(t, Imm):
+                    raise RewriteError(f"indirect jump at {pc:#x}")
+                pc = self._follow(t.value, pc, rstack, state, out, worklist)
+                if pc is None:
+                    return
+                continue
+            if cls == "jcc":
+                nxt = self._jcc(ins, pc, rstack, state, out, worklist)
+                if nxt is None:
+                    return
+                pc = nxt
+                continue
+            if cls == "call":
+                (t,) = ins.operands
+                if not isinstance(t, Imm):
+                    raise RewriteError(f"indirect call at {pc:#x}")
+                if len(rstack) < self.inline_depth:
+                    # inline: push a sentinel return address, descend
+                    sp = state.gpr[RSP]
+                    if not sp.known:
+                        raise RewriteError("unknown rsp at call")
+                    new_sp = (sp.value - 8) & _MASK64
+                    state.gpr[RSP] = MetaValue.of(new_sp)
+                    state.stack_write(stack_offset(new_sp), 8, MetaValue.of(0))
+                    rstack.append(ins.end)
+                    pc = t.value
+                    continue
+                self._emit_call(ins, state, out)
+                pc = ins.end
+                continue
+            if cls == "ret":
+                if rstack:
+                    ret_to = rstack.pop()
+                    sp = state.gpr[RSP]
+                    if not sp.known:
+                        raise RewriteError("unknown rsp at inlined ret")
+                    state.gpr[RSP] = MetaValue.of((sp.value + 8) & _MASK64)
+                    pc = ret_to
+                    continue
+                # the return-value register must hold its value at runtime
+                if self.ret_class == "i":
+                    self._materialize(("gp", 0), state, out)
+                elif self.ret_class == "f":
+                    self._materialize(("xmm", 0), state, out)
+                out.append(make("add", gp(RSP), Imm(_FRAME)))
+                out.append(make("ret"))
+                return
+            # ordinary instruction
+            self._step(ins, state, out)
+            pc = ins.end
+        raise RewriteError("rewrite trace did not terminate")
+
+    def _follow(self, target: int, pc: int, rstack: list[int], state: MetaState,
+                out: list[Item], worklist: list[_Point]) -> int | None:
+        """Follow a known branch; widen when unrolling stops paying off.
+
+        A loop whose exit condition is *known* unrolls fully (DBrew's core
+        specialization).  A loop that emitted a runtime conditional since
+        its last visit cannot be skipped at rewrite time, so per-iteration
+        specialization only bloats code: the values that changed since the
+        last visit are selectively materialized and forgotten, after which
+        the state digests converge and the fork dedup closes the loop.  A
+        hard per-address budget (``unroll_limit``) backstops everything.
+        """
+        if target <= pc:
+            self._back_visits[target] += 1
+            prev_forks = self._forks_at_visit.get(target)
+            self._forks_at_visit[target] = self._total_forks
+            runtime_loop = prev_forks is not None and self._total_forks > prev_forks
+            prev_state = self._last_state_at.get(target)
+            if runtime_loop and prev_state is not None:
+                if self._widen_diff(prev_state, state, out):
+                    self.stats.widenings += 1
+            self._last_state_at[target] = state.copy()
+            if self._back_visits[target] > self.unroll_limit:
+                self.stats.widenings += 1
+                self._widen(state, out)
+                label = self._point_label(target, tuple(rstack), state, worklist)
+                out.append(make("jmp", LabelRef(label)))
+                return None
+        return target
+
+    def _widen_diff(self, prev: MetaState, state: MetaState,
+                    out: list[Item]) -> bool:
+        """Forget values that are *evolving* across loop iterations.
+
+        Only a location that was known with a different value at the last
+        visit counts as evolving (e.g. a known induction variable); a
+        location that merely became known converges by itself at the next
+        fork's digest dedup, and forgetting it would de-specialize values
+        like the fixed stencil descriptor pointer.
+        """
+        changed = False
+        for idx in range(16):
+            if idx != RSP:
+                p, c = prev.gpr[idx], state.gpr[idx]
+                if p.known and c.known and p.value != c.value \
+                        and not is_stack_address(c.value):
+                    self._materialize(("gp", idx), state, out)
+                    state.gpr[idx] = MetaValue.unknown()
+                    changed = True
+            p, c = prev.xmm[idx], state.xmm[idx]
+            if p.known and c.known and p.value != c.value:
+                self._materialize(("xmm", idx), state, out)
+                state.xmm[idx] = MetaValue.unknown()
+                changed = True
+        for off in sorted(set(prev.stack) & set(state.stack)):
+            pv = prev.stack[off].value
+            cv = state.stack[off].value
+            if pv.known and cv.known and pv.value != cv.value \
+                    and not is_stack_address(cv.value):
+                self._flush_slot(off, state, out)
+                state.stack[off] = StackSlot(MetaValue.unknown(), flushed=True)
+                changed = True
+        for f in "oszapc":
+            p, c = prev.flags[f], state.flags[f]
+            if p.known and c.known and p.value != c.value:
+                state.flags[f] = MetaValue.unknown()
+                changed = True
+        return changed
+
+    def _jcc(self, ins: Instruction, pc: int, rstack: list[int], state: MetaState,
+             out: list[Item], worklist: list[_Point]) -> int | None:
+        cc = isa.cc_of(ins.mnemonic)
+        assert cc is not None
+        needed = isa.CC_FLAGS_READ[cc]
+        if all(state.flags[f].known for f in needed):
+            taken = self._eval_cc(cc, state)
+            (t,) = ins.operands
+            assert isinstance(t, Imm)
+            target = t.value if taken else ins.end
+            self.stats.emulated += 1
+            return self._follow(target, pc, rstack, state, out, worklist)
+        # unknown condition: fork.  A backward fork target is a do-while
+        # style loop re-entry; apply the same runtime-loop widening rule as
+        # _follow so evolving known values cannot explode the point count.
+        (t,) = ins.operands
+        assert isinstance(t, Imm)
+        for target in (t.value,):
+            if target <= pc:
+                prev_forks = self._forks_at_visit.get(target)
+                self._forks_at_visit[target] = self._total_forks + 1
+                if prev_forks is not None and self._total_forks + 1 > prev_forks:
+                    self.stats.widenings += 1
+                    self._widen(state, out)
+        ltrue = self._point_label(t.value, tuple(rstack), state, worklist)
+        lfalse = self._point_label(ins.end, tuple(rstack), state, worklist)
+        out.append(Instruction(ins.mnemonic, (LabelRef(ltrue),)))  # type: ignore[arg-type]
+        out.append(make("jmp", LabelRef(lfalse)))
+        self.stats.emitted += 2
+        self._total_forks += 1
+        return None
+
+    def _eval_cc(self, cc: str, state: MetaState) -> bool:
+        f = {k: bool(v.value) for k, v in state.flags.items() if v.known}
+        table = {
+            "o": lambda: f["o"], "no": lambda: not f["o"],
+            "b": lambda: f["c"], "ae": lambda: not f["c"],
+            "e": lambda: f["z"], "ne": lambda: not f["z"],
+            "be": lambda: f["c"] or f["z"], "a": lambda: not (f["c"] or f["z"]),
+            "s": lambda: f["s"], "ns": lambda: not f["s"],
+            "p": lambda: f["p"], "np": lambda: not f["p"],
+            "l": lambda: f["s"] != f["o"], "ge": lambda: f["s"] == f["o"],
+            "le": lambda: f["z"] or f["s"] != f["o"],
+            "g": lambda: not f["z"] and f["s"] == f["o"],
+        }
+        return table[cc]()
+
+    # -- single instruction: emulate or emit --------------------------------------
+
+    def _step(self, ins: Instruction, state: MetaState, out: list[Item]) -> None:
+        m = ins.mnemonic
+        if m == "nop":
+            return
+        if m == "push":
+            self._push(ins, state, out)
+            return
+        if m == "pop":
+            self._pop(ins, state, out)
+            return
+        if m == "leave":
+            self._leave(state, out)
+            return
+        # zero idioms make the destination known regardless of its old value
+        if m in ("xor", "sub", "pxor", "xorpd", "xorps") and len(ins.operands) == 2:
+            a, b = ins.operands
+            if isinstance(a, Reg) and isinstance(b, Reg) and a.kind == b.kind \
+                    and a.index == b.index and a.high8 == b.high8:
+                if a.kind == "gp" and not state.gpr[a.index].known:
+                    state.gpr[a.index] = MetaValue.of(0)
+                elif a.kind == "xmm" and not state.xmm[a.index].known:
+                    state.xmm[a.index] = MetaValue.of(0, 128)
+        # scalar reg-reg moves: treat the (never-read) upper lane as zeroed,
+        # which keeps compiler-generated scalar chains fully known
+        if m == "movsd" and all(isinstance(o, Reg) and o.kind == "xmm"
+                                for o in ins.operands):
+            dst, srcr = ins.operands
+            assert isinstance(dst, Reg) and isinstance(srcr, Reg)
+            srcv = state.xmm[srcr.index]
+            if srcv.known:
+                state.xmm[dst.index] = MetaValue.of(srcv.value & _MASK64, 128)
+                self.stats.emulated += 1
+                return
+            # unknown source: emit the move; the stale upper lane of dst is
+            # never read by compiler-generated scalar code, so the known dst
+            # value needs no materialization
+            out.append(Instruction(m, ins.operands))
+            self.stats.emitted += 1
+            state.xmm[dst.index] = MetaValue.unknown()
+            return
+        if m.startswith("cmov") and isa.cc_of(m) is not None:
+            cc = isa.cc_of(m)
+            assert cc is not None
+            needed = isa.CC_FLAGS_READ[cc]
+            if all(state.flags[f].known for f in needed):
+                if self._eval_cc(cc, state):
+                    moved = Instruction("mov", ins.operands, addr=ins.addr)
+                    self._step(moved, state, out)
+                else:
+                    self.stats.emulated += 1
+                return
+            self._emit(ins, state, out)
+            return
+        if self._try_emulate(ins, state):
+            return
+        self._emit(ins, state, out)
+
+    # -- emulation -------------------------------------------------------------------
+
+    def _reg_meta(self, key: tuple[str, int], state: MetaState) -> MetaValue:
+        kind, idx = key
+        return state.gpr[idx] if kind == "gp" else state.xmm[idx]
+
+    def _mem_effective(self, mem: Mem, state: MetaState) -> int | None:
+        """Known effective address, or None."""
+        if mem.riprel or mem.is_absolute:
+            return mem.disp & _MASK64
+        addr = mem.disp
+        if mem.base is not None:
+            mv = state.gpr[mem.base.index]
+            if not mv.known:
+                return None
+            addr += mv.value
+        if mem.index is not None:
+            mv = state.gpr[mem.index.index]
+            if not mv.known:
+                return None
+            addr += mv.value * mem.scale
+        return addr & _MASK64
+
+    def _read_fixed_memory(self, addr: int, size: int, state: MetaState) -> bytes | None:
+        """Bytes at a known address if they are rewrite-time constant."""
+        if is_stack_address(addr):
+            off = stack_offset(addr)
+            mv = state.stack_read(off, size)
+            if not mv.known:
+                return None
+            return mv.value.to_bytes(size, "little")
+        for start, end in self._mem_regions:
+            if start <= addr and addr + size <= end:
+                return self.image.memory.read(addr, size)
+        return None
+
+    def _try_emulate(self, ins: Instruction, state: MetaState) -> bool:
+        info = analyze(ins)
+        for key in info.reads:
+            if not self._reg_meta(key, state).known:
+                return False
+        for f in info.reads_flags:
+            if not state.flags[f].known:
+                return False
+        memop = next((o for o in ins.operands if isinstance(o, Mem)), None)
+        ea: int | None = None
+        mem_bytes: bytes | None = None
+        if memop is not None:
+            ea = self._mem_effective(memop, state)
+            if ea is None:
+                return False
+            if info.mem_read:
+                mem_bytes = self._read_fixed_memory(ea, memop.size, state)
+                if mem_bytes is None:
+                    return False
+            if info.mem_write and not is_stack_address(ea):
+                return False  # runtime-visible store must be emitted
+
+        # set up a scratch CPU and run the real semantics
+        cpu = CPUState()
+        for kind, idx in info.reads:
+            mv = self._reg_meta((kind, idx), state)
+            if kind == "gp":
+                cpu.gpr[idx] = mv.value
+            else:
+                cpu.xmm[idx] = mv.value
+        # address registers must also be loaded for effective-address calc
+        if memop is not None:
+            for reg in (memop.base, memop.index):
+                if reg is not None:
+                    mv = state.gpr[reg.index]
+                    if not mv.known:
+                        return False
+                    cpu.gpr[reg.index] = mv.value
+        for f, mv in state.flags.items():
+            if mv.known:
+                cpu.set_flag(f, bool(mv.value))
+
+        tmp_mem = Memory()
+        if memop is not None and ea is not None:
+            page = ea & ~0xFFF
+            tmp_mem.map(page, 0x2000)
+            if mem_bytes is not None:
+                tmp_mem.write(ea, mem_bytes)
+        try:
+            execute(ins, cpu, tmp_mem)
+        except Exception as exc:
+            raise RewriteError(f"emulation failed at {ins.addr:#x}: {exc}") from exc
+
+        for kind, idx in analyze(ins).writes:
+            if kind == "gp":
+                if idx == RSP:
+                    state.gpr[RSP] = MetaValue.of(cpu.gpr[RSP])
+                else:
+                    state.gpr[idx] = MetaValue.of(cpu.gpr[idx])
+            else:
+                state.xmm[idx] = MetaValue.of(cpu.xmm[idx], 128)
+        for f in isa.flags_written(ins.mnemonic):
+            state.flags[f] = MetaValue.of(int(cpu.flag(f)), 1)
+        if memop is not None and info.mem_write and ea is not None:
+            data = tmp_mem.read(ea, memop.size)
+            state.stack_write(stack_offset(ea), memop.size,
+                             MetaValue.of(int.from_bytes(data, "little")))
+        self.stats.emulated += 1
+        return True
+
+    # -- stack ops ----------------------------------------------------------------
+
+    def _sp_known(self, state: MetaState) -> int:
+        sp = state.gpr[RSP]
+        if not sp.known or not is_stack_address(sp.value):
+            raise RewriteError("rsp escaped tracking")
+        return sp.value
+
+    def _push(self, ins: Instruction, state: MetaState, out: list[Item]) -> None:
+        (src,) = ins.operands
+        sp = self._sp_known(state)
+        new_sp = (sp - 8) & _MASK64
+        state.gpr[RSP] = MetaValue.of(new_sp)
+        off = stack_offset(new_sp)
+        if isinstance(src, Imm):
+            state.stack_write(off, 8, MetaValue.of(src.value))
+            self.stats.emulated += 1
+            return
+        if isinstance(src, Reg) and src.kind == "gp":
+            mv = state.gpr[src.index]
+            if mv.known:
+                state.stack_write(off, 8, MetaValue.of(mv.value))
+                self.stats.emulated += 1
+                return
+            # unknown value: store it at the slot's home, rsp-relative
+            out.append(make("mov", self._slot_mem(off, 8, state), gp(src.index)))
+            self.stats.emitted += 1
+            state.stack[off & ~7] = StackSlot(MetaValue.unknown(), flushed=True)
+            return
+        raise RewriteError(f"unsupported push operand at {ins.addr:#x}")
+
+    def _pop(self, ins: Instruction, state: MetaState, out: list[Item]) -> None:
+        (dst,) = ins.operands
+        sp = self._sp_known(state)
+        off = stack_offset(sp)
+        mv = state.stack_read(off, 8)
+        state.gpr[RSP] = MetaValue.of((sp + 8) & _MASK64)
+        if mv.known:
+            if isinstance(dst, Reg) and dst.kind == "gp":
+                state.gpr[dst.index] = mv
+                self.stats.emulated += 1
+                return
+            raise RewriteError("unsupported pop destination")
+        if isinstance(dst, Reg) and dst.kind == "gp":
+            out.append(make("mov", gp(dst.index), self._slot_mem(off, 8, state)))
+            self.stats.emitted += 1
+            state.gpr[dst.index] = MetaValue.unknown()
+            return
+        raise RewriteError("unsupported pop destination")
+
+    def _leave(self, state: MetaState, out: list[Item]) -> None:
+        # rsp = rbp; pop rbp
+        rbp = state.gpr[5]
+        if not rbp.known:
+            raise RewriteError("leave with unknown rbp")
+        state.gpr[RSP] = rbp
+        self._pop(make("pop", gp(5)), state, out)
+
+    def _slot_mem(self, off: int, size: int, state: MetaState) -> Mem:
+        """rsp-relative operand for an absolute stack slot offset."""
+        return Mem(size, base=gp(RSP), disp=off - state.runtime_sp_off)
+
+    # -- emission -------------------------------------------------------------------
+
+    def _pool_f64_bits(self, bits: int) -> int:
+        data = bits.to_bytes(8, "little")
+        return self.image.alloc_rodata(data, align=8)
+
+    def _pool_v128(self, bits: int) -> int:
+        data = bits.to_bytes(16, "little")
+        return self.image.alloc_rodata(data, align=16)
+
+    def _materialize(self, key: tuple[str, int], state: MetaState,
+                     out: list[Item]) -> None:
+        kind, idx = key
+        if kind == "gp" and idx == RSP:
+            return  # rsp is tracked symbolically; the runtime value is live
+        mv = self._reg_meta(key, state)
+        if not mv.known or mv.materialized:
+            return
+        self.stats.materializations += 1
+        if kind == "gp":
+            if is_stack_address(mv.value):
+                off = stack_offset(mv.value)
+                out.append(make("lea", gp(idx),
+                                Mem(8, base=gp(RSP), disp=off - state.runtime_sp_off)))
+            else:
+                out.append(make("mov", gp(idx), Imm(_signed64(mv.value), 8)))
+            state.gpr[idx] = mv.mat()
+        else:
+            if mv.value >> 64 == 0:
+                addr = self._pool_f64_bits(mv.value)
+                out.append(make("movsd", xmm(idx), Mem(8, disp=addr)))
+            else:
+                addr = self._pool_v128(mv.value)
+                out.append(make("movupd", xmm(idx), Mem(16, disp=addr)))
+            state.xmm[idx] = mv.mat()
+        self.stats.emitted += 1
+
+    def _flush_slot(self, off: int, state: MetaState, out: list[Item]) -> None:
+        base = off & ~7
+        slot = state.stack.get(base)
+        if slot is None or not slot.value.known or slot.flushed:
+            return
+        value = slot.value.value
+        if is_stack_address(value):
+            # a saved stack pointer (e.g. a spilled rbp): the runtime value
+            # must be rsp-relative, not the rewrite-time sentinel.  Borrow
+            # rax around the lea; the push shifts rsp-relative offsets by 8.
+            out.append(make("push", gp(0)))
+            out.append(make("lea", gp(0), Mem(
+                8, base=gp(RSP),
+                disp=stack_offset(value) - state.runtime_sp_off + 8,
+            )))
+            out.append(make("mov", Mem(
+                8, base=gp(RSP), disp=base - state.runtime_sp_off + 8,
+            ), gp(0)))
+            out.append(make("pop", gp(0)))
+            self.stats.emitted += 4
+        elif -(2**31) <= _signed64(value) < 2**31:
+            # single qword store keeps the slot 8-byte uniform (matters for
+            # the IR lifter's stack promotion of our own output)
+            out.append(make("mov", self._slot_mem(base, 8, state),
+                            Imm(_signed64(value), 4)))
+            self.stats.emitted += 1
+        else:
+            out.append(make("push", gp(0)))
+            out.append(make("mov", gp(0), Imm(_signed64(value), 8)))
+            out.append(make("mov", Mem(
+                8, base=gp(RSP), disp=base - state.runtime_sp_off + 8,
+            ), gp(0)))
+            out.append(make("pop", gp(0)))
+            self.stats.emitted += 4
+        state.stack[base] = StackSlot(slot.value, flushed=True)
+
+    def _rewrite_mem(self, mem: Mem, state: MetaState, out: list[Item],
+                     *, for_read: bool) -> Mem:
+        """Fold known address components into the emitted operand."""
+        ea = self._mem_effective(mem, state)
+        if ea is not None:
+            if is_stack_address(ea):
+                off = stack_offset(ea)
+                if for_read:
+                    # flush every 8-byte slot the access overlaps
+                    slot = off & ~7
+                    while slot < off + mem.size:
+                        self._flush_slot(slot, state, out)
+                        slot += 8
+                return self._slot_mem(off, mem.size, state)
+            if -(2**31) <= _signed64(ea) < 2**31:
+                return Mem(mem.size, disp=ea & 0xFFFFFFFF)
+            raise RewriteError(f"absolute address {ea:#x} out of range")
+        # partially known: fold what we can
+        base, index, scale, disp = mem.base, mem.index, mem.scale, mem.disp
+        if index is not None:
+            mv = state.gpr[index.index]
+            if mv.known and not is_stack_address(mv.value):
+                disp += _signed64(mv.value) * scale
+                index, scale = None, 1
+        if base is not None:
+            mv = state.gpr[base.index]
+            if mv.known:
+                if is_stack_address(mv.value):
+                    # stack base + unknown index: keep rsp as base
+                    off = stack_offset(mv.value)
+                    return Mem(mem.size, base=gp(RSP), index=index, scale=scale,
+                               disp=disp + off - state.runtime_sp_off)
+                disp += _signed64(mv.value)
+                base = None
+        if base is None and index is None:
+            raise RewriteError("address folding lost all registers")
+        if not -(2**31) <= disp < 2**31:
+            raise RewriteError("folded displacement out of range")
+        return Mem(mem.size, base=base, index=index, scale=scale, disp=disp)
+
+    def _emit(self, ins: Instruction, state: MetaState, out: list[Item]) -> None:
+        info = analyze(ins)
+        new_ops = []
+        for i, op in enumerate(ins.operands):
+            if isinstance(op, Mem):
+                is_read = info.mem_read or i != 0
+                new_ops.append(self._rewrite_mem(op, state, out, for_read=is_read))
+            else:
+                new_ops.append(op)
+        # materialize registers the emitted form still reads
+        needed: set[tuple[str, int]] = set()
+        for i, op in enumerate(new_ops):
+            if isinstance(op, Reg):
+                if i == 0 and (op.kind, op.index) in info.writes and \
+                        (op.kind, op.index) not in info.reads:
+                    continue  # pure destination
+                needed.add((op.kind, op.index))
+            elif isinstance(op, Mem):
+                if op.base is not None and op.base.index != RSP:
+                    needed.add(("gp", op.base.index))
+                if op.index is not None:
+                    needed.add(("gp", op.index.index))
+        for key in sorted(needed):
+            self._materialize(key, state, out)
+        # implicit reads (shift counts in cl, idiv in rax/rdx) — registers
+        # read by the instruction without appearing in any operand
+        explicit: set[tuple[str, int]] = set()
+        for op in ins.operands:
+            if isinstance(op, Reg):
+                explicit.add((op.kind, op.index))
+            elif isinstance(op, Mem):
+                if op.base is not None:
+                    explicit.add(("gp", op.base.index))
+                if op.index is not None:
+                    explicit.add(("gp", op.index.index))
+        for key in sorted(info.reads - explicit):
+            kind, idx = key
+            if kind == "gp" and idx == RSP:
+                continue
+            self._materialize(key, state, out)
+
+        out.append(Instruction(ins.mnemonic, tuple(new_ops)))
+        self.stats.emitted += 1
+
+        # effects: everything written becomes runtime-only
+        for kind, idx in info.writes:
+            if kind == "gp":
+                if idx == RSP:
+                    continue  # rsp tracked symbolically
+                state.gpr[idx] = MetaValue.unknown()
+            else:
+                state.xmm[idx] = MetaValue.unknown()
+        for f in isa.flags_written(ins.mnemonic):
+            state.flags[f] = MetaValue.unknown()
+        if info.mem_write:
+            memop = next((o for o in ins.operands if isinstance(o, Mem)), None)
+            if memop is not None:
+                ea = self._mem_effective(memop, state)
+                if ea is not None and is_stack_address(ea):
+                    state.stack_write(stack_offset(ea), memop.size, MetaValue.unknown())
+                    base = stack_offset(ea) & ~7
+                    if base in state.stack:
+                        state.stack[base] = StackSlot(MetaValue.unknown(), flushed=True)
+
+    def _emit_call(self, ins: Instruction, state: MetaState, out: list[Item]) -> None:
+        """Emit a call beyond the inline depth; ABI registers must be live."""
+        for idx in SYSV_INT_ARGS:
+            self._materialize(("gp", idx), state, out)
+        for idx in range(8):
+            self._materialize(("xmm", idx), state, out)
+        # flush the whole known stack: the callee may observe it via pointers
+        for off in sorted(state.stack):
+            self._flush_slot(off, state, out)
+        out.append(Instruction("call", ins.operands))
+        self.stats.emitted += 1
+        from repro.x86.registers import SYSV_CALLER_SAVED
+        for idx in SYSV_CALLER_SAVED:
+            state.gpr[idx] = MetaValue.unknown()
+        for i in range(16):
+            state.xmm[i] = MetaValue.unknown()
+        for f in "oszapc":
+            state.flags[f] = MetaValue.unknown()
+
+    def _widen(self, state: MetaState, out: list[Item]) -> None:
+        """Materialize and forget known values (bounds loop unrolling).
+
+        Stack-pointer-valued registers and slots (rbp, saved frame links)
+        are rewrite-time constants — they cannot vary across iterations, so
+        they stay known; forgetting them would force every stack access in
+        the remaining code through runtime pointers.
+        """
+        for idx in range(16):
+            if idx != RSP:
+                mv = state.gpr[idx]
+                if mv.known and is_stack_address(mv.value):
+                    continue
+                self._materialize(("gp", idx), state, out)
+                state.gpr[idx] = MetaValue.unknown()
+            mvx = state.xmm[idx]
+            self._materialize(("xmm", idx), state, out)
+            state.xmm[idx] = MetaValue.unknown()
+        for off in sorted(state.stack):
+            slot = state.stack[off]
+            if slot.value.known and is_stack_address(slot.value.value):
+                continue  # frame link: loop-invariant, keep known
+            self._flush_slot(off, state, out)
+            state.stack[off] = StackSlot(MetaValue.unknown(), flushed=True)
+        for f in "oszapc":
+            state.flags[f] = MetaValue.unknown()
+
+
+def _signed64(v: int) -> int:
+    return (v & (2**63 - 1)) - (v & 2**63)
+
+
+def _readable(memory: Memory, addr: int) -> int:
+    for start, size in memory.regions():
+        if start <= addr < start + size:
+            return start + size - addr
+    raise RewriteError(f"code address {addr:#x} unmapped")

@@ -1,0 +1,63 @@
+"""Shared exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch a single base type at API boundaries.  DBrew-style rewriting failures
+deliberately use a dedicated branch (:class:`RewriteError`) because the
+paper's Section II requires them to be *recoverable*: the default error
+handler falls back to the original function instead of propagating.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodeError(ReproError):
+    """An instruction could not be encoded to machine code."""
+
+
+class DecodeError(ReproError):
+    """A byte sequence could not be decoded to an instruction."""
+
+
+class AsmSyntaxError(ReproError):
+    """Textual assembly could not be parsed."""
+
+
+class CompileError(ReproError):
+    """MCC (the mini C compiler) rejected a program."""
+
+
+class SimulatorError(ReproError):
+    """The CPU simulator hit an unsupported or invalid situation."""
+
+
+class MemoryAccessError(SimulatorError):
+    """A load or store touched unmapped simulated memory."""
+
+
+class IRError(ReproError):
+    """Malformed MiniLLVM IR (verifier failures, type mismatches)."""
+
+
+class IRInterpError(IRError):
+    """The IR interpreter hit an unsupported or invalid situation."""
+
+
+class CodegenError(ReproError):
+    """MiniLLVM's x86-64 back-end could not lower a function."""
+
+
+class RewriteError(ReproError):
+    """DBrew-style rewriting failed (decode/emulate/encode gap).
+
+    Per the paper's Section II this is an *internal* error: the default
+    error handler returns the original function, custom handlers may retry
+    with enlarged resources.
+    """
+
+
+class LiftError(RewriteError):
+    """The x86-64 -> IR transformation hit an unsupported construct."""

@@ -1,0 +1,35 @@
+"""MiniLLVM: a typed SSA IR with optimizer and x86-64 JIT back-end.
+
+This package substitutes for LLVM 3.7 in the reproduction: the lifter
+(:mod:`repro.lift`) emits this IR from x86-64 binary code, the ``-O3``-style
+pipeline (:mod:`repro.ir.passes`) optimizes it, and the code generator
+(:mod:`repro.ir.codegen`) JIT-compiles it back into the simulated image.
+
+The design follows LLVM's shape where the paper depends on it:
+
+* integers of explicit bit width (i1..i128), doubles, vectors, pointers;
+* instructions are values; basic blocks end in terminators; phis at block
+  entry (the register merge points of Sec. III-C);
+* ``undef`` exists because unwritten registers lift to it;
+* loads/stores carry alignment, and *absence* of alignment/type metadata
+  is what gates the loop vectorizer (the paper's Sec. VI-B observation).
+"""
+
+from repro.ir.irtypes import (
+    DOUBLE, FLOAT, I1, I8, I16, I32, I64, I128, V2F64, VOID,
+    FunctionType, IntType, PointerType, Type, VectorType, ptr,
+)
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import Argument, Constant, ConstantFP, Undef, Value
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify
+from repro.ir.printer import print_function, print_module
+from repro.ir.interp import Interpreter
+
+__all__ = [
+    "Argument", "BasicBlock", "Constant", "ConstantFP", "DOUBLE", "FLOAT",
+    "Function", "FunctionType", "GlobalVariable", "I1", "I8", "I16", "I32",
+    "I64", "I128", "IRBuilder", "IntType", "Interpreter", "Module",
+    "PointerType", "Type", "Undef", "V2F64", "VOID", "Value", "VectorType",
+    "print_function", "print_module", "ptr", "verify",
+]

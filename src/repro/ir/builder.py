@@ -1,0 +1,192 @@
+"""IRBuilder: positional instruction construction with auto-naming."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir import instructions as I
+from repro.ir.irtypes import IntType, PointerType, Type
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Constant, ConstantFP, Value
+
+
+class IRBuilder:
+    """Appends instructions to a basic block (LLVM's IRBuilder shape)."""
+
+    def __init__(self, block: BasicBlock | None = None) -> None:
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        assert self.block is not None and self.block.function is not None
+        return self.block.function
+
+    def _ins(self, ins: I.Instruction, name: str) -> I.Instruction:
+        assert self.block is not None, "builder is not positioned"
+        if not ins.type.is_void:
+            ins.name = name or self.function.next_name()
+        return self.block.append(ins)
+
+    # -- constants ------------------------------------------------------------
+
+    def const(self, type_: Type, value: int) -> Constant:
+        return Constant(type_, value)
+
+    def fconst(self, type_: Type, value: float) -> ConstantFP:
+        return ConstantFP(type_, value)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binop(self, opcode: str, a: Value, b: Value, name: str = "") -> Value:
+        return self._ins(I.BinOp(opcode, a, b), name)
+
+    def add(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("add", a, b, name)
+
+    def sub(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("mul", a, b, name)
+
+    def and_(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("and", a, b, name)
+
+    def or_(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("or", a, b, name)
+
+    def xor(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("shl", a, b, name)
+
+    def lshr(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("lshr", a, b, name)
+
+    def ashr(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("ashr", a, b, name)
+
+    def fadd(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("fadd", a, b, name)
+
+    def fsub(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("fsub", a, b, name)
+
+    def fmul(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("fmul", a, b, name)
+
+    def fdiv(self, a: Value, b: Value, name: str = "") -> Value:
+        return self.binop("fdiv", a, b, name)
+
+    def icmp(self, pred: str, a: Value, b: Value, name: str = "") -> Value:
+        return self._ins(I.ICmp(pred, a, b), name)
+
+    def fcmp(self, pred: str, a: Value, b: Value, name: str = "") -> Value:
+        return self._ins(I.FCmp(pred, a, b), name)
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Value:
+        return self._ins(I.Select(cond, a, b), name)
+
+    # -- casts -----------------------------------------------------------------
+
+    def cast(self, opcode: str, v: Value, to: Type, name: str = "") -> Value:
+        if v.type is to and opcode in ("bitcast", "trunc", "zext", "sext"):
+            return v
+        return self._ins(I.Cast(opcode, v, to), name)
+
+    def trunc(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("trunc", v, to, name)
+
+    def zext(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("zext", v, to, name)
+
+    def sext(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("sext", v, to, name)
+
+    def bitcast(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("bitcast", v, to, name)
+
+    def inttoptr(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("inttoptr", v, to, name)
+
+    def ptrtoint(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("ptrtoint", v, to, name)
+
+    def sitofp(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("sitofp", v, to, name)
+
+    def fptosi(self, v: Value, to: Type, name: str = "") -> Value:
+        return self.cast("fptosi", v, to, name)
+
+    # -- memory ---------------------------------------------------------------
+
+    def load(self, pointer: Value, name: str = "", align: int = 1) -> Value:
+        return self._ins(I.Load(pointer, align=align), name)
+
+    def store(self, value: Value, pointer: Value, align: int = 1) -> Value:
+        return self._ins(I.Store(value, pointer, align=align), "")
+
+    def alloca(self, pointee: Type, size: int | None = None, align: int = 16,
+               name: str = "") -> Value:
+        size = size if size is not None else pointee.size_bytes()
+        return self._ins(I.Alloca(pointee, size, align), name)
+
+    def gep(self, pointer: Value, index: Value, name: str = "",
+            elem: Type | None = None) -> Value:
+        return self._ins(I.GEP(pointer, index, elem=elem), name)
+
+    def gep_i(self, pointer: Value, index: int, name: str = "",
+              elem: Type | None = None) -> Value:
+        from repro.ir.irtypes import I64
+        return self.gep(pointer, Constant(I64, index), name, elem)
+
+    # -- vectors ----------------------------------------------------------------
+
+    def extractelement(self, vec: Value, index: int, name: str = "") -> Value:
+        from repro.ir.irtypes import I32
+        return self._ins(I.ExtractElement(vec, Constant(I32, index)), name)
+
+    def insertelement(self, vec: Value, value: Value, index: int,
+                      name: str = "") -> Value:
+        from repro.ir.irtypes import I32
+        return self._ins(I.InsertElement(vec, value, Constant(I32, index)), name)
+
+    def shufflevector(self, a: Value, b: Value, mask: Sequence[int],
+                      name: str = "") -> Value:
+        return self._ins(I.ShuffleVector(a, b, tuple(mask)), name)
+
+    # -- control / calls -----------------------------------------------------------
+
+    def phi(self, type_: Type, name: str = "") -> I.Phi:
+        assert self.block is not None
+        p = I.Phi(type_, name or self.function.next_name("phi"))
+        self.block.insert(self.block.first_non_phi(), p)
+        return p
+
+    def call(self, callee: "Function | str", args: Sequence[Value],
+             ret_type: Type, name: str = "") -> Value:
+        c = I.Call(callee, args, ret_type)
+        if ret_type.is_void:
+            assert self.block is not None
+            return self.block.append(c)
+        return self._ins(c, name)
+
+    def br(self, target: BasicBlock) -> Value:
+        assert self.block is not None
+        return self.block.append(I.Br(None, target))
+
+    def cond_br(self, cond: Value, then: BasicBlock, otherwise: BasicBlock) -> Value:
+        assert self.block is not None
+        return self.block.append(I.Br(cond, then, otherwise))
+
+    def ret(self, value: Value | None = None) -> Value:
+        assert self.block is not None
+        return self.block.append(I.Ret(value))
+
+    def unreachable(self) -> Value:
+        assert self.block is not None
+        return self.block.append(I.Unreachable())

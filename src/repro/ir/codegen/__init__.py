@@ -1,0 +1,12 @@
+"""MiniLLVM x86-64 code generation (the MCJIT substitute).
+
+``compile_function`` lowers optimized IR out of SSA into the shared TAC
+back-end (:mod:`repro.backend`) and emits machine code into a simulated
+image.  Instruction selection uses ``imul`` for constant multiplies and
+folds GEP chains into x86 addressing modes — the LLVM-flavoured idioms the
+paper contrasts with GCC's (Sec. VI-A).
+"""
+
+from repro.ir.codegen.jit import JITEngine, JITOptions
+
+__all__ = ["JITEngine", "JITOptions"]

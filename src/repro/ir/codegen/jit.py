@@ -1,0 +1,102 @@
+"""JIT engine: optimized IR module -> machine code in a simulated Image.
+
+The MCJIT substitute.  Responsibilities:
+
+* place module globals (the constant-memory copies of Sec. IV) in the
+  image's rodata region;
+* lower each function to TAC, clean it, and emit x86-64 with the
+  LLVM-flavoured instruction selection (single ``imul`` multiplies);
+* install the code in the image's JIT region and return entry addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.emit import EmitOptions, emit_function
+from repro.backend.opt import optimize as tac_optimize
+from repro.cc.compiler import RodataPool
+from repro.cpu.image import Image
+from repro.errors import CodegenError
+from repro.ir.codegen.lower import lower_function
+from repro.ir.module import Function, Module
+from repro.x86.asm import Item, assemble_full
+
+
+@dataclass(frozen=True)
+class JITOptions:
+    """Code-generation knobs for the JIT back-end."""
+
+    mul_style: str = "imul"  # LLVM uses plain multiplies (Sec. VI-A)
+    const_addressing: str = "riprel"
+    optimize_tac: bool = True
+
+
+class JITEngine:
+    """Compiles MiniLLVM modules into an Image at runtime."""
+
+    def __init__(self, image: Image, options: JITOptions = JITOptions()) -> None:
+        self.image = image
+        self.options = options
+        self.pool = RodataPool(image)
+
+    def place_globals(self, module: Module) -> None:
+        """Copy module globals into the image's rodata."""
+        for g in module.globals.values():
+            if g.addr is None:
+                g.addr = self.image.alloc_rodata(g.initializer, align=16)
+
+    def compile_function(self, func: Function, *, name: str | None = None,
+                         extra_symbols: dict[str, int] | None = None) -> int:
+        """Compile one function; returns its entry address."""
+        if func.is_declaration:
+            raise CodegenError(f"cannot compile declaration @{func.name}")
+        if func.module is not None:
+            self.place_globals(func.module)
+        tf = lower_function(func)
+        if self.options.optimize_tac:
+            tac_optimize(tf)
+        symbols = dict(self.image.symbols)
+        if extra_symbols:
+            symbols.update(extra_symbols)
+        # declared callees must resolve through existing image symbols
+        items: list[Item] = emit_function(
+            tf, self.pool,
+            EmitOptions(mul_style=self.options.mul_style,
+                        const_addressing=self.options.const_addressing),
+            symbols,
+        )
+        base = self.image.next_code_addr(jit=True)
+        code, _placed, labels = assemble_full(items, base)
+        install_name = name or func.name
+        addr = self.image.add_function(install_name, code, jit=True)
+        assert addr == labels[func.name]
+        return addr
+
+    def compile_module(self, module: Module) -> dict[str, int]:
+        """Compile every defined function; returns name -> address."""
+        self.place_globals(module)
+        out: dict[str, int] = {}
+        # two passes so intra-module calls resolve: declarations first
+        defined = [f for f in module.functions.values() if not f.is_declaration]
+        # emit in one item stream so cross-calls resolve by label
+        items: list[Item] = []
+        opts = EmitOptions(mul_style=self.options.mul_style,
+                           const_addressing=self.options.const_addressing)
+        for f in defined:
+            tf = lower_function(f)
+            if self.options.optimize_tac:
+                tac_optimize(tf)
+            items.extend(emit_function(tf, self.pool, opts, dict(self.image.symbols)))
+        base = self.image.next_code_addr(jit=True)
+        code, _placed, labels = assemble_full(items, base)
+        blob_name = f"$jit{base:x}"
+        self.image.add_function(blob_name, code, jit=True)
+        del self.image.symbols[blob_name]
+        addrs = sorted((labels[f.name], f.name) for f in defined)
+        for i, (addr, fname) in enumerate(addrs):
+            end = addrs[i + 1][0] if i + 1 < len(addrs) else base + len(code)
+            self.image.symbols[fname] = addr
+            self.image.func_sizes[fname] = end - addr
+            out[fname] = addr
+        return out

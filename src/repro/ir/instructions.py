@@ -1,0 +1,369 @@
+"""MiniLLVM instructions.
+
+Instructions are values (SSA).  Operands live in ``self.operands`` so
+passes can rewrite them uniformly; instruction-specific payload (predicates,
+types, incoming blocks, shuffle masks) lives in dedicated attributes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.irtypes import (
+    DOUBLE, FLOAT, I1, IntType, PointerType, Type, VectorType, VOID,
+)
+from repro.ir.values import Value
+
+if TYPE_CHECKING:
+    from repro.ir.module import BasicBlock, Function
+
+INT_BINOPS = frozenset({
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+})
+FP_BINOPS = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+ICMP_PREDS = frozenset({
+    "eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge",
+})
+FCMP_PREDS = frozenset({
+    "oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno",
+    "ueq", "une", "ult", "ule", "ugt", "uge",
+})
+CAST_OPS = frozenset({
+    "trunc", "zext", "sext", "bitcast", "inttoptr", "ptrtoint",
+    "sitofp", "fptosi", "fpext", "fptrunc", "uitofp",
+})
+
+
+class Instruction(Value):
+    """Base instruction; also an SSA value (possibly of void type)."""
+
+    __slots__ = ("opcode", "operands", "block")
+
+    def __init__(self, opcode: str, type_: Type, operands: Sequence[Value],
+                 name: str = "") -> None:
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.operands: list[Value] = list(operands)
+        self.block: Optional["BasicBlock"] = None
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in ("br", "ret", "unreachable")
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+
+    def successors(self) -> "list[BasicBlock]":
+        return []
+
+    def clone_shallow(self) -> "Instruction":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import print_instruction
+        return print_instruction(self)
+
+
+class BinOp(Instruction):
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if opcode not in INT_BINOPS and opcode not in FP_BINOPS:
+            raise IRError(f"bad binop {opcode}")
+        super().__init__(opcode, lhs.type, (lhs, rhs), name)
+
+    def clone_shallow(self) -> "BinOp":
+        return BinOp(self.opcode, self.operands[0], self.operands[1], self.name)
+
+
+class ICmp(Instruction):
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in ICMP_PREDS:
+            raise IRError(f"bad icmp predicate {pred}")
+        super().__init__("icmp", I1, (lhs, rhs), name)
+        self.pred = pred
+
+    def clone_shallow(self) -> "ICmp":
+        return ICmp(self.pred, self.operands[0], self.operands[1], self.name)
+
+
+class FCmp(Instruction):
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in FCMP_PREDS:
+            raise IRError(f"bad fcmp predicate {pred}")
+        super().__init__("fcmp", I1, (lhs, rhs), name)
+        self.pred = pred
+
+    def clone_shallow(self) -> "FCmp":
+        return FCmp(self.pred, self.operands[0], self.operands[1], self.name)
+
+
+class Select(Instruction):
+    __slots__ = ()
+
+    def __init__(self, cond: Value, a: Value, b: Value, name: str = "") -> None:
+        super().__init__("select", a.type, (cond, a, b), name)
+
+    def clone_shallow(self) -> "Select":
+        c, a, b = self.operands
+        return Select(c, a, b, self.name)
+
+
+class Cast(Instruction):
+    __slots__ = ()
+
+    def __init__(self, opcode: str, value: Value, to: Type, name: str = "") -> None:
+        if opcode not in CAST_OPS:
+            raise IRError(f"bad cast {opcode}")
+        super().__init__(opcode, to, (value,), name)
+
+    def clone_shallow(self) -> "Cast":
+        return Cast(self.opcode, self.operands[0], self.type, self.name)
+
+
+class Load(Instruction):
+    __slots__ = ("align",)
+
+    def __init__(self, pointer: Value, name: str = "", align: int = 1) -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"load from non-pointer {pointer.type}")
+        super().__init__("load", pointer.type.pointee, (pointer,), name)
+        self.align = align
+
+    def clone_shallow(self) -> "Load":
+        return Load(self.operands[0], self.name, self.align)
+
+
+class Store(Instruction):
+    __slots__ = ("align",)
+
+    def __init__(self, value: Value, pointer: Value, align: int = 1) -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"store to non-pointer {pointer.type}")
+        super().__init__("store", VOID, (value, pointer))
+        self.align = align
+
+    def clone_shallow(self) -> "Store":
+        return Store(self.operands[0], self.operands[1], self.align)
+
+
+class Alloca(Instruction):
+    """Stack allocation of ``size`` bytes (the virtual stack of Sec. III-F)."""
+
+    __slots__ = ("size", "align")
+
+    def __init__(self, pointee: Type, size: int, align: int = 16,
+                 name: str = "") -> None:
+        super().__init__("alloca", PointerType(pointee), (), name)
+        self.size = size
+        self.align = align
+
+    def clone_shallow(self) -> "Alloca":
+        assert isinstance(self.type, PointerType)
+        return Alloca(self.type.pointee, self.size, self.align, self.name)
+
+
+class GEP(Instruction):
+    """Single-index getelementptr: result = ptr + index * sizeof(elem)."""
+
+    __slots__ = ("elem",)
+
+    def __init__(self, pointer: Value, index: Value, name: str = "",
+                 elem: Type | None = None) -> None:
+        pt = pointer.type
+        if not isinstance(pt, PointerType):
+            raise IRError(f"gep on non-pointer {pt}")
+        elem = elem or pt.pointee
+        super().__init__("gep", PointerType(elem, pt.addrspace), (pointer, index), name)
+        self.elem = elem
+
+    def clone_shallow(self) -> "GEP":
+        return GEP(self.operands[0], self.operands[1], self.name, self.elem)
+
+
+class ExtractElement(Instruction):
+    __slots__ = ()
+
+    def __init__(self, vec: Value, index: Value, name: str = "") -> None:
+        if not isinstance(vec.type, VectorType):
+            raise IRError(f"extractelement on {vec.type}")
+        super().__init__("extractelement", vec.type.elem, (vec, index), name)
+
+    def clone_shallow(self) -> "ExtractElement":
+        return ExtractElement(self.operands[0], self.operands[1], self.name)
+
+
+class InsertElement(Instruction):
+    __slots__ = ()
+
+    def __init__(self, vec: Value, value: Value, index: Value, name: str = "") -> None:
+        if not isinstance(vec.type, VectorType):
+            raise IRError(f"insertelement on {vec.type}")
+        super().__init__("insertelement", vec.type, (vec, value, index), name)
+
+    def clone_shallow(self) -> "InsertElement":
+        v, x, i = self.operands
+        return InsertElement(v, x, i, self.name)
+
+
+class ShuffleVector(Instruction):
+    __slots__ = ("mask",)
+
+    def __init__(self, a: Value, b: Value, mask: tuple[int, ...],
+                 name: str = "") -> None:
+        if not isinstance(a.type, VectorType):
+            raise IRError(f"shufflevector on {a.type}")
+        result = VectorType(a.type.elem, len(mask))
+        super().__init__("shufflevector", result, (a, b), name)
+        self.mask = mask
+
+    def clone_shallow(self) -> "ShuffleVector":
+        return ShuffleVector(self.operands[0], self.operands[1], self.mask, self.name)
+
+
+class Phi(Instruction):
+    """Phi node; ``incoming_blocks[i]`` pairs with ``operands[i]``."""
+
+    __slots__ = ("incoming_blocks",)
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        super().__init__("phi", type_, (), name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type is not self.type and value.type != self.type:
+            raise IRError(
+                f"phi {self.short()} incoming type {value.type} != {self.type}"
+            )
+        self.operands.append(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value | None:
+        for v, b in zip(self.operands, self.incoming_blocks):
+            if b is block:
+                return v
+        return None
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, b in enumerate(self.incoming_blocks):
+            if b is block:
+                del self.incoming_blocks[i]
+                del self.operands[i]
+                return
+
+    def clone_shallow(self) -> "Phi":
+        p = Phi(self.type, self.name)
+        for v, b in self.incoming():
+            p.operands.append(v)
+            p.incoming_blocks.append(b)
+        return p
+
+
+class Call(Instruction):
+    __slots__ = ("callee", "intrinsic")
+
+    def __init__(self, callee: "Function | str", args: Sequence[Value],
+                 ret_type: Type, name: str = "") -> None:
+        super().__init__("call", ret_type, args, name)
+        self.callee = callee  # Function object or intrinsic name string
+        self.intrinsic = isinstance(callee, str)
+
+    @property
+    def callee_name(self) -> str:
+        if isinstance(self.callee, str):
+            return self.callee
+        return self.callee.name
+
+    def clone_shallow(self) -> "Call":
+        return Call(self.callee, list(self.operands), self.type, self.name)
+
+
+class Br(Instruction):
+    """Conditional or unconditional branch."""
+
+    __slots__ = ("targets",)
+
+    def __init__(self, cond: Value | None, then: "BasicBlock",
+                 otherwise: "BasicBlock | None" = None) -> None:
+        if cond is None:
+            super().__init__("br", VOID, ())
+            self.targets: list["BasicBlock"] = [then]
+        else:
+            if otherwise is None:
+                raise IRError("conditional branch needs two targets")
+            super().__init__("br", VOID, (cond,))
+            self.targets = [then, otherwise]
+
+    @property
+    def is_conditional(self) -> bool:
+        return len(self.targets) == 2
+
+    @property
+    def condition(self) -> Value | None:
+        return self.operands[0] if self.operands else None
+
+    def successors(self) -> "list[BasicBlock]":
+        return list(self.targets)
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.targets = [new if t is old else t for t in self.targets]
+
+    def clone_shallow(self) -> "Br":
+        if self.is_conditional:
+            return Br(self.operands[0], self.targets[0], self.targets[1])
+        return Br(None, self.targets[0])
+
+
+class Ret(Instruction):
+    __slots__ = ()
+
+    def __init__(self, value: Value | None = None) -> None:
+        super().__init__("ret", VOID, (value,) if value is not None else ())
+
+    @property
+    def value(self) -> Value | None:
+        return self.operands[0] if self.operands else None
+
+    def clone_shallow(self) -> "Ret":
+        return Ret(self.value)
+
+
+class Unreachable(Instruction):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("unreachable", VOID, ())
+
+    def clone_shallow(self) -> "Unreachable":
+        return Unreachable()
+
+
+#: instructions with no side effects (eligible for DCE/CSE)
+def is_pure(ins: Instruction) -> bool:
+    if ins.opcode in ("store", "call", "ret", "br", "unreachable", "alloca"):
+        return False
+    if ins.opcode == "load":
+        return False  # loads are not dead-code-removable-by-default? they are if unused
+    return True
+
+
+PURE_INTRINSICS = ("llvm.ctpop", "llvm.sqrt", "llvm.fabs")
+
+
+def is_dce_safe(ins: Instruction) -> bool:
+    """Safe to delete when the result is unused (loads are non-volatile,
+    Sec. III-E: 'reordering or elimination of these instructions may occur')."""
+    if isinstance(ins, Call):
+        return ins.intrinsic and ins.callee_name.startswith(PURE_INTRINSICS)
+    return ins.opcode not in ("store", "ret", "br", "unreachable")

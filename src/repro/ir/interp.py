@@ -1,0 +1,458 @@
+"""MiniLLVM IR interpreter.
+
+Executes IR functions against the same simulated :class:`~repro.mem.memory.
+Memory` the x86 simulator uses, which enables the project's strongest
+correctness check: *lifted IR interpreted over the image must compute the
+same result as the original machine code simulated over the image*.
+
+Value representation: iN -> unsigned-masked int, double/float -> Python
+float, pointer -> int address, vector -> tuple of elements, undef -> zeros.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import IRInterpError
+from repro.ir import instructions as I
+from repro.ir.irtypes import (
+    DoubleType, FloatType, IntType, PointerType, Type, VectorType,
+)
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import Argument, Constant, ConstantFP, ConstantVector, Undef, Value
+from repro.mem.memory import Memory
+
+
+def _to_signed(v: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (v & (sign - 1)) - (v & sign)
+
+
+def _zero_of(t: Type) -> object:
+    if isinstance(t, IntType):
+        return 0
+    if isinstance(t, (DoubleType, FloatType)):
+        return 0.0
+    if isinstance(t, PointerType):
+        return 0
+    if isinstance(t, VectorType):
+        return tuple(_zero_of(t.elem) for _ in range(t.count))
+    raise IRInterpError(f"no zero for {t}")
+
+
+def _f32(v: float) -> float:
+    return struct.unpack("<f", struct.pack("<f", v))[0]
+
+
+class Interpreter:
+    """Interprets functions of one module over a Memory."""
+
+    def __init__(self, module: Module, memory: Memory | None = None,
+                 stack_base: int = 0x7000_0000, stack_size: int = 1 << 20,
+                 extern_functions: dict[str, object] | None = None) -> None:
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        if not self.memory.is_mapped(stack_base - stack_size, 1):
+            self.memory.map(stack_base - stack_size, stack_size)
+        self._stack_top = stack_base
+        self._globals_placed = False
+        self._global_cursor = 0x6800_0000
+        self.extern_functions = extern_functions or {}
+        self.steps = 0
+        self.max_steps = 10_000_000
+
+    # -- globals ---------------------------------------------------------------
+
+    def _place_globals(self) -> None:
+        if self._globals_placed:
+            return
+        self._globals_placed = True
+        total = sum(len(g.initializer) + 32 for g in self.module.globals.values())
+        if total:
+            self.memory.map(self._global_cursor, total + 4096)
+        for g in self.module.globals.values():
+            if g.addr is not None:
+                continue  # already placed (e.g. by the JIT in an image)
+            addr = (self._global_cursor + 15) & ~15
+            self.memory.write(addr, g.initializer)
+            g.addr = addr
+            self._global_cursor = addr + len(g.initializer)
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self, func: Function | str, args: list[object]) -> object:
+        """Interpret ``func`` with Python-level argument values."""
+        if isinstance(func, str):
+            func = self.module.function(func)
+        self._place_globals()
+        return self._run_function(func, args, self._stack_top)
+
+    def _run_function(self, func: Function, args: list[object], sp: int) -> object:
+        if len(args) != len(func.args):
+            raise IRInterpError(
+                f"@{func.name} expects {len(func.args)} args, got {len(args)}"
+            )
+        env: dict[int, object] = {}
+        for formal, actual in zip(func.args, args):
+            env[id(formal)] = self._coerce(actual, formal.type)
+
+        block = func.entry
+        prev: BasicBlock | None = None
+        alloca_sp = sp
+        while True:
+            # phis evaluate atomically against the edge just taken
+            phis = block.phis()
+            if phis:
+                assert prev is not None
+                new_vals = []
+                for phi in phis:
+                    v = phi.incoming_for(prev)
+                    if v is None:
+                        raise IRInterpError(
+                            f"@{func.name}: phi %{phi.name} missing incoming "
+                            f"for {prev.name}"
+                        )
+                    new_vals.append(self._value(v, env))
+                for phi, v in zip(phis, new_vals):
+                    env[id(phi)] = v
+
+            for ins in block.instructions[len(phis):]:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise IRInterpError("interpreter step limit exceeded")
+                opcode = ins.opcode
+                if opcode == "ret":
+                    rv = ins.value  # type: ignore[attr-defined]
+                    return self._value(rv, env) if rv is not None else None
+                if opcode == "br":
+                    assert isinstance(ins, I.Br)
+                    if ins.is_conditional:
+                        cond = self._value(ins.operands[0], env)
+                        target = ins.targets[0] if cond else ins.targets[1]
+                    else:
+                        target = ins.targets[0]
+                    prev, block = block, target
+                    break
+                if opcode == "unreachable":
+                    raise IRInterpError(f"@{func.name}: reached unreachable")
+                if opcode == "alloca":
+                    assert isinstance(ins, I.Alloca)
+                    alloca_sp -= ins.size
+                    alloca_sp &= ~(ins.align - 1)
+                    env[id(ins)] = alloca_sp
+                    continue
+                env[id(ins)] = self._exec(func, ins, env, alloca_sp)
+            else:
+                raise IRInterpError(f"@{func.name}: block {block.name} fell through")
+
+    # -- values -------------------------------------------------------------------
+
+    def _value(self, v: Value, env: dict[int, object]) -> object:
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, ConstantFP):
+            return v.value
+        if isinstance(v, ConstantVector):
+            return tuple(self._value(e, env) for e in v.elements)
+        if isinstance(v, Undef):
+            return _zero_of(v.type)
+        if isinstance(v, GlobalVariable):
+            if v.addr is None:
+                raise IRInterpError(f"global @{v.name} not placed")
+            return v.addr
+        if isinstance(v, Function):
+            raise IRInterpError("function pointers are not interpretable")
+        try:
+            return env[id(v)]
+        except KeyError:
+            raise IRInterpError(f"use of unevaluated value %{v.name}") from None
+
+    def _coerce(self, value: object, t: Type) -> object:
+        if isinstance(t, IntType):
+            assert isinstance(value, int)
+            return value & t.mask
+        if isinstance(t, PointerType):
+            assert isinstance(value, int)
+            return value & (2**64 - 1)
+        if isinstance(t, (DoubleType, FloatType)):
+            assert isinstance(value, (int, float))
+            return float(value)
+        if isinstance(t, VectorType):
+            assert isinstance(value, (tuple, list)) and len(value) == t.count
+            return tuple(self._coerce(x, t.elem) for x in value)
+        raise IRInterpError(f"cannot coerce to {t}")
+
+    # -- memory ------------------------------------------------------------------
+
+    def _load(self, t: Type, addr: int) -> object:
+        if isinstance(t, IntType):
+            if t.bits == 1:
+                return self.memory.read_u8(addr) & 1
+            return self.memory.read_uint(addr, t.size_bytes())
+        if isinstance(t, DoubleType):
+            return self.memory.read_f64(addr)
+        if isinstance(t, FloatType):
+            return self.memory.read_f32(addr)
+        if isinstance(t, PointerType):
+            return self.memory.read_u64(addr)
+        if isinstance(t, VectorType):
+            es = t.elem.size_bytes()
+            return tuple(self._load(t.elem, addr + i * es) for i in range(t.count))
+        raise IRInterpError(f"cannot load {t}")
+
+    def _store(self, t: Type, addr: int, value: object) -> None:
+        if isinstance(t, IntType):
+            self.memory.write_uint(addr, int(value), t.size_bytes())  # type: ignore[arg-type]
+        elif isinstance(t, DoubleType):
+            self.memory.write_f64(addr, float(value))  # type: ignore[arg-type]
+        elif isinstance(t, FloatType):
+            self.memory.write_f32(addr, float(value))  # type: ignore[arg-type]
+        elif isinstance(t, PointerType):
+            self.memory.write_u64(addr, int(value))  # type: ignore[arg-type]
+        elif isinstance(t, VectorType):
+            es = t.elem.size_bytes()
+            for i, x in enumerate(value):  # type: ignore[arg-type]
+                self._store(t.elem, addr + i * es, x)
+        else:
+            raise IRInterpError(f"cannot store {t}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def _exec(self, func: Function, ins: I.Instruction, env: dict[int, object],
+              sp: int) -> object:
+        opcode = ins.opcode
+        if isinstance(ins, I.BinOp):
+            a = self._value(ins.operands[0], env)
+            b = self._value(ins.operands[1], env)
+            if isinstance(ins.type, VectorType):
+                return tuple(
+                    self._scalar_binop(opcode, x, y, ins.type.elem)
+                    for x, y in zip(a, b)  # type: ignore[arg-type]
+                )
+            return self._scalar_binop(opcode, a, b, ins.type)
+        if isinstance(ins, I.ICmp):
+            a = self._value(ins.operands[0], env)
+            b = self._value(ins.operands[1], env)
+            t = ins.operands[0].type
+            bits = t.bits if isinstance(t, IntType) else 64
+            return int(_icmp(ins.pred, a, b, bits))  # type: ignore[arg-type]
+        if isinstance(ins, I.FCmp):
+            a = self._value(ins.operands[0], env)
+            b = self._value(ins.operands[1], env)
+            return int(_fcmp(ins.pred, a, b))  # type: ignore[arg-type]
+        if isinstance(ins, I.Select):
+            c, a, b = (self._value(o, env) for o in ins.operands)
+            return a if c else b
+        if isinstance(ins, I.Cast):
+            return self._cast(ins, env)
+        if isinstance(ins, I.Load):
+            addr = self._value(ins.operands[0], env)
+            return self._load(ins.type, int(addr))  # type: ignore[arg-type]
+        if isinstance(ins, I.Store):
+            v = self._value(ins.operands[0], env)
+            addr = self._value(ins.operands[1], env)
+            self._store(ins.operands[0].type, int(addr), v)  # type: ignore[arg-type]
+            return None
+        if isinstance(ins, I.GEP):
+            base = self._value(ins.operands[0], env)
+            idx = self._value(ins.operands[1], env)
+            it = ins.operands[1].type
+            bits = it.bits if isinstance(it, IntType) else 64
+            return (int(base) + _to_signed(int(idx), bits) * ins.elem.size_bytes()) & (2**64 - 1)  # type: ignore[arg-type]
+        if isinstance(ins, I.ExtractElement):
+            vec = self._value(ins.operands[0], env)
+            idx = int(self._value(ins.operands[1], env))  # type: ignore[arg-type]
+            return vec[idx]  # type: ignore[index]
+        if isinstance(ins, I.InsertElement):
+            vec = list(self._value(ins.operands[0], env))  # type: ignore[arg-type]
+            val = self._value(ins.operands[1], env)
+            idx = int(self._value(ins.operands[2], env))  # type: ignore[arg-type]
+            vec[idx] = val
+            return tuple(vec)
+        if isinstance(ins, I.ShuffleVector):
+            a = self._value(ins.operands[0], env)
+            b = self._value(ins.operands[1], env)
+            joined = tuple(a) + tuple(b)  # type: ignore[arg-type]
+            return tuple(joined[m] for m in ins.mask)
+        if isinstance(ins, I.Call):
+            args = [self._value(a, env) for a in ins.operands]
+            if ins.intrinsic:
+                return self._intrinsic(ins.callee_name, args, ins)
+            callee = ins.callee
+            if isinstance(callee, str):
+                callee = self.module.function(callee)
+            assert isinstance(callee, Function)
+            if callee.is_declaration:
+                ext = self.extern_functions.get(callee.name)
+                if ext is None:
+                    raise IRInterpError(f"call to undefined @{callee.name}")
+                return ext(*args)  # type: ignore[operator]
+            return self._run_function(callee, args, sp - 64)
+        raise IRInterpError(f"cannot interpret {opcode}")
+
+    def _scalar_binop(self, opcode: str, a: object, b: object, t: Type) -> object:
+        if opcode in I.FP_BINOPS:
+            x, y = float(a), float(b)  # type: ignore[arg-type]
+            if opcode == "fadd":
+                r = x + y
+            elif opcode == "fsub":
+                r = x - y
+            elif opcode == "fmul":
+                r = x * y
+            else:
+                if y == 0.0:
+                    if x == 0.0 or x != x:
+                        r = float("nan")
+                    else:
+                        r = float("inf") if (x > 0) == (not _signbit(y)) else float("-inf")
+                else:
+                    r = x / y
+            return _f32(r) if isinstance(t, FloatType) else r
+        assert isinstance(t, IntType)
+        ai, bi = int(a) & t.mask, int(b) & t.mask  # type: ignore[arg-type]
+        bits = t.bits
+        if opcode == "add":
+            return (ai + bi) & t.mask
+        if opcode == "sub":
+            return (ai - bi) & t.mask
+        if opcode == "mul":
+            return (ai * bi) & t.mask
+        if opcode == "and":
+            return ai & bi
+        if opcode == "or":
+            return ai | bi
+        if opcode == "xor":
+            return ai ^ bi
+        if opcode == "shl":
+            return (ai << (bi % bits)) & t.mask
+        if opcode == "lshr":
+            return ai >> (bi % bits)
+        if opcode == "ashr":
+            return (_to_signed(ai, bits) >> (bi % bits)) & t.mask
+        if opcode == "sdiv":
+            d = _to_signed(bi, bits)
+            if d == 0:
+                raise IRInterpError("sdiv by zero")
+            return int(_to_signed(ai, bits) / d) & t.mask
+        if opcode == "srem":
+            d = _to_signed(bi, bits)
+            if d == 0:
+                raise IRInterpError("srem by zero")
+            n = _to_signed(ai, bits)
+            return (n - int(n / d) * d) & t.mask
+        if opcode == "udiv":
+            if bi == 0:
+                raise IRInterpError("udiv by zero")
+            return ai // bi
+        if opcode == "urem":
+            if bi == 0:
+                raise IRInterpError("urem by zero")
+            return ai % bi
+        raise IRInterpError(f"binop {opcode}")
+
+    def _cast(self, ins: I.Cast, env: dict[int, object]) -> object:
+        (operand,) = ins.operands
+        v = self._value(operand, env)
+        src, dst = operand.type, ins.type
+        op = ins.opcode
+        if op == "trunc":
+            return int(v) & dst.mask  # type: ignore[union-attr, arg-type]
+        if op == "zext":
+            return int(v)  # type: ignore[arg-type]
+        if op == "sext":
+            return _to_signed(int(v), src.bits) & dst.mask  # type: ignore[union-attr, arg-type]
+        if op in ("inttoptr", "ptrtoint"):
+            return int(v) & (2**64 - 1)  # type: ignore[arg-type]
+        if op == "bitcast":
+            return _bitcast(v, src, dst)
+        if op == "sitofp":
+            return float(_to_signed(int(v), src.bits))  # type: ignore[union-attr, arg-type]
+        if op == "uitofp":
+            return float(int(v))  # type: ignore[arg-type]
+        if op == "fptosi":
+            r = int(float(v))  # type: ignore[arg-type]
+            return r & dst.mask  # type: ignore[union-attr]
+        if op == "fpext":
+            return float(v)  # type: ignore[arg-type]
+        if op == "fptrunc":
+            return _f32(float(v))  # type: ignore[arg-type]
+        raise IRInterpError(f"cast {op}")
+
+    def _intrinsic(self, name: str, args: list[object], ins: I.Call) -> object:
+        if name.startswith("llvm.ctpop"):
+            return bin(int(args[0])).count("1")  # type: ignore[arg-type]
+        if name.startswith("llvm.sqrt"):
+            x = float(args[0])  # type: ignore[arg-type]
+            return x ** 0.5 if x >= 0 else float("nan")
+        if name.startswith("llvm.fabs"):
+            return abs(float(args[0]))  # type: ignore[arg-type]
+        raise IRInterpError(f"unknown intrinsic {name}")
+
+
+def _signbit(v: float) -> bool:
+    return struct.pack("<d", v)[7] & 0x80 != 0
+
+
+def _icmp(pred: str, a: int, b: int, bits: int) -> bool:
+    if pred == "eq":
+        return a == b
+    if pred == "ne":
+        return a != b
+    if pred in ("ult", "ule", "ugt", "uge"):
+        return {"ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b}[pred]
+    sa, sb = _to_signed(a, bits), _to_signed(b, bits)
+    return {"slt": sa < sb, "sle": sa <= sb, "sgt": sa > sb, "sge": sa >= sb}[pred]
+
+
+def _fcmp(pred: str, a: float, b: float) -> bool:
+    unordered = (a != a) or (b != b)
+    if pred == "ord":
+        return not unordered
+    if pred == "uno":
+        return unordered
+    if pred.startswith("o"):
+        if unordered:
+            return False
+        core = pred[1:]
+    else:
+        if unordered:
+            return True
+        core = pred[1:]
+    return {"eq": a == b, "ne": a != b, "lt": a < b,
+            "le": a <= b, "gt": a > b, "ge": a >= b}[core]
+
+
+def _bitcast(v: object, src: Type, dst: Type) -> object:
+    raw = _to_bytes(v, src)
+    return _from_bytes(raw, dst)
+
+
+def _to_bytes(v: object, t: Type) -> bytes:
+    if isinstance(t, IntType):
+        return int(v).to_bytes(t.size_bytes(), "little")  # type: ignore[arg-type]
+    if isinstance(t, DoubleType):
+        return struct.pack("<d", float(v))  # type: ignore[arg-type]
+    if isinstance(t, FloatType):
+        return struct.pack("<f", float(v))  # type: ignore[arg-type]
+    if isinstance(t, PointerType):
+        return int(v).to_bytes(8, "little")  # type: ignore[arg-type]
+    if isinstance(t, VectorType):
+        return b"".join(_to_bytes(x, t.elem) for x in v)  # type: ignore[union-attr]
+    raise IRInterpError(f"bitcast from {t}")
+
+
+def _from_bytes(raw: bytes, t: Type) -> object:
+    if isinstance(t, IntType):
+        return int.from_bytes(raw[: t.size_bytes()], "little")
+    if isinstance(t, DoubleType):
+        return struct.unpack("<d", raw[:8])[0]
+    if isinstance(t, FloatType):
+        return struct.unpack("<f", raw[:4])[0]
+    if isinstance(t, PointerType):
+        return int.from_bytes(raw[:8], "little")
+    if isinstance(t, VectorType):
+        es = t.elem.size_bytes()
+        return tuple(
+            _from_bytes(raw[i * es: (i + 1) * es], t.elem) for i in range(t.count)
+        )
+    raise IRInterpError(f"bitcast to {t}")

@@ -1,0 +1,175 @@
+"""MiniLLVM containers: Module, Function, BasicBlock, GlobalVariable."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.irtypes import FunctionType, PointerType, Type
+from repro.ir.values import Argument, Value
+
+
+class GlobalVariable(Value):
+    """A module-level constant/variable backed by initializer bytes.
+
+    Section IV clones fixed memory regions into the module as globals; the
+    JIT materializes ``initializer`` into the image's rodata and the value
+    becomes the absolute address.
+    """
+
+    __slots__ = ("initializer", "constant", "addr")
+
+    def __init__(self, name: str, pointee: Type, initializer: bytes,
+                 constant: bool = True) -> None:
+        super().__init__(PointerType(pointee), name)
+        self.initializer = initializer
+        self.constant = constant
+        self.addr: int | None = None  # filled when placed in an image
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+class BasicBlock:
+    """A labeled list of instructions ending in a terminator."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.function: Function | None = None
+
+    @property
+    def terminator(self) -> Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def append(self, ins: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise IRError(f"appending after terminator in {self.name}")
+        ins.block = self
+        self.instructions.append(ins)
+        return ins
+
+    def insert(self, index: int, ins: Instruction) -> Instruction:
+        ins.block = self
+        self.instructions.insert(index, ins)
+        return ins
+
+    def phis(self) -> list[Phi]:
+        out = []
+        for ins in self.instructions:
+            if isinstance(ins, Phi):
+                out.append(ins)
+            else:
+                break
+        return out
+
+    def first_non_phi(self) -> int:
+        for i, ins in enumerate(self.instructions):
+            if not isinstance(ins, Phi):
+                return i
+        return len(self.instructions)
+
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term else []
+
+    def __repr__(self) -> str:
+        return f"<block {self.name}: {len(self.instructions)} instrs>"
+
+
+class Function(Value):
+    """A function: arguments + basic blocks (first block is the entry)."""
+
+    __slots__ = ("ftype", "args", "blocks", "module", "always_inline",
+                 "_name_counter", "is_declaration")
+
+    def __init__(self, name: str, ftype: FunctionType) -> None:
+        super().__init__(PointerType(ftype), name)  # functions are pointers
+        self.ftype = ftype
+        self.args = [Argument(t, i) for i, t in enumerate(ftype.params)]
+        self.blocks: list[BasicBlock] = []
+        self.module: Module | None = None
+        self.always_inline = False
+        self.is_declaration = False
+        self._name_counter = 0
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str = "") -> BasicBlock:
+        self._name_counter += 1
+        blk = BasicBlock(name or f"bb{self._name_counter}")
+        blk.function = self
+        self.blocks.append(blk)
+        return blk
+
+    def next_name(self, hint: str = "v") -> str:
+        self._name_counter += 1
+        return f"{hint}{self._name_counter}"
+
+    def instructions(self) -> Iterator[Instruction]:
+        for blk in self.blocks:
+            yield from blk.instructions
+
+    def predecessors(self, block: BasicBlock) -> list[BasicBlock]:
+        return [b for b in self.blocks if block in b.successors()]
+
+    def replace_all_uses(self, old: Value, new: Value) -> int:
+        """RAUW by scanning; returns the number of replaced operands."""
+        n = 0
+        for ins in self.instructions():
+            for i, op in enumerate(ins.operands):
+                if op is old:
+                    ins.operands[i] = new
+                    n += 1
+        return n
+
+    def remove_block(self, block: BasicBlock) -> None:
+        # fix phis in successors first
+        for succ in block.successors():
+            for phi in succ.phis():
+                phi.remove_incoming(block)
+        self.blocks.remove(block)
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<function @{self.name}: {len(self.blocks)} blocks>"
+
+
+class Module:
+    """A compilation unit: functions + globals."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise IRError(f"function @{func.name} already in module")
+        func.module = self
+        self.functions[func.name] = func
+        return func
+
+    def add_global(self, g: GlobalVariable) -> GlobalVariable:
+        if g.name in self.globals:
+            raise IRError(f"global @{g.name} already in module")
+        self.globals[g.name] = g
+        return g
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function @{name}") from None
+
+    def __iter__(self) -> Iterable[Function]:
+        return iter(self.functions.values())

@@ -1,0 +1,269 @@
+"""SROA + mem2reg: promote alloca slots (the lifter's virtual stack) to SSA.
+
+The lifter materializes the guest stack as one byte-array ``alloca``
+(Sec. III-F); push/pop/rbp-relative accesses become loads/stores at
+constant offsets from it.  This pass splits the alloca into fixed-offset
+slots and builds SSA form for each (classic iterated-dominance-frontier phi
+placement + renaming), which is what lets the rest of the pipeline see
+through spilled values.
+
+A slot is promotable when every access is a load/store of the full slot
+width at a constant offset; any escaping use of a derived pointer (calls,
+non-constant arithmetic, overlapping accesses) demotes the whole alloca.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import instructions as I
+from repro.ir.irtypes import DoubleType, FloatType, IntType, PointerType, Type
+from repro.ir.module import BasicBlock, Function
+from repro.ir.passes.cfgutils import dominance_frontiers, dominators
+from repro.ir.values import Constant, Undef, Value
+
+
+@dataclass
+class _Access:
+    ins: I.Instruction  # Load or Store
+    offset: int
+    type: Type
+
+    @property
+    def size(self) -> int:
+        return self.type.size_bytes()
+
+
+def _trace_pointer(v: Value, alloca: I.Alloca) -> int | None:
+    """Byte offset of pointer ``v`` from ``alloca``, or None."""
+    offset = 0
+    for _ in range(64):
+        if v is alloca:
+            return offset
+        if isinstance(v, I.GEP):
+            idx = v.operands[1]
+            if not isinstance(idx, Constant):
+                return None
+            offset += idx.signed * v.elem.size_bytes()
+            v = v.operands[0]
+            continue
+        if isinstance(v, I.Cast) and v.opcode in ("bitcast",):
+            v = v.operands[0]
+            continue
+        return None
+    return None
+
+
+def _collect(func: Function, alloca: I.Alloca) -> list[_Access] | None:
+    """All accesses through the alloca, or None if it escapes.
+
+    Pointers *and* integers derived from the alloca by constant offsets are
+    tracked — the lifter's rsp handling round-trips the stack pointer
+    through ptrtoint/add/inttoptr (push/pop, Sec. III-F), and promotion
+    must see through that.
+    """
+    derived: dict[int, int] = {id(alloca): 0}  # value id -> offset (ptr or int)
+    changed = True
+    while changed:
+        changed = False
+        for ins in func.instructions():
+            if id(ins) in derived:
+                continue
+            if isinstance(ins, I.GEP) and id(ins.operands[0]) in derived:
+                idx = ins.operands[1]
+                if not isinstance(idx, Constant):
+                    return None
+                derived[id(ins)] = derived[id(ins.operands[0])] + \
+                    idx.signed * ins.elem.size_bytes()
+                changed = True
+            elif isinstance(ins, I.Cast) and ins.opcode in ("bitcast", "ptrtoint", "inttoptr") \
+                    and id(ins.operands[0]) in derived:
+                derived[id(ins)] = derived[id(ins.operands[0])]
+                changed = True
+            elif isinstance(ins, I.BinOp) and ins.opcode in ("add", "sub") \
+                    and isinstance(ins.type, IntType):
+                a, b = ins.operands
+                if id(a) in derived and isinstance(b, Constant):
+                    delta = b.signed if ins.opcode == "add" else -b.signed
+                    derived[id(ins)] = derived[id(a)] + delta
+                    changed = True
+                elif id(b) in derived and isinstance(a, Constant) and ins.opcode == "add":
+                    derived[id(ins)] = derived[id(b)] + a.signed
+                    changed = True
+
+    accesses: list[_Access] = []
+    for ins in func.instructions():
+        for oi, op in enumerate(ins.operands):
+            if id(op) not in derived:
+                continue
+            if isinstance(ins, I.Load) and oi == 0:
+                accesses.append(_Access(ins, derived[id(op)], ins.type))
+            elif isinstance(ins, I.Store) and oi == 1:
+                accesses.append(_Access(ins, derived[id(op)], ins.operands[0].type))
+            elif isinstance(ins, I.Store) and oi == 0:
+                return None  # the address itself is stored: escapes
+            elif id(ins) in derived:
+                pass  # part of the derived pointer/int web
+            else:
+                return None  # escapes (call arg, comparison, phi, ...)
+    return accesses
+
+
+def _slot_layout(accesses: list[_Access]) -> dict[tuple[int, int], list[_Access]] | None:
+    """Group accesses into (offset, size) slots; None if ranges overlap."""
+    slots: dict[tuple[int, int], list[_Access]] = {}
+    for a in accesses:
+        slots.setdefault((a.offset, a.size), []).append(a)
+    ranges = sorted(slots)
+    for (o1, s1), (o2, s2) in zip(ranges, ranges[1:]):
+        if o1 + s1 > o2:
+            return None  # partial overlap
+    return slots
+
+
+def _canonical_type(accesses: list[_Access]) -> Type:
+    size = accesses[0].size
+    types = {repr(a.type) for a in accesses}
+    if len(types) == 1:
+        return accesses[0].type
+    return IntType(size * 8)
+
+
+def _cast_to(builder_block: BasicBlock, before: I.Instruction, v: Value,
+             to: Type, func: Function) -> Value:
+    """Insert a cast of ``v`` to ``to`` before ``before`` if needed."""
+    if v.type is to:
+        return v
+    src = v.type
+    if isinstance(v, Undef):
+        return Undef(to)
+    if src.is_pointer and isinstance(to, IntType):
+        op = "ptrtoint"
+    elif isinstance(src, IntType) and to.is_pointer:
+        op = "inttoptr"
+    else:
+        op = "bitcast"
+    cast = I.Cast(op, v, to)
+    cast.name = func.next_name("m2r")
+    idx = builder_block.instructions.index(before)
+    builder_block.insert(idx, cast)
+    return cast
+
+
+def promote(func: Function) -> bool:
+    """Promote every eligible entry-block alloca; returns True on change."""
+    changed = False
+    entry = func.entry
+    for alloca in [i for i in entry.instructions if isinstance(i, I.Alloca)]:
+        accesses = _collect(func, alloca)
+        if accesses is None:
+            continue
+        slots = _slot_layout(accesses)
+        if slots is None:
+            continue
+        for (offset, size), accs in slots.items():
+            _promote_slot(func, accs, _canonical_type(accs))
+            changed = True
+        # the alloca and derived pointers die in DCE once loads/stores vanish
+    return changed
+
+
+def _promote_slot(func: Function, accesses: list[_Access], ctype: Type) -> None:
+    """Standard SSA construction for one memory slot."""
+    stores = [a.ins for a in accesses if isinstance(a.ins, I.Store)]
+    loads = [a.ins for a in accesses if isinstance(a.ins, I.Load)]
+    def_blocks = {s.block for s in stores if s.block is not None}
+
+    idom = dominators(func)
+    df = dominance_frontiers(func, idom)
+
+    # phi placement at iterated dominance frontier
+    phi_blocks: set[BasicBlock] = set()
+    work = list(def_blocks)
+    while work:
+        b = work.pop()
+        for f in df.get(b, ()):
+            if f not in phi_blocks:
+                phi_blocks.add(f)
+                if f not in def_blocks:
+                    work.append(f)
+
+    phis: dict[BasicBlock, I.Phi] = {}
+    for b in phi_blocks:
+        phi = I.Phi(ctype, func.next_name("m2rphi"))
+        b.insert(0, phi)
+        phis[b] = phi
+
+    load_set = {id(ld) for ld in loads}
+    store_set = {id(st) for st in stores}
+    replacements: dict[int, Value] = {}
+
+    # renaming via dominator-tree DFS
+    children: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in func.blocks}
+    for b, d in idom.items():
+        if b is not d:
+            children[d].append(b)
+
+    def rename(block: BasicBlock, incoming: Value) -> None:
+        current = incoming
+        if block in phis:
+            current = phis[block]
+        for ins in list(block.instructions):
+            if id(ins) in load_set:
+                replacements[id(ins)] = current
+            elif id(ins) in store_set:
+                current = ins.operands[0]
+        for succ in block.successors():
+            phi = phis.get(succ)
+            if phi is not None:
+                val = current
+                phi.operands.append(val)
+                phi.incoming_blocks.append(block)
+        for child in children.get(block, ()):
+            rename(child, current)
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, len(func.blocks) * 8 + 1000))
+    try:
+        rename(func.entry, Undef(ctype))
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # resolve replacement chains: a load's replacement may itself be a load
+    # of this slot (store of a loaded value) that is about to be removed
+    def resolve(val: Value) -> Value:
+        seen = 0
+        while id(val) in load_set and id(val) in replacements and seen < 64:
+            val = replacements[id(val)]
+            seen += 1
+        return val
+
+    # apply replacements with type adaptation
+    for ld in loads:
+        val = resolve(replacements.get(id(ld), Undef(ctype)))
+        blk = ld.block
+        assert blk is not None
+        if val.type is not ld.type:
+            val = _cast_to(blk, ld, val, ld.type, func)
+        func.replace_all_uses(ld, val)
+        blk.instructions.remove(ld)
+    for st in stores:
+        blk = st.block
+        assert blk is not None
+        blk.instructions.remove(st)
+
+    # adapt phi incoming types (mixed-type slots store canonical ints)
+    for b, phi in phis.items():
+        phi.operands = [resolve(v) for v in phi.operands]
+        for i, (v, pred) in enumerate(list(zip(phi.operands, phi.incoming_blocks))):
+            if v.type is not ctype and not isinstance(v, Undef):
+                term = pred.instructions[-1]
+                cast = _cast_to(pred, term, v, ctype, func)
+                phi.operands[i] = cast
+            elif isinstance(v, Undef) and v.type is not ctype:
+                phi.operands[i] = Undef(ctype)
+
+
+def run(func: Function) -> bool:
+    return promote(func)

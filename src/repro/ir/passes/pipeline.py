@@ -1,0 +1,92 @@
+"""The '-O3' pass pipeline (Sec. IV: "standard optimization pipeline with
+level 3 ... optionally, floating-point optimizations can be enabled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Function
+from repro.ir.passes import (
+    constprop, dce, gvn, inline, instcombine, mem2reg, simplifycfg, unroll,
+)
+
+
+@dataclass(frozen=True)
+class O3Options:
+    """Pipeline configuration.
+
+    ``fast_math`` mirrors ``-ffast-math`` (enables reassociation-dependent
+    folds; currently only constant folding differences).  The ablation
+    switches let benchmarks measure which passes matter, the paper's stated
+    follow-up goal ("identify a small subset of optimizations ... without
+    the heavy cost of LLVM", Sec. VII).
+    """
+
+    fast_math: bool = True
+    enable_inline: bool = True
+    enable_unroll: bool = True
+    enable_gvn: bool = True
+    enable_instcombine: bool = True
+    enable_mem2reg: bool = True
+    #: 0 = let the (metadata-gated) cost model decide; 2 = the paper's
+    #: ``-force-vector-width=2`` experiment (Sec. VI-B)
+    force_vector_width: int = 0
+    max_iterations: int = 8
+
+    @staticmethod
+    def lightweight() -> "O3Options":
+        """The paper's Sec. VII proposal: a *small subset* of passes as
+        cheap post-processing for DBrew "without the heavy cost of LLVM".
+
+        Per the ablation study (bench_ablation_passes.py) the essential
+        passes for lifted/rewritten code are stack promotion and the basic
+        cleanups; GVN, unrolling and reassociation are dropped, and the
+        pipeline runs a single iteration.
+        """
+        return O3Options(
+            fast_math=False,
+            enable_inline=False,
+            enable_unroll=False,
+            enable_gvn=False,
+            # the facet cache makes instcombine non-essential (see the
+            # ablation bench), so the subset is just: SimplifyCFG + SROA of
+            # the virtual stack + constant folding + ADCE
+            enable_instcombine=False,
+            enable_mem2reg=True,
+            max_iterations=1,
+        )
+
+
+def run_o3(func: Function, options: O3Options = O3Options()) -> None:
+    """Optimize one function in place to a fixpoint (bounded)."""
+    simplifycfg.run(func)
+    if options.enable_mem2reg:
+        mem2reg.run(func)
+        simplifycfg.run(func)
+    for _ in range(options.max_iterations):
+        changed = False
+        if options.enable_inline:
+            changed |= inline.run(func)
+        changed |= constprop.run(func)
+        if options.enable_instcombine:
+            changed |= instcombine.run(func, options.fast_math)
+        if options.enable_gvn:
+            changed |= gvn.run(func)
+        changed |= dce.run(func)
+        changed |= simplifycfg.run(func)
+        if options.enable_mem2reg:
+            changed |= mem2reg.run(func)
+        if options.enable_unroll:
+            changed |= unroll.run(func)
+        if not changed:
+            break
+    from repro.ir.passes import vectorize as _vectorize
+    report = _vectorize.run(func, force_vector_width=options.force_vector_width)
+    if report.vectorized:
+        constprop.run(func)
+        if options.enable_instcombine:
+            instcombine.run(func, options.fast_math)
+        dce.run(func)
+    dce.run(func)
+    simplifycfg.run(func)

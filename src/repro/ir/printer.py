@@ -1,0 +1,105 @@
+"""Textual IR printing in LLVM-assembly style (for Fig. 5/6 listings)."""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value
+
+
+def _operand(v: Value) -> str:
+    return v.short()
+
+
+def _typed(v: Value) -> str:
+    return f"{v.type} {v.short()}"
+
+
+def print_instruction(ins: I.Instruction) -> str:
+    op = ins.opcode
+    if isinstance(ins, I.BinOp):
+        a, b = ins.operands
+        return f"%{ins.name} = {op} {a.type} {_operand(a)}, {_operand(b)}"
+    if isinstance(ins, I.ICmp) or isinstance(ins, I.FCmp):
+        a, b = ins.operands
+        return f"%{ins.name} = {op} {ins.pred} {a.type} {_operand(a)}, {_operand(b)}"
+    if isinstance(ins, I.Select):
+        c, a, b = ins.operands
+        return f"%{ins.name} = select {_typed(c)}, {_typed(a)}, {_typed(b)}"
+    if isinstance(ins, I.Cast):
+        (a,) = ins.operands
+        return f"%{ins.name} = {op} {_typed(a)} to {ins.type}"
+    if isinstance(ins, I.Load):
+        (p,) = ins.operands
+        align = f", align {ins.align}" if ins.align > 1 else ""
+        return f"%{ins.name} = load {ins.type}, {_typed(p)}{align}"
+    if isinstance(ins, I.Store):
+        v, p = ins.operands
+        align = f", align {ins.align}" if ins.align > 1 else ""
+        return f"store {_typed(v)}, {_typed(p)}{align}"
+    if isinstance(ins, I.Alloca):
+        return f"%{ins.name} = alloca [{ins.size} x i8], align {ins.align}"
+    if isinstance(ins, I.GEP):
+        p, idx = ins.operands
+        return (f"%{ins.name} = getelementptr {ins.elem}, {_typed(p)}, "
+                f"{_typed(idx)}")
+    if isinstance(ins, I.ExtractElement):
+        v, idx = ins.operands
+        return f"%{ins.name} = extractelement {_typed(v)}, {_typed(idx)}"
+    if isinstance(ins, I.InsertElement):
+        v, x, idx = ins.operands
+        return f"%{ins.name} = insertelement {_typed(v)}, {_typed(x)}, {_typed(idx)}"
+    if isinstance(ins, I.ShuffleVector):
+        a, b = ins.operands
+        mask = ", ".join(f"i32 {m}" for m in ins.mask)
+        return f"%{ins.name} = shufflevector {_typed(a)}, {_typed(b)}, <{mask}>"
+    if isinstance(ins, I.Phi):
+        pairs = ", ".join(
+            f"[ {_operand(v)}, %{b.name} ]" for v, b in ins.incoming()
+        )
+        return f"%{ins.name} = phi {ins.type} {pairs}"
+    if isinstance(ins, I.Call):
+        args = ", ".join(_typed(a) for a in ins.operands)
+        callee = ins.callee_name
+        if ins.type.is_void:
+            return f"call void @{callee}({args})"
+        return f"%{ins.name} = call {ins.type} @{callee}({args})"
+    if isinstance(ins, I.Br):
+        if ins.is_conditional:
+            c = ins.operands[0]
+            return (f"br i1 {_operand(c)}, label %{ins.targets[0].name}, "
+                    f"label %{ins.targets[1].name}")
+        return f"br label %{ins.targets[0].name}"
+    if isinstance(ins, I.Ret):
+        if ins.value is None:
+            return "ret void"
+        return f"ret {_typed(ins.value)}"
+    if isinstance(ins, I.Unreachable):
+        return "unreachable"
+    return f"<unknown {op}>"
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {print_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(func: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    attrs = " alwaysinline" if func.always_inline else ""
+    if func.is_declaration:
+        return f"declare {func.ftype.ret} @{func.name}({params})"
+    head = f"define {func.ftype.ret} @{func.name}({params}){attrs} {{"
+    body = "\n\n".join(print_block(b) for b in func.blocks)
+    return f"{head}\n{body}\n}}"
+
+
+def print_module(module: Module) -> str:
+    parts = []
+    for g in module.globals.values():
+        kind = "constant" if g.constant else "global"
+        parts.append(f"@{g.name} = {kind} [{len(g.initializer)} x i8]")
+    for f in module.functions.values():
+        parts.append(print_function(f))
+    return "\n\n".join(parts)

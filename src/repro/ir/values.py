@@ -1,0 +1,113 @@
+"""MiniLLVM values: the SSA value hierarchy below instructions.
+
+``Value`` carries a type and an optional name.  Use-def chains are not
+materialized; passes that need them scan the function (functions here are a
+few hundred instructions, so O(n) RAUW is fine and much simpler).
+"""
+
+from __future__ import annotations
+
+from repro.ir.irtypes import DoubleType, FloatType, IntType, Type
+
+
+class Value:
+    """Base of everything that can appear as an operand."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+
+    def short(self) -> str:
+        return f"%{self.name}" if self.name else "%?"
+
+    def __repr__(self) -> str:
+        return f"{self.type} {self.short()}"
+
+
+class Constant(Value):
+    """Integer constant (stored unsigned-masked to the type width)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: Type, value: int) -> None:
+        if not isinstance(type_, IntType):
+            raise TypeError(f"Constant requires an integer type, got {type_}")
+        super().__init__(type_)
+        self.value = value & type_.mask
+
+    @property
+    def signed(self) -> int:
+        bits = self.type.bits  # type: ignore[attr-defined]
+        sign = 1 << (bits - 1)
+        return (self.value & (sign - 1)) - (self.value & sign)
+
+    def short(self) -> str:
+        return str(self.signed)
+
+    def __repr__(self) -> str:
+        return f"{self.type} {self.signed}"
+
+
+class ConstantFP(Value):
+    """Floating-point constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: Type, value: float) -> None:
+        if not isinstance(type_, (DoubleType, FloatType)):
+            raise TypeError(f"ConstantFP requires a float type, got {type_}")
+        super().__init__(type_)
+        self.value = float(value)
+
+    def short(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.type} {self.value!r}"
+
+
+class ConstantVector(Value):
+    """A constant vector (e.g. ``<2 x double> zeroinitializer``)."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, type_: Type, elements: tuple[Value, ...]) -> None:
+        super().__init__(type_)
+        self.elements = elements
+
+    def short(self) -> str:
+        if all(isinstance(e, ConstantFP) and e.value == 0.0 for e in self.elements) \
+                or all(isinstance(e, Constant) and e.value == 0 for e in self.elements):
+            return "zeroinitializer"
+        return "<" + ", ".join(repr(e) for e in self.elements) + ">"
+
+
+class Undef(Value):
+    """The undef value — unwritten registers lift to this (Sec. III-C)."""
+
+    __slots__ = ()
+
+    def short(self) -> str:
+        return "undef"
+
+    def __repr__(self) -> str:
+        return f"{self.type} undef"
+
+
+class Argument(Value):
+    """A formal function parameter."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, type_: Type, index: int, name: str = "") -> None:
+        super().__init__(type_, name or f"arg{index}")
+        self.index = index
+
+
+def is_const_int(v: Value, value: int | None = None) -> bool:
+    """True if ``v`` is an integer constant (optionally of a given value)."""
+    if not isinstance(v, Constant):
+        return False
+    return value is None or v.signed == value or v.value == value % (1 << v.type.bits)  # type: ignore[attr-defined]

@@ -1,0 +1,243 @@
+"""IR verifier: structural and type invariants plus SSA dominance.
+
+Run after lifting and after every pass in tests — the verifier is the main
+defense against pass bugs.  Dominance uses networkx's immediate-dominators
+on the CFG.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import IRError
+from repro.ir import instructions as I
+from repro.ir.irtypes import IntType, PointerType, VectorType
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import Argument, Constant, ConstantFP, Undef, Value
+
+
+def _cfg(func: Function) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for blk in func.blocks:
+        g.add_node(blk)
+        for succ in blk.successors():
+            g.add_edge(blk, succ)
+    return g
+
+
+def verify(func: Function) -> None:
+    """Raise IRError on any malformation."""
+    if func.is_declaration:
+        if func.blocks:
+            raise IRError(f"@{func.name}: declaration with a body")
+        return
+    if not func.blocks:
+        raise IRError(f"@{func.name}: no basic blocks")
+
+    names: set[str] = set()
+    for blk in func.blocks:
+        if blk.name in names:
+            raise IRError(f"@{func.name}: duplicate block name {blk.name}")
+        names.add(blk.name)
+        if blk.function is not func:
+            raise IRError(f"@{func.name}: block {blk.name} has wrong parent")
+
+    block_set = set(func.blocks)
+    defined: dict[int, I.Instruction] = {}
+
+    for blk in func.blocks:
+        term = blk.terminator
+        if term is None:
+            raise IRError(f"@{func.name}: block {blk.name} lacks a terminator")
+        seen_non_phi = False
+        for ins in blk.instructions:
+            if ins.is_terminator and ins is not term:
+                raise IRError(f"@{func.name}: terminator mid-block in {blk.name}")
+            if isinstance(ins, I.Phi):
+                if seen_non_phi:
+                    raise IRError(
+                        f"@{func.name}: phi after non-phi in {blk.name}"
+                    )
+            else:
+                seen_non_phi = True
+            if ins.block is not blk:
+                raise IRError(f"@{func.name}: instruction parent mismatch in {blk.name}")
+            _check_types(func, ins)
+            defined[id(ins)] = ins
+        for succ in blk.successors():
+            if succ not in block_set:
+                raise IRError(
+                    f"@{func.name}: branch from {blk.name} to foreign block {succ.name}"
+                )
+
+    # phi incoming blocks must be exactly the predecessors
+    for blk in func.blocks:
+        preds = set(func.predecessors(blk))
+        for phi in blk.phis():
+            inc = set(phi.incoming_blocks)
+            if inc != preds:
+                missing = {b.name for b in preds - inc}
+                extra = {b.name for b in inc - preds}
+                raise IRError(
+                    f"@{func.name}: phi %{phi.name} in {blk.name} incoming "
+                    f"mismatch (missing {missing or '{}'}, extra {extra or '{}'})"
+                )
+
+    _check_dominance(func)
+
+
+def _check_types(func: Function, ins: I.Instruction) -> None:
+    if isinstance(ins, I.BinOp):
+        a, b = ins.operands
+        if a.type is not b.type:
+            raise IRError(f"@{func.name}: binop {ins.opcode} type mismatch "
+                          f"{a.type} vs {b.type}")
+        if ins.opcode in I.FP_BINOPS and not (a.type.is_float or a.type.is_vector):
+            raise IRError(f"@{func.name}: {ins.opcode} on {a.type}")
+        if ins.opcode in I.INT_BINOPS and not (a.type.is_integer or a.type.is_vector):
+            raise IRError(f"@{func.name}: {ins.opcode} on {a.type}")
+    elif isinstance(ins, (I.ICmp, I.FCmp)):
+        a, b = ins.operands
+        if a.type is not b.type:
+            raise IRError(f"@{func.name}: cmp type mismatch {a.type} vs {b.type}")
+    elif isinstance(ins, I.Cast):
+        (a,) = ins.operands
+        _check_cast(func, ins.opcode, a, ins)
+    elif isinstance(ins, I.Load):
+        (p,) = ins.operands
+        if not isinstance(p.type, PointerType):
+            raise IRError(f"@{func.name}: load from {p.type}")
+        if p.type.pointee is not ins.type:
+            raise IRError(f"@{func.name}: load type {ins.type} != pointee "
+                          f"{p.type.pointee}")
+    elif isinstance(ins, I.Store):
+        v, p = ins.operands
+        if not isinstance(p.type, PointerType):
+            raise IRError(f"@{func.name}: store to {p.type}")
+        if p.type.pointee is not v.type:
+            raise IRError(f"@{func.name}: store of {v.type} to {p.type}")
+    elif isinstance(ins, I.GEP):
+        p, idx = ins.operands
+        if not isinstance(p.type, PointerType):
+            raise IRError(f"@{func.name}: gep on {p.type}")
+        if not isinstance(idx.type, IntType):
+            raise IRError(f"@{func.name}: gep index {idx.type}")
+    elif isinstance(ins, I.ExtractElement):
+        v, idx = ins.operands
+        if not isinstance(v.type, VectorType):
+            raise IRError(f"@{func.name}: extractelement on {v.type}")
+    elif isinstance(ins, I.InsertElement):
+        v, x, idx = ins.operands
+        if not isinstance(v.type, VectorType) or v.type.elem is not x.type:
+            raise IRError(f"@{func.name}: insertelement {x.type} into {v.type}")
+    elif isinstance(ins, I.ShuffleVector):
+        a, b = ins.operands
+        if a.type is not b.type:
+            raise IRError(f"@{func.name}: shufflevector operand mismatch")
+        n = a.type.count * 2  # type: ignore[union-attr]
+        if any(not 0 <= m < n for m in ins.mask):
+            raise IRError(f"@{func.name}: shufflevector mask out of range")
+    elif isinstance(ins, I.Phi):
+        for v, _b in ins.incoming():
+            if v.type is not ins.type and not isinstance(v, Undef):
+                raise IRError(
+                    f"@{func.name}: phi %{ins.name} incoming {v.type} != {ins.type}"
+                )
+    elif isinstance(ins, I.Br) and ins.is_conditional:
+        c = ins.operands[0]
+        if not (isinstance(c.type, IntType) and c.type.bits == 1):
+            raise IRError(f"@{func.name}: branch condition is {c.type}")
+    elif isinstance(ins, I.Ret):
+        want = func.ftype.ret
+        if ins.value is None:
+            if not want.is_void:
+                raise IRError(f"@{func.name}: ret void from {want} function")
+        elif ins.value.type is not want:
+            raise IRError(f"@{func.name}: ret {ins.value.type}, expected {want}")
+
+
+_CAST_RULES = {
+    "trunc": lambda f, t: f.is_integer and t.is_integer and f.bits > t.bits,
+    "zext": lambda f, t: f.is_integer and t.is_integer and f.bits < t.bits,
+    "sext": lambda f, t: f.is_integer and t.is_integer and f.bits < t.bits,
+    "bitcast": lambda f, t: f.size_bytes() == t.size_bytes(),
+    "inttoptr": lambda f, t: f.is_integer and t.is_pointer,
+    "ptrtoint": lambda f, t: f.is_pointer and t.is_integer,
+    "sitofp": lambda f, t: f.is_integer and t.is_float,
+    "uitofp": lambda f, t: f.is_integer and t.is_float,
+    "fptosi": lambda f, t: f.is_float and t.is_integer,
+    "fpext": lambda f, t: f.is_float and t.is_float,
+    "fptrunc": lambda f, t: f.is_float and t.is_float,
+}
+
+
+def _check_cast(func: Function, opcode: str, a: Value, ins: I.Instruction) -> None:
+    rule = _CAST_RULES[opcode]
+    ok = rule(a.type, ins.type)
+    if not ok:
+        raise IRError(f"@{func.name}: invalid {opcode} {a.type} -> {ins.type}")
+
+
+def _check_dominance(func: Function) -> None:
+    g = _cfg(func)
+    entry = func.entry
+    reachable = set(nx.descendants(g, entry)) | {entry}
+    idom = nx.immediate_dominators(g, entry)
+
+    def dominates(a: BasicBlock, b: BasicBlock) -> bool:
+        while True:
+            if a is b:
+                return True
+            parent = idom.get(b)
+            if parent is None or parent is b:
+                return a is b
+            b = parent
+
+    # position index for same-block ordering
+    pos: dict[int, tuple[BasicBlock, int]] = {}
+    for blk in func.blocks:
+        for i, ins in enumerate(blk.instructions):
+            pos[id(ins)] = (blk, i)
+
+    for blk in func.blocks:
+        if blk not in reachable:
+            continue
+        for i, ins in enumerate(blk.instructions):
+            if isinstance(ins, I.Phi):
+                for v, pred in ins.incoming():
+                    _check_use_dominance(func, v, pred, len(pred.instructions),
+                                         pos, dominates, reachable, ins)
+                continue
+            for v in ins.operands:
+                _check_use_dominance(func, v, blk, i, pos, dominates, reachable, ins)
+
+
+def _check_use_dominance(func, v, use_block, use_index, pos, dominates,
+                         reachable, user) -> None:
+    from repro.ir.instructions import Instruction
+    if not isinstance(v, Instruction):
+        return  # constants, args, globals, undef always dominate
+    if id(v) not in pos:
+        raise IRError(
+            f"@{func.name}: use of detached value %{v.name} in %{user.name or user.opcode}"
+        )
+    def_block, def_index = pos[id(v)]
+    if def_block not in reachable:
+        return  # uses in unreachable code are ignored, like LLVM
+    if def_block is use_block:
+        if def_index >= use_index:
+            raise IRError(
+                f"@{func.name}: %{v.name} used before definition in "
+                f"{use_block.name}"
+            )
+    elif not dominates(def_block, use_block):
+        raise IRError(
+            f"@{func.name}: definition of %{v.name} ({def_block.name}) does "
+            f"not dominate use in {use_block.name}"
+        )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module."""
+    for func in module.functions.values():
+        verify(func)

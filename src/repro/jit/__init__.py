@@ -1,0 +1,5 @@
+"""Runtime binary-transformation engine (Fig. 1's full pipeline)."""
+
+from repro.jit.engine import BinaryTransformer, TransformResult
+
+__all__ = ["BinaryTransformer", "TransformResult"]

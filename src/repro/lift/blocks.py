@@ -1,0 +1,147 @@
+"""Basic-block discovery over decoded machine code (Sec. III-B).
+
+Decodes from the entry point following direct control flow, collecting
+leaders (branch targets and fall-throughs).  A jump into the middle of an
+already-decoded block splits it, so every instruction belongs to exactly
+one block — the de-duplication property the paper calls out as enabling
+better optimization.
+
+Indirect jumps are rejected (unsupported, per the paper); calls are *not*
+block terminators here — they lift to IR call instructions mid-block, which
+"leaves the decision on inlining to the LLVM optimizer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LiftError
+from repro.mem.memory import Memory
+from repro.x86 import isa
+from repro.x86.decoder import decode_one
+from repro.x86.instr import Imm, Instruction, Reg
+
+
+@dataclass
+class GuestBlock:
+    """A guest basic block: consecutive instructions, one terminator."""
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        last = self.instructions[-1]
+        return last.addr + last.length
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def successors(self) -> list[int]:
+        """Guest addresses of successor blocks."""
+        term = self.terminator
+        cls = isa.control_class(term.mnemonic)
+        if cls == "ret":
+            return []
+        if cls == "jmp":
+            (t,) = term.operands
+            assert isinstance(t, Imm)
+            return [t.value]
+        if cls == "jcc":
+            (t,) = term.operands
+            assert isinstance(t, Imm)
+            return [t.value, self.end]
+        return [self.end]  # fall-through (block was split)
+
+
+class GuestCFG:
+    """Discovered control-flow graph of one guest function."""
+
+    def __init__(self, entry: int) -> None:
+        self.entry = entry
+        self.blocks: dict[int, GuestBlock] = {}
+
+    def block_at(self, addr: int) -> GuestBlock:
+        return self.blocks[addr]
+
+    def ordered(self) -> list[GuestBlock]:
+        return [self.blocks[a] for a in sorted(self.blocks)]
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks.values())
+
+
+def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000) -> GuestCFG:
+    """Decode the function at ``entry`` into basic blocks."""
+    cfg = GuestCFG(entry)
+    instr_cache: dict[int, Instruction] = {}
+    # first pass: find all instructions and leaders
+    leaders: set[int] = {entry}
+    worklist: list[int] = [entry]
+    visited: set[int] = set()
+    count = 0
+    while worklist:
+        pc = worklist.pop()
+        if pc in visited:
+            continue
+        while pc not in visited:
+            visited.add(pc)
+            ins = instr_cache.get(pc)
+            if ins is None:
+                window = memory.read(pc, min(16, _bytes_left(memory, pc)))
+                ins = decode_one(window, 0, pc)
+                instr_cache[pc] = ins
+            count += 1
+            if count > max_instructions:
+                raise LiftError(f"function at {entry:#x} exceeds decode budget")
+            cls = isa.control_class(ins.mnemonic)
+            if cls in ("jmp", "jcc"):
+                (t,) = ins.operands
+                if isinstance(t, Reg) or not isinstance(t, Imm):
+                    raise LiftError(
+                        f"indirect jump at {pc:#x} is not supported (Sec. III-B)"
+                    )
+                leaders.add(t.value)
+                worklist.append(t.value)
+                if cls == "jcc":
+                    leaders.add(ins.end)
+                    worklist.append(ins.end)
+                break
+            if cls == "ret":
+                break
+            if cls == "call":
+                (t,) = ins.operands
+                if not isinstance(t, Imm):
+                    raise LiftError(f"indirect call at {pc:#x} is not supported")
+            pc = ins.end
+
+    # split fall-through: any decoded addr that is a leader terminates the
+    # instruction run before it
+    addrs = sorted(visited)
+    # second pass: build blocks
+    for leader in sorted(leaders):
+        if leader not in visited:
+            raise LiftError(f"branch target {leader:#x} outside decoded function")
+        blk = GuestBlock(leader)
+        pc = leader
+        while True:
+            ins = instr_cache[pc]
+            blk.instructions.append(ins)
+            cls = isa.control_class(ins.mnemonic)
+            if cls in ("jmp", "jcc", "ret"):
+                break
+            if ins.end in leaders:
+                break  # fall into the next block
+            if ins.end not in visited:
+                raise LiftError(f"decode ran off function at {ins.end:#x}")
+            pc = ins.end
+        cfg.blocks[leader] = blk
+    return cfg
+
+
+def _bytes_left(memory: Memory, addr: int) -> int:
+    for start, size in memory.regions():
+        if start <= addr < start + size:
+            return start + size - addr
+    raise LiftError(f"code address {addr:#x} unmapped")

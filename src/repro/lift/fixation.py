@@ -1,0 +1,96 @@
+"""IR-level parameter fixation (Sec. IV).
+
+Specialization happens *at the IR level* instead of the binary level: the
+original function is lifted unmodified, a wrapper calling it with fixed
+arguments is created, the original is marked always-inline, and the -O3
+pipeline does the rest (constant propagation through the inlined body, full
+unrolling, branch folding).
+
+Fixed memory regions are copied into the module as constant globals.  The
+limitation is faithful to the paper: "as the data type of the values in the
+memory region is not known, nested pointers will not be marked as constant
+and therefore, in contrast to DBrew, no further specialization can take
+place" — a pointer loaded *out of* a fixed region points back at runtime
+memory, which is opaque to the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LiftError
+from repro.ir.builder import IRBuilder
+from repro.ir.irtypes import DOUBLE, FunctionType, I8, I64
+from repro.ir.module import Function, GlobalVariable, Module
+from repro.ir.values import Constant, ConstantFP, Value
+from repro.mem.memory import Memory
+
+
+@dataclass(frozen=True)
+class FixedMemory:
+    """A fixed argument that is a pointer to a constant memory region."""
+
+    addr: int
+    size: int
+
+
+def build_fixation_wrapper(
+    module: Module,
+    original: Function,
+    fixes: dict[int, int | float | FixedMemory],
+    memory: Memory,
+    *,
+    name: str | None = None,
+) -> Function:
+    """Create the Sec. IV wrapper; returns the new (unoptimized) function.
+
+    ``fixes`` maps parameter indices of ``original`` to fixed values:
+    an int (integer/pointer parameter), a float (double parameter), or a
+    :class:`FixedMemory` (pointer parameter whose pointee is copied into
+    the module as a constant global).
+    """
+    for idx in fixes:
+        if not 0 <= idx < len(original.args):
+            raise LiftError(f"fixed parameter {idx} out of range")
+
+    # the wrapper keeps the full signature: rewritten functions are drop-in
+    # replacements ("a function pointer with exactly the same function
+    # signature as the original code", Sec. II); fixed parameters are simply
+    # ignored at runtime
+    wrapper = Function(name or f"{original.name}.fixed",
+                       FunctionType(original.ftype.ret, original.ftype.params))
+    module.add_function(wrapper)
+    original.always_inline = True
+
+    entry = wrapper.add_block("entry")
+    b = IRBuilder(entry)
+    args: list[Value] = []
+    for i, ptype in enumerate(original.ftype.params):
+        if i not in fixes:
+            args.append(wrapper.args[i])
+            continue
+        fix = fixes[i]
+        if isinstance(fix, FixedMemory):
+            payload = memory.read(fix.addr, fix.size)
+            g = GlobalVariable(
+                f"{wrapper.name}.mem{i:x}", I8, payload, constant=True
+            )
+            module.add_global(g)
+            if ptype is I64:
+                args.append(b.ptrtoint(g, I64))
+            else:
+                args.append(b.bitcast(g, ptype))
+        elif isinstance(fix, float) and ptype is DOUBLE:
+            args.append(ConstantFP(DOUBLE, fix))
+        elif isinstance(fix, int) and ptype is I64:
+            args.append(Constant(I64, fix))
+        else:
+            raise LiftError(
+                f"fixed value {fix!r} does not match parameter type {ptype}"
+            )
+    result = b.call(original, args, original.ftype.ret)
+    if original.ftype.ret.is_void:
+        b.ret()
+    else:
+        b.ret(result)
+    return wrapper

@@ -1,0 +1,211 @@
+"""Status-flag modeling and the flag cache (Sec. III-D, Fig. 6).
+
+Every flag-writing instruction eagerly computes the six flags as i1 values
+(unused ones die in DCE, as the paper notes).  Signed predicates built from
+raw flag bits (``sf != of``) are *not* recoverable by the optimizer —
+LLVM 3.7 could not either — so the flag cache records the operands of the
+latest cmp/sub/test and re-derives conditions as direct ``icmp``s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.builder import IRBuilder
+from repro.ir.irtypes import I1, I8, IntType
+from repro.ir.values import Constant, Undef, Value
+from repro.lift.regfile import RegFile
+
+
+@dataclass
+class FlagCacheEntry:
+    """Operands of the most recent flag-setting comparison-like op."""
+
+    kind: str  # 'sub' (cmp/sub semantics) or 'test' (and semantics)
+    a: Value
+    b: Value
+
+
+class FlagModel:
+    """Computes and queries flags through a RegFile."""
+
+    def __init__(self, regs: RegFile, builder: IRBuilder,
+                 flag_cache: bool = True) -> None:
+        self.regs = regs
+        self.b = builder
+        self.use_cache = flag_cache
+        self.cache: FlagCacheEntry | None = None
+
+    def invalidate_cache(self) -> None:
+        self.cache = None
+
+    # -- flag computation after ALU ops ---------------------------------------
+
+    def _parity(self, result: Value) -> Value:
+        low = self.b.trunc(result, I8) if result.type is not I8 else result
+        pop = self.b.call("llvm.ctpop.i8", [low], I8)
+        bit = self.b.and_(pop, Constant(I8, 1))
+        return self.b.icmp("eq", bit, Constant(I8, 0))
+
+    def _szp(self, result: Value) -> None:
+        t = result.type
+        assert isinstance(t, IntType)
+        self.regs.write_flag("z", self.b.icmp("eq", result, Constant(t, 0)))
+        self.regs.write_flag("s", self.b.icmp("slt", result, Constant(t, 0)))
+        self.regs.write_flag("p", self._parity(result))
+
+    def set_after_sub(self, a: Value, b: Value, result: Value,
+                      *, is_cmp: bool = False) -> None:
+        t = result.type
+        assert isinstance(t, IntType)
+        self._szp(result)
+        self.regs.write_flag("c", self.b.icmp("ult", a, b))
+        # of: operands differ in sign and result sign differs from a
+        ab = self.b.xor(a, b)
+        ar = self.b.xor(a, result)
+        both = self.b.and_(ab, ar)
+        self.regs.write_flag("o", self.b.icmp("slt", both, Constant(t, 0)))
+        axr = self.b.xor(self.b.xor(a, b), result)
+        nib = self.b.and_(axr, Constant(t, 0x10))
+        self.regs.write_flag("a", self.b.icmp("ne", nib, Constant(t, 0)))
+        if self.use_cache:
+            self.cache = FlagCacheEntry("sub", a, b)
+
+    def set_after_add(self, a: Value, b: Value, result: Value) -> None:
+        t = result.type
+        assert isinstance(t, IntType)
+        self._szp(result)
+        self.regs.write_flag("c", self.b.icmp("ult", result, a))
+        ar = self.b.xor(a, result)
+        br = self.b.xor(b, result)
+        both = self.b.and_(ar, br)
+        self.regs.write_flag("o", self.b.icmp("slt", both, Constant(t, 0)))
+        axr = self.b.xor(self.b.xor(a, b), result)
+        nib = self.b.and_(axr, Constant(t, 0x10))
+        self.regs.write_flag("a", self.b.icmp("ne", nib, Constant(t, 0)))
+        self.invalidate_cache()
+
+    def set_after_logic(self, result: Value, *, cache_test: tuple[Value, Value] | None = None) -> None:
+        self._szp(result)
+        self.regs.write_flag("c", Constant(I1, 0))
+        self.regs.write_flag("o", Constant(I1, 0))
+        self.regs.write_flag("a", Constant(I1, 0))
+        if self.use_cache and cache_test is not None:
+            self.cache = FlagCacheEntry("test", *cache_test)
+        else:
+            self.invalidate_cache()
+
+    def set_after_incdec(self, a: Value, result: Value, *, inc: bool) -> None:
+        """inc/dec: like add/sub by 1 but CF is preserved."""
+        cf = self.regs.read_flag("c")
+        one = Constant(result.type, 1)
+        if inc:
+            self.set_after_add(a, one, result)
+        else:
+            self.set_after_sub(a, one, result)
+        self.regs.write_flag("c", cf)
+        self.invalidate_cache()
+
+    def set_after_shift(self, result: Value) -> None:
+        """Shift flags: s/z/p defined from the result; c/o approximated as
+        undef (lifted code in the supported subset never consumes them)."""
+        self._szp(result)
+        self.regs.write_flag("c", Undef(I1))
+        self.regs.write_flag("o", Undef(I1))
+        self.regs.write_flag("a", Undef(I1))
+        self.invalidate_cache()
+
+    def set_after_imul(self) -> None:
+        for f in "oszapc":
+            self.regs.write_flag(f, Undef(I1))
+        self.invalidate_cache()
+
+    def set_after_ucomisd(self, a: Value, b: Value) -> None:
+        """ucomisd: zf/pf/cf per IEEE compare, unordered sets all three."""
+        self.regs.write_flag("z", self.b.fcmp("ueq", a, b))
+        self.regs.write_flag("c", self.b.fcmp("ult", a, b))
+        self.regs.write_flag("p", self.b.fcmp("uno", a, b))
+        self.regs.write_flag("o", Constant(I1, 0))
+        self.regs.write_flag("s", Constant(I1, 0))
+        self.regs.write_flag("a", Constant(I1, 0))
+        self.invalidate_cache()
+
+    def set_all_undef(self) -> None:
+        for f in "oszapc":
+            self.regs.write_flag(f, Undef(I1))
+        self.invalidate_cache()
+
+    # -- condition reconstruction ----------------------------------------------
+
+    _CACHE_SUB_PRED = {
+        "e": "eq", "ne": "ne",
+        "l": "slt", "ge": "sge", "le": "sle", "g": "sgt",
+        "b": "ult", "ae": "uge", "be": "ule", "a": "ugt",
+    }
+
+    def condition(self, cc: str) -> Value:
+        """i1 value of a canonical condition code.
+
+        With a valid flag cache the signed/unsigned predicates become a
+        single icmp (Fig. 6c); otherwise they are reconstructed from the
+        flag bits (Fig. 6b), which the optimizer cannot reduce.
+        """
+        if self.use_cache and self.cache is not None:
+            entry = self.cache
+            if entry.kind == "sub" and cc in self._CACHE_SUB_PRED:
+                return self.b.icmp(self._CACHE_SUB_PRED[cc], entry.a, entry.b)
+            if entry.kind == "test" and entry.a is entry.b:
+                t = entry.a.type
+                if cc == "e":
+                    return self.b.icmp("eq", entry.a, Constant(t, 0))
+                if cc == "ne":
+                    return self.b.icmp("ne", entry.a, Constant(t, 0))
+                if cc == "l":  # sf != of, of == 0 -> sf
+                    return self.b.icmp("slt", entry.a, Constant(t, 0))
+                if cc == "ge":
+                    return self.b.icmp("sge", entry.a, Constant(t, 0))
+                if cc == "le":
+                    return self.b.icmp("sle", entry.a, Constant(t, 0))
+                if cc == "g":
+                    return self.b.icmp("sgt", entry.a, Constant(t, 0))
+        return self._condition_from_bits(cc)
+
+    def _condition_from_bits(self, cc: str) -> Value:
+        r = self.regs
+        b = self.b
+        one = Constant(I1, 1)
+        if cc == "e":
+            return r.read_flag("z")
+        if cc == "ne":
+            return b.xor(r.read_flag("z"), one)
+        if cc == "s":
+            return r.read_flag("s")
+        if cc == "ns":
+            return b.xor(r.read_flag("s"), one)
+        if cc == "b":
+            return r.read_flag("c")
+        if cc == "ae":
+            return b.xor(r.read_flag("c"), one)
+        if cc == "be":
+            return b.or_(r.read_flag("c"), r.read_flag("z"))
+        if cc == "a":
+            return b.xor(b.or_(r.read_flag("c"), r.read_flag("z")), one)
+        if cc == "l":
+            return b.xor(r.read_flag("s"), r.read_flag("o"))
+        if cc == "ge":
+            return b.xor(b.xor(r.read_flag("s"), r.read_flag("o")), one)
+        if cc == "le":
+            lt = b.xor(r.read_flag("s"), r.read_flag("o"))
+            return b.or_(lt, r.read_flag("z"))
+        if cc == "g":
+            lt = b.xor(r.read_flag("s"), r.read_flag("o"))
+            return b.xor(b.or_(lt, r.read_flag("z")), one)
+        if cc == "o":
+            return r.read_flag("o")
+        if cc == "no":
+            return b.xor(r.read_flag("o"), one)
+        if cc == "p":
+            return r.read_flag("p")
+        if cc == "np":
+            return b.xor(r.read_flag("p"), one)
+        raise ValueError(f"unknown condition code {cc}")

@@ -1,0 +1,6 @@
+"""Simulated flat memory and C-layout helpers."""
+
+from repro.mem.memory import Memory
+from repro.mem.layout import StructLayout, align_up
+
+__all__ = ["Memory", "StructLayout", "align_up"]

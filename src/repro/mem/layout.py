@@ -1,0 +1,83 @@
+"""C struct layout computation (System V AMD64 rules).
+
+MCC and the stencil data builders share these rules so a struct compiled
+from C source and the same struct built "by hand" into simulated memory
+agree byte-for-byte.  Supported field types are the scalar C types used by
+the paper's stencil structures plus nested structs and flexible trailing
+arrays (``struct FP p[];``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: size and alignment of scalar C types under the System V AMD64 ABI
+SCALAR_SIZES: dict[str, int] = {
+    "char": 1, "short": 2, "int": 4, "long": 8, "double": 8, "float": 4,
+    "ptr": 8,
+}
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One struct member: name, byte offset, size, alignment."""
+
+    name: str
+    offset: int
+    size: int
+    align: int
+
+
+class StructLayout:
+    """Computes and stores the layout of one struct type.
+
+    ``fields`` maps names to (kind, count) where kind is a scalar type name
+    or another StructLayout; ``count`` is 1 for plain members, n for arrays,
+    and 0 for a flexible trailing array.
+    """
+
+    def __init__(self, name: str, members: list[tuple[str, "str | StructLayout", int]]) -> None:
+        self.name = name
+        self.fields: dict[str, Field] = {}
+        self.flexible: tuple[str, "str | StructLayout"] | None = None
+        offset = 0
+        max_align = 1
+        for i, (fname, kind, count) in enumerate(members):
+            if isinstance(kind, StructLayout):
+                fsize, falign = kind.size, kind.align
+            else:
+                fsize = SCALAR_SIZES[kind]
+                falign = fsize
+            max_align = max(max_align, falign)
+            offset = align_up(offset, falign)
+            if count == 0:
+                if i != len(members) - 1:
+                    raise ValueError("flexible array member must be last")
+                self.fields[fname] = Field(fname, offset, 0, falign)
+                self.flexible = (fname, kind)
+                continue
+            self.fields[fname] = Field(fname, offset, fsize * count, falign)
+            offset += fsize * count
+        self.align = max_align
+        self.size = align_up(offset, max_align)
+
+    def offset_of(self, name: str) -> int:
+        """Byte offset of a member."""
+        return self.fields[name].offset
+
+    def sizeof_with_flexible(self, count: int) -> int:
+        """Total size when the flexible trailing array holds ``count`` items."""
+        if self.flexible is None:
+            if count:
+                raise ValueError(f"{self.name} has no flexible member")
+            return self.size
+        fname, kind = self.flexible
+        elem = kind.size if isinstance(kind, StructLayout) else SCALAR_SIZES[kind]
+        return align_up(self.fields[fname].offset + elem * count, self.align)

@@ -1,0 +1,9 @@
+"""The paper's case study: specializing a generic 2d stencil (Sec. V)."""
+
+from repro.stencil.data import FlatStencil, SortedStencil, build_flat, build_sorted
+from repro.stencil.jacobi import JacobiSetup, StencilWorkspace
+
+__all__ = [
+    "FlatStencil", "JacobiSetup", "SortedStencil", "StencilWorkspace",
+    "build_flat", "build_sorted",
+]

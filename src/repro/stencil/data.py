@@ -1,0 +1,83 @@
+"""Building the stencil descriptor structures in simulated memory (Fig. 7's
+``struct FS s4 = {4, {{-1,0,.25}, ...}}`` equivalent)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.cpu.image import Image
+from repro.mem.layout import StructLayout
+
+#: the paper's 4-point stencil: (dx, dy, coefficient)
+FOUR_POINT = ((-1, 0, 0.25), (1, 0, 0.25), (0, -1, 0.25), (0, 1, 0.25))
+
+FP_LAYOUT = StructLayout("FP", [("f", "double", 1), ("dx", "int", 1), ("dy", "int", 1)])
+FS_LAYOUT = StructLayout("FS", [("ps", "int", 1), ("p", FP_LAYOUT, 0)])
+SP_LAYOUT = StructLayout("SP", [("dx", "int", 1), ("dy", "int", 1)])
+SG_LAYOUT = StructLayout("SG", [("f", "double", 1), ("ps", "int", 1), ("p", "ptr", 1)])
+SS_LAYOUT = StructLayout("SS", [("gs", "int", 1), ("g", "ptr", 1)])
+
+
+@dataclass(frozen=True)
+class FlatStencil:
+    """A built flat descriptor: base address + total size."""
+
+    addr: int
+    size: int
+    points: tuple[tuple[int, int, float], ...]
+
+
+@dataclass(frozen=True)
+class SortedStencil:
+    """A built sorted descriptor; regions lists every fixed memory block
+    (SS header, SG array, SP arrays) for DBrew's set_mem."""
+
+    addr: int
+    regions: tuple[tuple[int, int], ...]
+    points: tuple[tuple[int, int, float], ...]
+
+
+def build_flat(image: Image,
+               points: tuple[tuple[int, int, float], ...] = FOUR_POINT) -> FlatStencil:
+    """Materialize ``struct FS`` with the given points."""
+    size = FS_LAYOUT.sizeof_with_flexible(len(points))
+    payload = bytearray(size)
+    payload[0:4] = struct.pack("<i", len(points))
+    base_off = FS_LAYOUT.offset_of("p")
+    for i, (dx, dy, f) in enumerate(points):
+        off = base_off + i * FP_LAYOUT.size
+        payload[off:off + 8] = struct.pack("<d", f)
+        payload[off + 8:off + 12] = struct.pack("<i", dx)
+        payload[off + 12:off + 16] = struct.pack("<i", dy)
+    addr = image.alloc_data(size, align=16, data=bytes(payload))
+    return FlatStencil(addr, size, points)
+
+
+def build_sorted(image: Image,
+                 points: tuple[tuple[int, int, float], ...] = FOUR_POINT) -> SortedStencil:
+    """Materialize ``struct SS`` with points grouped by coefficient."""
+    groups: dict[float, list[tuple[int, int]]] = {}
+    for dx, dy, f in points:
+        groups.setdefault(f, []).append((dx, dy))
+
+    sp_addrs: list[int] = []
+    for f, pts in groups.items():
+        payload = b"".join(struct.pack("<ii", dx, dy) for dx, dy in pts)
+        sp_addrs.append(image.alloc_data(len(payload), align=8, data=payload))
+
+    sg_payload = bytearray(SG_LAYOUT.size * len(groups))
+    for i, ((f, pts), sp_addr) in enumerate(zip(groups.items(), sp_addrs)):
+        off = i * SG_LAYOUT.size
+        sg_payload[off:off + 8] = struct.pack("<d", f)
+        sg_payload[off + 8:off + 12] = struct.pack("<i", len(pts))
+        sg_payload[off + 16:off + 24] = struct.pack("<Q", sp_addr)
+    sg_addr = image.alloc_data(len(sg_payload), align=16, data=bytes(sg_payload))
+
+    ss_payload = struct.pack("<i", len(groups)) + b"\x00" * 4 + struct.pack("<Q", sg_addr)
+    ss_addr = image.alloc_data(len(ss_payload), align=16, data=ss_payload)
+
+    regions = [(ss_addr, SS_LAYOUT.size), (sg_addr, len(sg_payload))]
+    for sp_addr, (f, pts) in zip(sp_addrs, groups.items()):
+        regions.append((sp_addr, len(pts) * SP_LAYOUT.size))
+    return SortedStencil(ss_addr, tuple(regions), points)

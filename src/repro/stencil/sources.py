@@ -1,0 +1,161 @@
+"""C sources of the stencil kernels (Fig. 7) and the measurement drivers.
+
+Three stencil descriptions:
+
+* **direct** — the 4-point stencil hard-coded (the hand-specialized
+  baseline every mode is measured against);
+* **flat** — ``struct FS { int ps; struct FP p[]; }``: one array of
+  (coefficient, dx, dy) points;
+* **sorted** — points grouped by coefficient behind *nested pointers*
+  (``SS -> SG* -> SP*``), the paper's case where IR-level fixation cannot
+  follow the indirection but DBrew's ``set_mem`` can.
+
+Each stencil exists as an *element kernel* (compute one cell) and a *line
+kernel* (loop over one row).  Line kernels take runtime ``x0``/``x1``
+bounds, mirroring how the paper prevents DBrew from fully unrolling the
+row loop (Sec. VI: the element computation is kept out of line so only it
+gets specialized/inlined).  ``line_call_*`` variants keep the element
+computation in a separate function — the input DBrew rewrites; the fused
+variants are what an optimizing compiler produces for the native build.
+
+All kernels share the signature ``(s, m1, m2, ...)`` so the drivers can be
+compiled once per mode against any kernel address.
+"""
+
+from __future__ import annotations
+
+_COMMON = """
+struct FP { double f; int dx, dy; };
+struct FS { int ps; struct FP p[]; };
+
+struct SP { int dx, dy; };
+struct SG { double f; int ps; struct SP* p; };
+struct SS { int gs; struct SG* g; };
+"""
+
+
+def kernel_source(sz: int) -> str:
+    """The kernels translation unit for matrix side length ``sz``."""
+    return f"#define SZ {sz}\n" + _COMMON + """
+void apply_direct(void* s, double* m1, double* m2, long index) {
+    m2[index] = 0.25 * (m1[index - 1] + m1[index + 1]
+                      + m1[index - SZ] + m1[index + SZ]);
+}
+
+void apply_flat(struct FS* s, double* m1, double* m2, long index) {
+    double v = 0.0;
+    for (int i = 0; i < s->ps; i++) {
+        struct FP* p = s->p + i;
+        v += p->f * m1[index + p->dx + SZ * p->dy];
+    }
+    m2[index] = v;
+}
+
+void apply_sorted(struct SS* s, double* m1, double* m2, long index) {
+    double v = 0.0;
+    for (int gi = 0; gi < s->gs; gi++) {
+        struct SG* g = s->g + gi;
+        double gv = 0.0;
+        for (int i = 0; i < g->ps; i++) {
+            struct SP* p = g->p + i;
+            gv += m1[index + p->dx + SZ * p->dy];
+        }
+        v += g->f * gv;
+    }
+    m2[index] = v;
+}
+
+void line_direct(void* s, double* m1, double* m2, long y, long x0, long x1) {
+    double* r1 = m1 + y * SZ;
+    double* r2 = m2 + y * SZ;
+    for (long x = x0; x < x1; x++) {
+        r2[x] = 0.25 * (r1[x - 1] + r1[x + 1] + r1[x - SZ] + r1[x + SZ]);
+    }
+}
+
+void line_flat(struct FS* s, double* m1, double* m2, long y, long x0, long x1) {
+    long row = y * SZ;
+    for (long x = x0; x < x1; x++) {
+        long index = row + x;
+        double v = 0.0;
+        for (int i = 0; i < s->ps; i++) {
+            struct FP* p = s->p + i;
+            v += p->f * m1[index + p->dx + SZ * p->dy];
+        }
+        m2[index] = v;
+    }
+}
+
+void line_sorted(struct SS* s, double* m1, double* m2, long y, long x0, long x1) {
+    long row = y * SZ;
+    for (long x = x0; x < x1; x++) {
+        long index = row + x;
+        double v = 0.0;
+        for (int gi = 0; gi < s->gs; gi++) {
+            struct SG* g = s->g + gi;
+            double gv = 0.0;
+            for (int i = 0; i < g->ps; i++) {
+                struct SP* p = g->p + i;
+                gv += m1[index + p->dx + SZ * p->dy];
+            }
+            v += g->f * gv;
+        }
+        m2[index] = v;
+    }
+}
+
+void line_call_direct(void* s, double* m1, double* m2, long y, long x0, long x1) {
+    long row = y * SZ;
+    for (long x = x0; x < x1; x++) {
+        apply_direct(s, m1, m2, row + x);
+    }
+}
+
+void line_call_flat(struct FS* s, double* m1, double* m2, long y, long x0, long x1) {
+    long row = y * SZ;
+    for (long x = x0; x < x1; x++) {
+        apply_flat(s, m1, m2, row + x);
+    }
+}
+
+void line_call_sorted(struct SS* s, double* m1, double* m2, long y, long x0, long x1) {
+    long row = y * SZ;
+    for (long x = x0; x < x1; x++) {
+        apply_sorted(s, m1, m2, row + x);
+    }
+}
+"""
+
+
+def element_driver_source(sz: int) -> str:
+    """Sweep driver calling an element kernel per interior cell."""
+    return f"#define SZ {sz}\n" + _COMMON + """
+void kernel(struct FS* s, double* m1, double* m2, long index);
+
+void sweep(struct FS* s, double* m1, double* m2) {
+    for (long y = 1; y < SZ - 1; y++) {
+        long row = y * SZ;
+        for (long x = 1; x < SZ - 1; x++) {
+            kernel(s, m1, m2, row + x);
+        }
+    }
+}
+"""
+
+
+def line_driver_source(sz: int) -> str:
+    """Sweep driver calling a line kernel per interior row."""
+    return f"#define SZ {sz}\n" + _COMMON + """
+void kernel(struct FS* s, double* m1, double* m2, long y, long x0, long x1);
+
+void sweep(struct FS* s, double* m1, double* m2) {
+    for (long y = 1; y < SZ - 1; y++) {
+        kernel(s, m1, m2, y, 1, SZ - 1);
+    }
+}
+"""
+
+
+#: signatures of the kernels for lifting / rewriting
+ELEMENT_SIGNATURE = ("i", "i", "i", "i")
+LINE_SIGNATURE = ("i", "i", "i", "i", "i", "i")

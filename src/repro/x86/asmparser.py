@@ -1,0 +1,211 @@
+"""Intel-syntax assembly text parser.
+
+A development and test convenience: lets tests and examples write kernels as
+readable text instead of builder calls.  Supports the same subset as the
+encoder, plus ``label:`` definitions and label references as branch targets
+(resolved by :func:`repro.x86.asm.assemble`).
+
+Grammar (per line, ``;`` or ``#`` starts a comment)::
+
+    label:
+    mnemonic
+    mnemonic op1
+    mnemonic op1, op2[, op3]
+
+Operands: registers by name, immediates (decimal, hex ``0x..``, negative),
+and memory ``[base + index*scale + disp]`` with an optional size prefix
+``byte/word/dword/qword/xmmword ptr`` and optional ``fs:``/``gs:`` segment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AsmSyntaxError
+from repro.x86 import isa, registers
+from repro.x86.asm import Item, Label, LabelRef
+from repro.x86.instr import Imm, Instruction, Mem, Operand, Reg
+
+_SIZES = {"byte": 1, "word": 2, "dword": 4, "qword": 8, "xmmword": 16}
+
+_MEM_RE = re.compile(r"^(?:(?P<size>byte|word|dword|qword|xmmword)\s+ptr\s+)?"
+                     r"(?:(?P<seg>fs|gs):)?\[(?P<body>[^\]]+)\]$")
+
+
+def _parse_reg(tok: str) -> Reg | None:
+    gp = registers.lookup_gp(tok)
+    if gp is not None:
+        index, size, high8 = gp
+        return Reg("gp", index, size, high8)
+    xi = registers.lookup_xmm(tok)
+    if xi is not None:
+        return Reg("xmm", xi, 16)
+    return None
+
+
+def _parse_int(tok: str) -> int | None:
+    tok = tok.strip()
+    neg = tok.startswith("-")
+    if neg:
+        tok = tok[1:].strip()
+    try:
+        val = int(tok, 0)
+    except ValueError:
+        return None
+    return -val if neg else val
+
+
+def _parse_mem(match: re.Match[str], default_size: int | None) -> Mem:
+    size = _SIZES[match["size"]] if match["size"] else (default_size or 8)
+    seg = match["seg"] or ""
+    body = match["body"].replace(" ", "")
+    # normalize: split into +/- terms
+    terms: list[str] = []
+    current = ""
+    for ch in body:
+        if ch in "+-" and current:
+            terms.append(current)
+            current = ch if ch == "-" else ""
+        elif ch == "-" and not current:
+            current = "-"
+        elif ch != "+":
+            current += ch
+    if current:
+        terms.append(current)
+
+    base: Reg | None = None
+    index: Reg | None = None
+    scale = 1
+    disp = 0
+    riprel = False
+    for term in terms:
+        neg = term.startswith("-")
+        t = term[1:] if neg else term
+        if "*" in t:
+            a, b = t.split("*", 1)
+            if _parse_int(a) is not None:
+                sc, rn = _parse_int(a), b
+            else:
+                sc, rn = _parse_int(b), a
+            reg = _parse_reg(rn)
+            if reg is None or sc is None or neg:
+                raise AsmSyntaxError(f"bad scaled index {term!r}")
+            index, scale = reg, sc
+            continue
+        reg = _parse_reg(t)
+        if reg is not None:
+            if neg:
+                raise AsmSyntaxError(f"cannot negate register {term!r}")
+            if t == "rip":
+                raise AsmSyntaxError("write rip-relative as [rip + 0xADDR]")
+            if base is None:
+                base = reg
+            elif index is None:
+                index = reg
+            else:
+                raise AsmSyntaxError(f"too many registers in {match.group(0)!r}")
+            continue
+        if t == "rip":
+            riprel = True
+            continue
+        val = _parse_int(term)
+        if val is None:
+            raise AsmSyntaxError(f"bad address term {term!r}")
+        disp += val
+    if riprel:
+        if base is not None or index is not None:
+            raise AsmSyntaxError("rip-relative takes no other registers")
+        return Mem(size=size, disp=disp, riprel=True, seg=seg)
+    # "rip" parsed as base? lookup_gp doesn't know rip, so we are fine.
+    return Mem(size=size, base=base, index=index, scale=scale, disp=disp, seg=seg)
+
+
+def _split_operands(text: str) -> list[str]:
+    out: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        out.append(current.strip())
+    return out
+
+
+def _operand_default_size(mnemonic: str, parsed: list[Operand | LabelRef]) -> int | None:
+    for op in parsed:
+        if isinstance(op, Reg) and op.kind == "gp":
+            return op.size
+        if isinstance(op, Reg) and op.kind == "xmm":
+            return isa.SSE_SCALAR_WIDTH.get(mnemonic, 16)
+    return None
+
+
+def parse_line(line: str) -> Item | None:
+    """Parse one line; returns an Instruction, a Label, or None for blanks."""
+    line = re.split(r"[;#]", line, 1)[0].strip()
+    if not line:
+        return None
+    if line.endswith(":") and " " not in line:
+        return Label(line[:-1])
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    cc = isa.cc_of(mnemonic)
+    if cc is not None:
+        for prefix in ("cmov", "set", "j"):
+            if mnemonic.startswith(prefix) and mnemonic != "jmp":
+                mnemonic = prefix + cc
+                break
+    raw_ops = _split_operands(parts[1]) if len(parts) > 1 else []
+
+    # first pass: parse everything except memory (needs default size)
+    staged: list[tuple[str, re.Match[str] | None]] = []
+    parsed: list[Operand | LabelRef] = []
+    for tok in raw_ops:
+        m = _MEM_RE.match(tok)
+        if m:
+            staged.append((tok, m))
+            parsed.append(Imm(0))  # placeholder
+            continue
+        staged.append((tok, None))
+        reg = _parse_reg(tok.lower())
+        if reg is not None:
+            parsed.append(reg)
+            continue
+        val = _parse_int(tok)
+        if val is not None:
+            parsed.append(Imm(val))
+            continue
+        if re.fullmatch(r"\.?\w+", tok):
+            parsed.append(LabelRef(tok))
+            continue
+        raise AsmSyntaxError(f"cannot parse operand {tok!r} in {line!r}")
+
+    default = _operand_default_size(mnemonic, [p for p, (_t, m) in zip(parsed, staged) if m is None])
+    final: list[Operand | LabelRef] = []
+    for p, (_tok, m) in zip(parsed, staged):
+        if m is not None:
+            final.append(_parse_mem(m, default))
+        else:
+            final.append(p)
+    return Instruction(mnemonic, tuple(final))
+
+
+def parse_asm(text: str) -> list[Item]:
+    """Parse a multi-line assembly listing into assembler items."""
+    items: list[Item] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        try:
+            item = parse_line(line)
+        except AsmSyntaxError as exc:
+            raise AsmSyntaxError(f"line {lineno}: {exc}") from None
+        if item is not None:
+            items.append(item)
+    return items

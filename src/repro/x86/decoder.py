@@ -1,0 +1,471 @@
+"""x86-64 machine-code decoder (the offline substitute for capstone).
+
+``decode_one(code, offset, addr)`` decodes a single instruction;
+``decode_block`` decodes a byte range into a list.  The decoder accepts a
+superset of what :mod:`repro.x86.encoder` emits (rel8 and rel32 branches,
+both ModRM directions, redundant REX prefixes) because DBrew and the lifter
+must consume compiler output, not just our own.
+
+Branch operands are normalized to *absolute* target addresses, and
+RIP-relative memory displacements to absolute addresses, so downstream
+passes never deal with encoding-relative offsets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.x86 import isa
+from repro.x86.instr import Imm, Instruction, Mem, Operand, Reg
+
+_SEG_BY_PREFIX = {0x64: "fs", 0x65: "gs"}
+
+# Reverse maps from the ISA tables.
+_ALU_BY_BASE = {base: (m, digit) for m, (base, digit) in isa.ALU_GROUP.items()}
+_ALU_BY_DIGIT = {digit: m for m, (_b, digit) in isa.ALU_GROUP.items()}
+_SHIFT_BY_DIGIT = {d: m for m, d in isa.SHIFT_GROUP.items()}
+_UNARY_BY_DIGIT = {d: m for m, d in isa.UNARY_GROUP.items()}
+_SSE_0F_BY_PREFIX: dict[int | None, dict[int, str]] = {
+    0xF2: {v: k for k, v in isa.SSE_SD.items()},
+    0xF3: {v: k for k, v in isa.SSE_SS.items()},
+    0x66: {v: k for k, v in (isa.SSE_PD | isa.SSE_PI).items()},
+    None: {v: k for k, v in isa.SSE_PS.items()},
+}
+
+
+class _Cursor:
+    def __init__(self, code: bytes, offset: int, addr: int) -> None:
+        self.code = code
+        self.pos = offset
+        self.start = offset
+        self.addr = addr
+
+    def u8(self) -> int:
+        if self.pos >= len(self.code):
+            raise DecodeError(f"truncated instruction at {self.addr:#x}")
+        b = self.code[self.pos]
+        self.pos += 1
+        return b
+
+    def peek(self) -> int:
+        if self.pos >= len(self.code):
+            raise DecodeError(f"truncated instruction at {self.addr:#x}")
+        return self.code[self.pos]
+
+    def imm(self, size: int, signed: bool = True) -> int:
+        if self.pos + size > len(self.code):
+            raise DecodeError(f"truncated immediate at {self.addr:#x}")
+        raw = self.code[self.pos : self.pos + size]
+        self.pos += size
+        return int.from_bytes(raw, "little", signed=signed)
+
+    @property
+    def length(self) -> int:
+        return self.pos - self.start
+
+    def end_addr(self) -> int:
+        return self.addr + self.length
+
+
+class _Ctx:
+    """Prefix state for one instruction."""
+
+    def __init__(self) -> None:
+        self.rex = 0
+        self.has_rex = False
+        self.op66 = False
+        self.rep_f2 = False
+        self.rep_f3 = False
+        self.seg = ""
+
+    @property
+    def w(self) -> bool:
+        return bool(self.rex & 8)
+
+    @property
+    def r(self) -> int:
+        return (self.rex >> 2) & 1
+
+    @property
+    def x(self) -> int:
+        return (self.rex >> 1) & 1
+
+    @property
+    def b(self) -> int:
+        return self.rex & 1
+
+    def int_size(self, byte_op: bool) -> int:
+        if byte_op:
+            return 1
+        if self.w:
+            return 8
+        if self.op66:
+            return 2
+        return 4
+
+    def sse_prefix(self) -> int | None:
+        if self.rep_f2:
+            return 0xF2
+        if self.rep_f3:
+            return 0xF3
+        if self.op66:
+            return 0x66
+        return None
+
+
+def _gp(ctx: _Ctx, bits3: int, ext: int, size: int) -> Reg:
+    index = bits3 | (ext << 3)
+    if size == 1 and not ctx.has_rex and 4 <= index < 8:
+        # without REX, encodings 4..7 are ah/ch/dh/bh
+        return Reg("gp", index - 4, 1, high8=True)
+    return Reg("gp", index, size, False)
+
+
+def _modrm(cur: _Cursor, ctx: _Ctx, size: int, *, reg_is_xmm: bool = False,
+           rm_is_xmm: bool = False, rm_size: int | None = None,
+           reg_size: int | None = None) -> tuple[Reg, Operand]:
+    """Decode ModRM (+SIB/displacement); returns (reg operand, r/m operand)."""
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg_bits = (modrm >> 3) & 7
+    rm_bits = modrm & 7
+    if reg_is_xmm:
+        reg: Reg = Reg("xmm", reg_bits | (ctx.r << 3), 16)
+    else:
+        reg = _gp(ctx, reg_bits, ctx.r, reg_size or size)
+    msize = rm_size if rm_size is not None else size
+    if mod == 3:
+        if rm_is_xmm:
+            return reg, Reg("xmm", rm_bits | (ctx.b << 3), 16)
+        return reg, _gp(ctx, rm_bits, ctx.b, msize)
+
+    base: Reg | None = None
+    index: Reg | None = None
+    scale = 1
+    disp = 0
+    riprel = False
+    if rm_bits == 4:  # SIB
+        sib = cur.u8()
+        scale = 1 << (sib >> 6)
+        idx_bits = (sib >> 3) & 7
+        base_bits = sib & 7
+        idx = idx_bits | (ctx.x << 3)
+        if idx != 4:  # index 100b (rsp position, no REX.X) means "no index"
+            index = Reg("gp", idx, 8)
+        if base_bits == 5 and mod == 0:
+            disp = cur.imm(4)
+        else:
+            base = Reg("gp", base_bits | (ctx.b << 3), 8)
+    elif rm_bits == 5 and mod == 0:
+        riprel = True
+        disp = cur.imm(4)
+    else:
+        base = Reg("gp", rm_bits | (ctx.b << 3), 8)
+
+    if mod == 1:
+        disp = cur.imm(1)
+    elif mod == 2:
+        disp = cur.imm(4)
+    mem = Mem(size=msize, base=base, index=index, scale=scale,
+              disp=disp, riprel=riprel, seg=ctx.seg)
+    return reg, mem
+
+
+def _finish_riprel(mem: Operand, end_addr: int) -> Operand:
+    """Convert a RIP-relative displacement to the absolute target address."""
+    if isinstance(mem, Mem) and mem.riprel:
+        return Mem(size=mem.size, disp=end_addr + mem.disp, riprel=True, seg=mem.seg)
+    return mem
+
+
+def decode_one(code: bytes, offset: int = 0, addr: int = 0) -> Instruction:
+    """Decode the instruction at ``code[offset:]``, located at ``addr``."""
+    cur = _Cursor(code, offset, addr)
+    ctx = _Ctx()
+
+    # prefixes
+    while True:
+        b = cur.peek()
+        if b == 0x66:
+            ctx.op66 = True
+        elif b == 0xF2:
+            ctx.rep_f2 = True
+        elif b == 0xF3:
+            ctx.rep_f3 = True
+        elif b in _SEG_BY_PREFIX:
+            ctx.seg = _SEG_BY_PREFIX[b]
+        elif 0x40 <= b <= 0x4F:
+            ctx.rex = b & 0xF
+            ctx.has_rex = True
+            cur.u8()
+            break  # REX must be the last prefix
+        else:
+            break
+        cur.u8()
+
+    opc = cur.u8()
+    ins = _decode_opcode(cur, ctx, opc)
+    raw = code[cur.start : cur.pos]
+    ops = tuple(_finish_riprel(o, cur.end_addr()) for o in ins.operands)
+    return Instruction(ins.mnemonic, ops, addr=addr, length=cur.length, raw=raw)
+
+
+def _rel_target(cur: _Cursor, size: int) -> Imm:
+    rel = cur.imm(size)
+    return Imm(cur.end_addr() + rel, 8)
+
+
+def _decode_opcode(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    # --- one-byte opcodes -------------------------------------------------
+    if opc in (0xC3,):
+        return Instruction("ret")
+    if opc == 0x90 and not ctx.rep_f3:
+        return Instruction("nop")
+    if opc == 0xC9:
+        return Instruction("leave")
+    if opc == 0xCC:
+        return Instruction("int3")
+    if opc == 0x99:
+        return Instruction("cqo" if ctx.w else "cdq")
+    if 0x50 <= opc <= 0x57:
+        return Instruction("push", (Reg("gp", (opc - 0x50) | (ctx.b << 3), 8),))
+    if 0x58 <= opc <= 0x5F:
+        return Instruction("pop", (Reg("gp", (opc - 0x58) | (ctx.b << 3), 8),))
+    if opc == 0x68:
+        return Instruction("push", (Imm(cur.imm(4), 4),))
+    if opc == 0x6A:
+        return Instruction("push", (Imm(cur.imm(1), 1),))
+    if opc == 0xE8:
+        return Instruction("call", (_rel_target(cur, 4),))
+    if opc == 0xE9:
+        return Instruction("jmp", (_rel_target(cur, 4),))
+    if opc == 0xEB:
+        return Instruction("jmp", (_rel_target(cur, 1),))
+    if 0x70 <= opc <= 0x7F:
+        return Instruction("j" + isa.CC_NAMES[opc - 0x70], (_rel_target(cur, 1),))
+
+    base = opc & 0xF8
+    low = opc & 7
+    if base in (0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38) and low < 6:
+        mnem, _digit = _ALU_BY_BASE[base]
+        byte_op = (low & 1) == 0
+        size = ctx.int_size(byte_op)
+        if low in (0, 1):  # r/m, r
+            reg, rm = _modrm(cur, ctx, size)
+            return Instruction(mnem, (rm, reg))
+        if low in (2, 3):  # r, r/m
+            reg, rm = _modrm(cur, ctx, size)
+            return Instruction(mnem, (reg, rm))
+        # 4/5: al/ax/eax/rax, imm
+        size = ctx.int_size(low == 4)
+        acc = Reg("gp", 0, size)
+        return Instruction(mnem, (acc, Imm(cur.imm(1 if low == 4 else min(size, 4)),
+                                           1 if low == 4 else min(size, 4))))
+    if opc in (0x80, 0x81, 0x83):
+        size = ctx.int_size(opc == 0x80)
+        reg, rm = _modrm(cur, ctx, size)
+        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+        mnem = _ALU_BY_DIGIT[digit]
+        if opc == 0x80 or opc == 0x83:
+            imm = Imm(cur.imm(1), 1)
+        else:
+            imm = Imm(cur.imm(min(size, 4)), min(size, 4))
+        return Instruction(mnem, (rm, imm))
+    if opc in (0x84, 0x85):
+        size = ctx.int_size(opc == 0x84)
+        reg, rm = _modrm(cur, ctx, size)
+        return Instruction("test", (rm, reg))
+    if opc in (0x88, 0x89):
+        size = ctx.int_size(opc == 0x88)
+        reg, rm = _modrm(cur, ctx, size)
+        return Instruction("mov", (rm, reg))
+    if opc in (0x8A, 0x8B):
+        size = ctx.int_size(opc == 0x8A)
+        reg, rm = _modrm(cur, ctx, size)
+        return Instruction("mov", (reg, rm))
+    if opc == 0x8D:
+        size = ctx.int_size(False)
+        reg, rm = _modrm(cur, ctx, size, rm_size=size)
+        if not isinstance(rm, Mem):
+            raise DecodeError("lea with register r/m")
+        return Instruction("lea", (reg, rm))
+    if opc == 0x63:
+        reg, rm = _modrm(cur, ctx, 8, rm_size=4)
+        return Instruction("movsxd", (reg, rm))
+    if 0xB8 <= opc <= 0xBF:
+        size = ctx.int_size(False)
+        reg = Reg("gp", (opc - 0xB8) | (ctx.b << 3), size)
+        if size == 8:
+            return Instruction("mov", (reg, Imm(cur.imm(8), 8)))
+        return Instruction("mov", (reg, Imm(cur.imm(min(size, 4)), min(size, 4))))
+    if 0xB0 <= opc <= 0xB7:
+        reg = _gp(ctx, opc - 0xB0, ctx.b, 1)
+        return Instruction("mov", (reg, Imm(cur.imm(1), 1)))
+    if opc in (0xC6, 0xC7):
+        size = ctx.int_size(opc == 0xC6)
+        reg, rm = _modrm(cur, ctx, size)
+        isize = 1 if opc == 0xC6 else min(size, 4)
+        return Instruction("mov", (rm, Imm(cur.imm(isize), isize)))
+    if opc in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
+        size = ctx.int_size(opc in (0xC0, 0xD0, 0xD2))
+        reg, rm = _modrm(cur, ctx, size)
+        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+        mnem = _SHIFT_BY_DIGIT.get(digit)
+        if mnem is None:
+            raise DecodeError(f"unsupported shift /{digit}")
+        if opc in (0xC0, 0xC1):
+            return Instruction(mnem, (rm, Imm(cur.imm(1, signed=False), 1)))
+        if opc in (0xD0, 0xD1):
+            return Instruction(mnem, (rm, Imm(1, 1)))
+        return Instruction(mnem, (rm, Reg("gp", 1, 1)))
+    if opc in (0xF6, 0xF7):
+        size = ctx.int_size(opc == 0xF6)
+        reg, rm = _modrm(cur, ctx, size)
+        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+        if digit in (0, 1):
+            isize = 1 if opc == 0xF6 else min(size, 4)
+            return Instruction("test", (rm, Imm(cur.imm(isize), isize)))
+        mnem = _UNARY_BY_DIGIT[digit]
+        if mnem == "imul1":
+            mnem = "imul"  # one-operand widening form; distinguished by arity
+        return Instruction(mnem, (rm,))
+    if opc in (0xFE, 0xFF):
+        size = ctx.int_size(opc == 0xFE)
+        reg, rm = _modrm(cur, ctx, size)
+        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+        if digit == 0:
+            return Instruction("inc", (rm,))
+        if digit == 1:
+            return Instruction("dec", (rm,))
+        if opc == 0xFF and digit == 6:
+            return Instruction("push", (rm,))
+        if opc == 0xFF and digit == 4:
+            return Instruction("jmp", (rm,))  # indirect; rejected by consumers
+        if opc == 0xFF and digit == 2:
+            return Instruction("call", (rm,))
+        raise DecodeError(f"unsupported FF /{digit}")
+    if opc in (0x69, 0x6B):
+        size = ctx.int_size(False)
+        reg, rm = _modrm(cur, ctx, size)
+        if opc == 0x6B:
+            imm = Imm(cur.imm(1), 1)
+        else:
+            imm = Imm(cur.imm(min(size, 4)), min(size, 4))
+        return Instruction("imul", (reg, rm, imm))
+
+    # --- 0F escape --------------------------------------------------------
+    if opc == 0x0F:
+        return _decode_0f(cur, ctx)
+
+    raise DecodeError(f"unknown opcode {opc:#04x} at {cur.addr:#x}")
+
+
+def _decode_0f(cur: _Cursor, ctx: _Ctx) -> Instruction:
+    opc = cur.u8()
+    if opc == 0x0B:
+        return Instruction("ud2")
+    if opc == 0x05:
+        return Instruction("syscall")
+    if 0x80 <= opc <= 0x8F:
+        return Instruction("j" + isa.CC_NAMES[opc - 0x80], (_rel_target(cur, 4),))
+    if 0x40 <= opc <= 0x4F:
+        size = ctx.int_size(False)
+        reg, rm = _modrm(cur, ctx, size)
+        return Instruction("cmov" + isa.CC_NAMES[opc - 0x40], (reg, rm))
+    if 0x90 <= opc <= 0x9F:
+        _reg, rm = _modrm(cur, ctx, 1)
+        return Instruction("set" + isa.CC_NAMES[opc - 0x90], (rm,))
+    if opc == 0xAF:
+        size = ctx.int_size(False)
+        reg, rm = _modrm(cur, ctx, size)
+        return Instruction("imul", (reg, rm))
+    if opc in (0xB6, 0xB7, 0xBE, 0xBF):
+        dsize = ctx.int_size(False)
+        ssize = 1 if opc in (0xB6, 0xBE) else 2
+        mnem = "movzx" if opc in (0xB6, 0xB7) else "movsx"
+        reg, rm = _modrm(cur, ctx, dsize, rm_size=ssize)
+        return Instruction(mnem, (reg, rm))
+    if opc == 0x1F:
+        _reg, _rm = _modrm(cur, ctx, ctx.int_size(False))
+        return Instruction("nop")
+
+    prefix = ctx.sse_prefix()
+
+    if opc == 0x10 or opc == 0x11:
+        mnem = {0xF2: "movsd", 0xF3: "movss", 0x66: "movupd", None: "movups"}[prefix]
+        width = {0xF2: 8, 0xF3: 4, 0x66: 16, None: 16}[prefix]
+        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction(mnem, (reg, rm) if opc == 0x10 else (rm, reg))
+    if opc in (0x28, 0x29):
+        mnem = "movapd" if prefix == 0x66 else "movaps"
+        reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction(mnem, (reg, rm) if opc == 0x28 else (rm, reg))
+    if opc in (0x12, 0x13, 0x16, 0x17) and prefix == 0x66:
+        mnem = "movlpd" if opc in (0x12, 0x13) else "movhpd"
+        reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction(mnem, (reg, rm) if opc in (0x12, 0x16) else (rm, reg))
+    if opc in (0x2E, 0x2F):
+        mnem = ("u" if opc == 0x2E else "") + ("comisd" if prefix == 0x66 else "comiss")
+        width = 8 if prefix == 0x66 else 4
+        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction(mnem, (reg, rm))
+    if opc == 0x2A:
+        mnem = "cvtsi2sd" if prefix == 0xF2 else "cvtsi2ss"
+        size = 8 if ctx.w else 4
+        reg, rm = _modrm(cur, ctx, size, reg_is_xmm=True)
+        return Instruction(mnem, (reg, rm))
+    if opc in (0x2C, 0x2D):
+        sd = prefix == 0xF2
+        mnem = ("cvtt" if opc == 0x2C else "cvt") + ("sd2si" if sd else "ss2si")
+        size = 8 if ctx.w else 4
+        reg, rm = _modrm(cur, ctx, 8 if sd else 4, rm_is_xmm=True, reg_size=size)
+        return Instruction(mnem, (reg, rm))
+    if opc == 0x5A:
+        mnem = "cvtsd2ss" if prefix == 0xF2 else "cvtss2sd"
+        width = 8 if prefix == 0xF2 else 4
+        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction(mnem, (reg, rm))
+    if opc == 0x6E:
+        mnem = "movq" if ctx.w else "movd"
+        reg, rm = _modrm(cur, ctx, 8 if ctx.w else 4, reg_is_xmm=True)
+        return Instruction(mnem, (reg, rm))
+    if opc == 0x7E:
+        if prefix == 0xF3:
+            reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
+            return Instruction("movq", (reg, rm))
+        mnem = "movq" if ctx.w else "movd"
+        reg, rm = _modrm(cur, ctx, 8 if ctx.w else 4, reg_is_xmm=True)
+        return Instruction(mnem, (rm, reg))
+    if opc == 0xD6:
+        reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction("movq", (rm, reg))
+    if opc == 0xC6 and prefix == 0x66:
+        reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction("shufpd", (reg, rm, Imm(cur.imm(1, signed=False), 1)))
+    if opc == 0x70 and prefix == 0x66:
+        reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction("pshufd", (reg, rm, Imm(cur.imm(1, signed=False), 1)))
+
+    table = _SSE_0F_BY_PREFIX.get(prefix, {})
+    if opc in table:
+        mnem = table[opc]
+        width = isa.SSE_SCALAR_WIDTH.get(mnem, 16)
+        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction(mnem, (reg, rm))
+
+    raise DecodeError(f"unknown 0F opcode {opc:#04x} at {cur.addr:#x}")
+
+
+def decode_block(code: bytes, addr: int, length: int, *, base_addr: int = 0) -> list[Instruction]:
+    """Decode ``length`` bytes located at virtual address ``addr``.
+
+    ``base_addr`` maps virtual addresses into ``code`` offsets:
+    ``offset = addr - base_addr``.
+    """
+    out: list[Instruction] = []
+    pc = addr
+    end = addr + length
+    while pc < end:
+        ins = decode_one(code, pc - base_addr, pc)
+        out.append(ins)
+        pc += ins.length
+    return out

@@ -1,0 +1,68 @@
+"""Intel-syntax disassembly printing.
+
+Used for Fig. 5/8-style listings in the examples, for debugging and for the
+asmparser round-trip tests.
+"""
+
+from __future__ import annotations
+
+from repro.x86.instr import Imm, Instruction, Mem, Operand, Reg
+
+_SIZE_NAME = {1: "byte", 2: "word", 4: "dword", 8: "qword", 16: "xmmword"}
+
+
+def format_operand(op: Operand) -> str:
+    """Render one operand in Intel syntax."""
+    if isinstance(op, Reg):
+        return op.name
+    if isinstance(op, Imm):
+        v = op.value
+        if -10 < v < 10:
+            return str(v)
+        return f"{'-' if v < 0 else ''}{abs(v):#x}"
+    if isinstance(op, Mem):
+        parts: list[str] = []
+        if op.riprel:
+            parts.append(f"rip + {op.disp:#x}")
+        else:
+            if op.base is not None:
+                parts.append(op.base.name)
+            if op.index is not None:
+                parts.append(f"{op.scale} * {op.index.name}" if op.scale != 1
+                             else op.index.name)
+            if op.disp or not parts:
+                if parts and op.disp < 0:
+                    parts.append(f"- {abs(op.disp):#x}")
+                elif parts:
+                    parts.append(f"+ {op.disp:#x}")
+                else:
+                    parts.append(f"{op.disp:#x}")
+        body = " ".join(parts).replace("  ", " ")
+        body = body.replace(" - ", " - ").replace(" + ", " + ")
+        inner = ""
+        first = True
+        for p in parts:
+            if first:
+                inner = p
+                first = False
+            elif p.startswith(("+", "-")):
+                inner += f" {p[0]} {p[2:]}"
+            else:
+                inner += f" + {p}"
+        seg = f"{op.seg}:" if op.seg else ""
+        return f"{_SIZE_NAME[op.size]} ptr {seg}[{inner}]"
+    raise TypeError(f"unknown operand {op!r}")
+
+
+def format_instruction(ins: Instruction, *, with_addr: bool = False) -> str:
+    """Render one instruction in Intel syntax."""
+    ops = ", ".join(format_operand(o) for o in ins.operands)
+    text = f"{ins.mnemonic} {ops}".rstrip()
+    if with_addr:
+        return f"{ins.addr:#010x}:  {text}"
+    return text
+
+
+def format_block(instrs: list[Instruction], *, with_addr: bool = True) -> str:
+    """Render an instruction list, one per line."""
+    return "\n".join(format_instruction(i, with_addr=with_addr) for i in instrs)

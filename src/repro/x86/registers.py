@@ -1,0 +1,107 @@
+"""Architectural registers and their sub-register geometry.
+
+x86-64 has 16 general-purpose registers (GPRs) of 64 bits and, with SSE,
+16 vector registers of 128 bits.  Instructions address *views* of these
+registers — ``rax``/``eax``/``ax``/``al``/``ah`` all name storage inside
+GPR 0.  The paper calls the typed views "facets" (Fig. 4); at the ISA level
+we only need the untyped geometry: register index, access width, and the
+high-byte quirk (``ah`` = bits 8..16 of GPR 0).
+
+The canonical in-memory representation used throughout the project is
+``(kind, index)`` with kind ``'gp'`` or ``'xmm'``; operand widths live on
+the :class:`repro.x86.instr.Reg` operand, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+# Canonical GPR order matches the hardware encoding (REX.B/ModRM numbering).
+GP: Final[tuple[str, ...]] = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+XMM: Final[tuple[str, ...]] = tuple(f"xmm{i}" for i in range(16))
+
+_GP32: Final[tuple[str, ...]] = (
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+)
+_GP16: Final[tuple[str, ...]] = (
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+)
+_GP8: Final[tuple[str, ...]] = (
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+)
+_GP8H: Final[tuple[str, ...]] = ("ah", "ch", "dh", "bh")
+
+# Index constants for readability at call sites.
+RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI = range(8)
+R8, R9, R10, R11, R12, R13, R14, R15 = range(8, 16)
+
+#: System V AMD64 ABI: integer/pointer argument registers, in order.
+SYSV_INT_ARGS: Final[tuple[int, ...]] = (RDI, RSI, RDX, RCX, R8, R9)
+#: System V AMD64 ABI: floating-point argument registers (xmm indices).
+SYSV_SSE_ARGS: Final[tuple[int, ...]] = (0, 1, 2, 3, 4, 5, 6, 7)
+#: Callee-saved GPRs under the System V AMD64 ABI.
+SYSV_CALLEE_SAVED: Final[tuple[int, ...]] = (RBX, RBP, R12, R13, R14, R15)
+#: Caller-saved (volatile) GPRs, excluding rsp.
+SYSV_CALLER_SAVED: Final[tuple[int, ...]] = (
+    RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11,
+)
+
+
+def gp_name(index: int, size: int, high8: bool = False) -> str:
+    """Return the architectural name of a GPR view.
+
+    ``size`` is the access width in bytes (1, 2, 4 or 8); ``high8`` selects
+    the legacy high-byte view (only valid for ``size == 1`` and
+    ``index < 4``).
+    """
+    if high8:
+        if size != 1 or index >= 4:
+            raise ValueError(f"no high-byte register for index {index} size {size}")
+        return _GP8H[index]
+    table = {8: GP, 4: _GP32, 2: _GP16, 1: _GP8}.get(size)
+    if table is None:
+        raise ValueError(f"invalid GPR access size {size}")
+    return table[index]
+
+
+def xmm_name(index: int) -> str:
+    """Return the name of an SSE register."""
+    return XMM[index]
+
+
+# Name -> (index, size, high8) for the Intel-syntax parser.
+_GP_BY_NAME: Final[dict[str, tuple[int, int, bool]]] = {}
+for _i, _n in enumerate(GP):
+    _GP_BY_NAME[_n] = (_i, 8, False)
+for _i, _n in enumerate(_GP32):
+    _GP_BY_NAME[_n] = (_i, 4, False)
+for _i, _n in enumerate(_GP16):
+    _GP_BY_NAME[_n] = (_i, 2, False)
+for _i, _n in enumerate(_GP8):
+    _GP_BY_NAME[_n] = (_i, 1, False)
+for _i, _n in enumerate(_GP8H):
+    _GP_BY_NAME[_n] = (_i, 1, True)
+
+
+def lookup_gp(name: str) -> tuple[int, int, bool] | None:
+    """Map a GPR name to ``(index, size, high8)``, or None if unknown."""
+    return _GP_BY_NAME.get(name)
+
+
+def lookup_xmm(name: str) -> int | None:
+    """Map an SSE register name to its index, or None if unknown."""
+    if name.startswith("xmm"):
+        try:
+            idx = int(name[3:])
+        except ValueError:
+            return None
+        if 0 <= idx < 16:
+            return idx
+    return None

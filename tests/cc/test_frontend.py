@@ -1,0 +1,220 @@
+"""MCC front-end units: lexer, parser AST shapes, sema diagnostics, types."""
+
+import pytest
+
+from repro.cc import cast as A
+from repro.cc.ctypes import (
+    CHAR, DOUBLE, INT, LONG, StructType, common_arith_type, pointer_to,
+)
+from repro.cc.lexer import tokenize
+from repro.cc.parser import parse
+from repro.cc.sema import analyze
+from repro.errors import CompileError
+
+
+# -- lexer -----------------------------------------------------------------
+
+
+def test_tokenize_kinds():
+    toks = tokenize("int x = 42 + 0x1F; // comment\ndouble y = 2.5e3;")
+    kinds = [(t.kind, t.text) for t in toks if t.kind != "eof"]
+    assert ("kw", "int") in kinds
+    assert ("ident", "x") in kinds
+    assert any(t.kind == "int" and t.value == 0x1F for t in toks)
+    assert any(t.kind == "float" and t.value == 2500.0 for t in toks)
+
+
+def test_block_comments():
+    toks = tokenize("a /* multi\nline */ b")
+    idents = [t.text for t in toks if t.kind == "ident"]
+    assert idents == ["a", "b"]
+
+
+def test_define_expansion():
+    toks = tokenize("#define SZ 649\nint x = SZ * SZ;")
+    values = [t.value for t in toks if t.kind == "int"]
+    assert values == [649, 649]
+
+
+def test_define_chains():
+    toks = tokenize("#define A 2\n#define B A\nint x = B;")
+    assert any(t.kind == "int" and t.value == 2 for t in toks)
+
+
+def test_lexer_rejects_garbage():
+    with pytest.raises(CompileError):
+        tokenize("int x = `;")
+
+
+def test_multichar_punct_longest_match():
+    toks = tokenize("a <<= b >> c != d")
+    puncts = [t.text for t in toks if t.kind == "punct"]
+    assert puncts == ["<<=", ">>", "!="]
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def test_parse_function_shape():
+    prog = parse("long f(long a, double b) { return a; }")
+    f = prog.functions[0]
+    assert f.name == "f"
+    assert f.ret is LONG
+    assert [p.ctype for p in f.params] == [LONG, DOUBLE]
+
+
+def test_parse_precedence_tree():
+    prog = parse("int f() { return 1 + 2 * 3; }")
+    ret = prog.functions[0].body.stmts[0]
+    assert isinstance(ret.value, A.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.rhs, A.Binary) and ret.value.rhs.op == "*"
+
+
+def test_parse_struct_with_flexible_member():
+    prog = parse("""
+    struct FS { int ps; struct FP { double f; int dx, dy; } p[]; };
+    int g(struct FS* s) { return s->ps; }
+    """)
+    fs = prog.structs["FS"]
+    assert fs.layout.offset_of("p") == 8
+    assert fs.layout.flexible is not None
+
+
+def test_parse_multiple_declarators():
+    prog = parse("int f() { int a = 1, b = 2; return a + b; }")
+    block = prog.functions[0].body
+    assert isinstance(block.stmts[0], A.Block)
+    assert len(block.stmts[0].stmts) == 2
+
+
+def test_parse_cast_vs_parenthesized_expr():
+    prog = parse("long f(double x) { return (long)x + (1); }")
+    ret = prog.functions[0].body.stmts[0]
+    assert isinstance(ret.value.lhs, A.Cast)
+
+
+def test_parse_sizeof_type():
+    prog = parse("long f() { return sizeof(double*); }")
+    ret = prog.functions[0].body.stmts[0]
+    assert isinstance(ret.value, A.SizeofType)
+    assert ret.value.of.is_pointer
+
+
+def test_parse_for_without_clauses():
+    prog = parse("int f() { for (;;) { break; } return 0; }")
+    loop = prog.functions[0].body.stmts[0]
+    assert isinstance(loop, A.For) and loop.init is None and loop.cond is None
+
+
+def test_parse_errors():
+    for bad in [
+        "int f( { return 0; }",
+        "int f() { return 0 }",
+        "int f() { int x[n]; return 0; }",
+        "struct S { struct T t[]; int tail; }; int f() { return 0; }",
+    ]:
+        with pytest.raises(CompileError):
+            parse(bad)
+
+
+# -- types ---------------------------------------------------------------------
+
+
+def test_common_arith_type_promotions():
+    assert common_arith_type(INT, DOUBLE) is DOUBLE
+    assert common_arith_type(CHAR, CHAR).size == 4  # integer promotion
+    assert common_arith_type(INT, LONG).size == 8
+
+
+def test_pointer_type_str():
+    assert str(pointer_to(pointer_to(DOUBLE))) == "double**"
+
+
+def test_struct_member_lookup():
+    st = StructType("S")
+    st.define([("a", INT, 1), ("b", DOUBLE, 1)])
+    t, off = st.member("b")
+    assert t is DOUBLE and off == 8
+    with pytest.raises(CompileError):
+        st.member("nope")
+
+
+def test_struct_redefinition_rejected():
+    with pytest.raises(CompileError):
+        parse("struct S { int a; }; struct S { int b; }; int f() { return 0; }")
+
+
+# -- sema --------------------------------------------------------------------
+
+
+def test_sema_scoping_shadowing():
+    prog = parse("""
+    int f(int x) {
+        int y = x;
+        { int x = 2; y = y + x; }
+        return y + x;
+    }
+    """)
+    analyze(prog)  # must not raise; inner x shadows the parameter
+
+
+def test_sema_rejects_shadow_in_same_scope():
+    prog = parse("int f() { int x = 1; int x = 2; return x; }")
+    with pytest.raises(CompileError, match="redeclaration"):
+        analyze(prog)
+
+
+def test_sema_inserts_conversions():
+    prog = parse("double f(int n) { return n; }")
+    analyze(prog)
+    ret = prog.functions[0].body.stmts[0]
+    assert isinstance(ret.value, A.Cast)
+    assert ret.value.ctype is DOUBLE
+
+
+def test_sema_pointer_arith_types():
+    prog = parse("double* f(double* p, int i) { return p + i; }")
+    analyze(prog)
+    ret = prog.functions[0].body.stmts[0]
+    assert ret.value.ctype.is_pointer
+
+
+def test_sema_rejects_bad_operations():
+    cases = [
+        "int f(int* p, double d) { return p * d; }",
+        "int f(int a) { return *a; }",
+        "int f(struct S* s) { return s.x; }",
+        "void g(void); int f() { int x = g(); return x; }",
+        "int f() { return g(); }",
+        "int f(int a) { 5 = a; return 0; }",
+        "int f(int a, int b) { return f(a); }",
+    ]
+    for src in cases:
+        with pytest.raises(CompileError):
+            analyze(parse("struct S { int x; };\n" + src))
+
+
+def test_sema_arg_count_checked():
+    prog = parse("""
+    int g(int a, int b) { return a + b; }
+    int f() { return g(1); }
+    """)
+    with pytest.raises(CompileError, match="expects 2"):
+        analyze(prog)
+
+
+def test_sema_void_return_checked():
+    with pytest.raises(CompileError):
+        analyze(parse("void f() { return 5; }"))
+    with pytest.raises(CompileError):
+        analyze(parse("int f() { return; }"))
+
+
+def test_sema_rejects_side_effects_in_compound_target():
+    prog = parse("int f(int* a) { long i = 0; a[i++] += 5; return 0; }")
+    with pytest.raises(CompileError, match="side effects"):
+        analyze(prog)
+
+
+def test_sema_allows_plain_compound_assign():
+    analyze(parse("int f(int* a, long i) { a[i] += 5; return a[i]; }"))

@@ -1,0 +1,180 @@
+"""MCC middle-end units: TAC shapes from lowering, vectorizer recognition."""
+
+import pytest
+
+from repro.backend.opt import optimize
+from repro.backend.tac import TAddr, TInstr, VReg
+from repro.cc.lower import lower_function
+from repro.cc.parser import parse
+from repro.cc.sema import analyze
+from repro.cc.vectorize import try_vectorize
+
+
+def lower(src, name=None):
+    prog = parse(src)
+    infos = analyze(prog)
+    func = next(f for f in prog.functions
+                if f.body is not None and (name is None or f.name == name))
+    return lower_function(func, infos[func.name], infos)
+
+
+def ops_of(tf):
+    return [i.op for i in tf.instructions()]
+
+
+# -- lowering shapes ---------------------------------------------------------
+
+
+def test_index_constant_folds_into_displacement():
+    tf = lower("double f(double* p, long i) { return p[i - 3]; }")
+    optimize(tf)
+    loads = [i for i in tf.instructions() if i.op == "fload"]
+    assert len(loads) == 1
+    assert loads[0].addr.disp == -24
+    assert loads[0].addr.scale == 8
+
+
+def test_index_cast_looked_through():
+    # int index: sema inserts int->long casts; folding must survive them
+    tf = lower("double f(double* p, int i) { return p[i + 2]; }")
+    optimize(tf)
+    loads = [i for i in tf.instructions() if i.op == "fload"]
+    assert loads[0].addr.disp == 16
+
+
+def test_scalar_locals_have_no_frame_slot():
+    tf = lower("long f(long a) { long x = a + 1; long y = x * 2; return y; }")
+    assert not tf.frame_objects
+
+
+def test_address_taken_local_gets_frame_slot():
+    tf = lower("""
+    long g(long* p);
+    long f(long a) { long x = a; return g(&x); }
+    """, name="f")
+    assert len(tf.frame_objects) == 1
+    assert any(i.op == "frame" for i in tf.instructions())
+
+
+def test_local_array_gets_frame_slot():
+    tf = lower("long f() { long buf[4]; buf[0] = 1; return buf[0]; }")
+    (slot,) = tf.frame_objects.values()
+    assert slot[0] == 32
+
+
+def test_struct_member_chain_is_single_addressing():
+    tf = lower("""
+    struct FP { double f; int dx, dy; };
+    struct FS { int ps; struct FP p[]; };
+    double f(struct FS* s, long i) { return s->p[i].f; }
+    """)
+    optimize(tf)
+    loads = [i for i in tf.instructions() if i.op == "fload"]
+    assert len(loads) == 1
+    # address: s + 8 (p offset) + i*16; scale 16 is not encodable -> mul
+    assert loads[0].addr.disp == 8 or any(i.op == "mul" for i in tf.instructions())
+
+
+def test_short_circuit_and_produces_two_branches():
+    tf = lower("long f(long a, long b) { if (a > 0 && b > 0) return 1; return 0; }")
+    brs = [i for i in tf.instructions() if i.op == "br"]
+    assert len(brs) == 2
+
+
+def test_pointer_difference_scales_down():
+    tf = lower("long f(double* a, double* b) { return a - b; }")
+    assert any(i.op == "sar" and i.b == 3 for i in tf.instructions())
+
+
+def test_signature_classification():
+    tf = lower("double f(long a, double x, long* p, double y) { return x + y; }")
+    assert len(tf.iparams) == 2
+    assert len(tf.fparams) == 2
+    assert tf.ret_cls == "f"
+
+
+def test_void_function_ret():
+    tf = lower("void f(long* p) { *p = 1; }")
+    assert tf.ret_cls is None
+    assert any(i.op == "ret" and i.a is None for i in tf.instructions())
+
+
+# -- vectorizer ----------------------------------------------------------------
+
+
+VEC_SRC = """
+void line(double* r1, double* r2, long n) {
+    for (long x = 1; x < n; x++)
+        r2[x] = 0.5 * (r1[x - 1] + r1[x + 1]);
+}
+"""
+
+
+def test_vectorizer_recognizes_canonical_loop():
+    tf = lower(VEC_SRC)
+    optimize(tf)
+    assert try_vectorize(tf)
+    ops = ops_of(tf)
+    assert "vadd" in ops and "vmul" in ops and "vstore" in ops
+    assert "vbroadcast" in ops  # the 0.5 splat
+
+
+def test_vectorizer_store_is_aligned_loads_not():
+    tf = lower(VEC_SRC)
+    optimize(tf)
+    try_vectorize(tf)
+    vstores = [i for i in tf.instructions() if i.op == "vstore"]
+    vloads = [i for i in tf.instructions() if i.op == "vload"]
+    assert all(s.aligned for s in vstores)   # alignment peeling guarantees it
+    assert all(not l.aligned for l in vloads)  # ±1 neighbours cannot be
+
+
+def test_vectorizer_keeps_scalar_remainder():
+    tf = lower(VEC_SRC)
+    optimize(tf)
+    try_vectorize(tf)
+    # the scalar body survives (peel + tail)
+    assert any(i.op == "fstore" for i in tf.instructions())
+
+
+def test_vectorizer_rejects_non_unit_stride():
+    tf = lower("""
+    void f(double* r1, double* r2, long n) {
+        for (long x = 1; x < n; x++) r2[x] = r1[2 * x];
+    }
+    """)
+    optimize(tf)
+    assert not try_vectorize(tf)
+
+
+def test_vectorizer_rejects_integer_store():
+    tf = lower("""
+    void f(long* a, long n) {
+        for (long x = 0; x < n; x++) a[x] = x;
+    }
+    """)
+    optimize(tf)
+    assert not try_vectorize(tf)
+
+
+def test_vectorizer_rejects_two_stores():
+    tf = lower("""
+    void f(double* a, double* b, long n) {
+        for (long x = 0; x < n; x++) { a[x] = 1.0; b[x] = 2.0; }
+    }
+    """)
+    optimize(tf)
+    assert not try_vectorize(tf)
+
+
+def test_vectorizer_rejects_loop_carried_dependence_shape():
+    # the stored value depends on a value from outside the recognized DAG
+    tf = lower("""
+    double f(double* a, long n) {
+        double s = 0.0;
+        for (long x = 0; x < n; x++) s = s + a[x];
+        return s;
+    }
+    """)
+    optimize(tf)
+    assert not try_vectorize(tf)

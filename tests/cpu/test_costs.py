@@ -1,0 +1,82 @@
+"""Cost model unit tests."""
+
+import pytest
+
+from repro.cpu.costs import HASWELL, CostModel
+from repro.x86.instr import Imm, Mem, gp, make, xmm
+
+
+def cost(model, mnemonic, *ops, taken=False, mem_addr=None):
+    return model.instruction_cost(make(mnemonic, *ops), taken=taken,
+                                  mem_addr=mem_addr)
+
+
+def test_simple_alu_is_one_cycle():
+    assert cost(HASWELL, "add", gp(0), gp(1)) == 1.0
+    assert cost(HASWELL, "lea", gp(0), Mem(8, base=gp(1))) == 1.0  # no load
+
+
+def test_load_penalty_applies():
+    plain = cost(HASWELL, "mov", gp(0), gp(1))
+    load = cost(HASWELL, "mov", gp(0), Mem(8, base=gp(1)))
+    assert load == plain + HASWELL.load_penalty
+
+
+def test_store_cheaper_than_load():
+    load = cost(HASWELL, "mov", gp(0), Mem(8, base=gp(1)))
+    store = cost(HASWELL, "mov", Mem(8, base=gp(1)), gp(0))
+    assert store < load
+
+
+def test_taken_branch_costs_more():
+    nt = cost(HASWELL, "jl", Imm(0x1000))
+    t = cost(HASWELL, "jl", Imm(0x1000), taken=True)
+    assert t == nt + HASWELL.taken_branch_penalty
+
+
+def test_unconditional_jump_has_no_taken_penalty():
+    assert cost(HASWELL, "jmp", Imm(0), taken=True) == cost(HASWELL, "jmp", Imm(0))
+
+
+def test_unaligned_16b_penalty():
+    aligned = cost(HASWELL, "movupd", xmm(0), Mem(16, base=gp(1)), mem_addr=0x1000)
+    unaligned = cost(HASWELL, "movupd", xmm(0), Mem(16, base=gp(1)), mem_addr=0x1008)
+    assert unaligned == aligned + HASWELL.unaligned16_penalty
+
+
+def test_scalar_8b_has_no_alignment_penalty():
+    a = cost(HASWELL, "movsd", xmm(0), Mem(8, base=gp(1)), mem_addr=0x1004)
+    b = cost(HASWELL, "movsd", xmm(0), Mem(8, base=gp(1)), mem_addr=0x1000)
+    assert a == b
+
+
+def test_divide_much_slower_than_multiply():
+    assert cost(HASWELL, "divsd", xmm(0), xmm(1)) > 3 * cost(HASWELL, "mulsd", xmm(0), xmm(1))
+
+
+def test_packed_same_cost_as_scalar():
+    # throughput model: packed does 2x work for the same cost
+    assert cost(HASWELL, "addpd", xmm(0), xmm(1)) == cost(HASWELL, "addsd", xmm(0), xmm(1))
+
+
+def test_with_overrides_immutable():
+    slow = HASWELL.with_overrides(load_penalty=10.0)
+    assert slow.load_penalty == 10.0
+    assert HASWELL.load_penalty == 3.0
+    assert slow.base is not None
+
+
+def test_with_base_merges():
+    m = HASWELL.with_base({"addsd": 99})
+    assert m.base["addsd"] == 99
+    assert m.base["mulsd"] == HASWELL.base["mulsd"]
+    assert HASWELL.base["addsd"] != 99
+
+
+def test_unknown_mnemonic_defaults_to_one():
+    assert cost(HASWELL, "frobnicate") == 1.0
+
+
+def test_cycles_to_seconds_calibration():
+    secs = HASWELL.cycles_to_seconds(3.5e9 * HASWELL.effective_parallelism)
+    assert secs == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Image allocator and symbol-table tests."""
+
+import pytest
+
+from repro.cpu.image import CODE_BASE, DATA_BASE, JIT_BASE, RODATA_BASE, Image
+from repro.errors import SimulatorError
+
+
+def test_regions_mapped():
+    img = Image()
+    for base in (CODE_BASE, RODATA_BASE, DATA_BASE, JIT_BASE):
+        assert img.memory.is_mapped(base, 16)
+
+
+def test_add_function_and_lookup():
+    img = Image()
+    addr = img.add_function("f", b"\xc3")
+    assert img.symbol("f") == addr
+    assert img.function_bytes("f") == b"\xc3"
+    assert img.symbol_at(addr) == "f"
+    assert img.symbol_at(addr + 1) is None
+
+
+def test_jit_functions_live_in_jit_region():
+    img = Image()
+    static = img.add_function("a", b"\x90\xc3")
+    jitted = img.add_function("b", b"\x90\xc3", jit=True)
+    assert CODE_BASE <= static < RODATA_BASE
+    assert jitted >= JIT_BASE
+
+
+def test_alloc_alignment():
+    img = Image()
+    img.alloc_data(3, align=8)
+    a = img.alloc_data(8, align=16)
+    assert a % 16 == 0
+    r = img.alloc_rodata(b"xy", align=32)
+    assert r % 32 == 0
+
+
+def test_alloc_data_with_initializer():
+    img = Image()
+    a = img.alloc_data(16, data=b"hello")
+    assert img.memory.read(a, 5) == b"hello"
+    assert img.memory.read(a + 5, 3) == b"\x00\x00\x00"
+
+
+def test_region_exhaustion():
+    img = Image(rodata_size=64)
+    img.alloc_rodata(b"\x00" * 48)
+    with pytest.raises(SimulatorError, match="exhausted"):
+        img.alloc_rodata(b"\x00" * 48)
+
+
+def test_undefined_symbol_raises():
+    img = Image()
+    with pytest.raises(SimulatorError, match="undefined symbol"):
+        img.symbol("missing")
+
+
+def test_next_code_addr_matches_allocation():
+    img = Image()
+    predicted = img.next_code_addr()
+    got = img.add_function("f", b"\xc3" * 5)
+    assert got == predicted
+    predicted_jit = img.next_code_addr(jit=True)
+    got_jit = img.add_function("g", b"\xc3", jit=True)
+    assert got_jit == predicted_jit

@@ -1,0 +1,365 @@
+"""Instruction-level semantics tests (flags, facets, SSE lanes)."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.semantics import bits_to_f64, execute, f64_to_bits
+from repro.cpu.state import CPUState, to_signed
+from repro.mem.memory import Memory
+from repro.x86.instr import Imm, Mem, gp, make, xmm
+from repro.x86.registers import RAX, RBX, RCX, RDX, RSI, RSP
+
+
+@pytest.fixture
+def env():
+    st_ = CPUState()
+    mem = Memory()
+    mem.map(0x1000, 0x1000)
+    st_.gpr[RSP] = 0x1800
+    return st_, mem
+
+
+def run(env, *instrs):
+    st_, mem = env
+    for ins in instrs:
+        execute(ins, st_, mem)
+    return st_
+
+
+# -- facets ----------------------------------------------------------------
+
+
+def test_write32_zeroes_upper(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0xFFFFFFFF_FFFFFFFF
+    execute(make("mov", gp(RAX, 4), Imm(1)), st_, mem)
+    assert st_.gpr[RAX] == 1
+
+
+def test_write16_preserves_upper(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0x11223344_55667788
+    execute(make("mov", gp(RAX, 2), Imm(0xAAAA)), st_, mem)
+    assert st_.gpr[RAX] == 0x11223344_5566AAAA
+
+
+def test_write8_high_preserves_rest(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0x11223344_55667788
+    execute(make("mov", gp(RAX, 1, high8=True), Imm(0xCC)), st_, mem)
+    assert st_.gpr[RAX] == 0x11223344_5566CC88
+
+
+def test_read_high8(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0xABCD
+    execute(make("mov", gp(RBX, 1), gp(RAX, 1, high8=True)), st_, mem)
+    assert st_.gpr[RBX] & 0xFF == 0xAB
+
+
+# -- integer flags ------------------------------------------------------------
+
+
+def test_add_carry(env):
+    st_ = run(env,
+              make("mov", gp(RAX), Imm(-1)),
+              make("add", gp(RAX), Imm(1)))
+    assert st_.gpr[RAX] == 0
+    assert st_.cf and st_.zf and not st_.of
+
+
+def test_add_overflow(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0x7FFFFFFF_FFFFFFFF
+    execute(make("add", gp(RAX), Imm(1)), st_, mem)
+    assert st_.of and st_.sf and not st_.cf
+
+
+def test_sub_borrow(env):
+    st_ = run(env, make("mov", gp(RAX), Imm(3)), make("sub", gp(RAX), Imm(5)))
+    assert to_signed(st_.gpr[RAX], 64) == -2
+    assert st_.cf and st_.sf
+
+
+def test_cmp_signed_less(env):
+    st_, mem = env
+    st_.gpr[RAX] = to_signed(-10, 64) & (2**64 - 1)
+    st_.gpr[RBX] = 5
+    execute(make("cmp", gp(RAX), gp(RBX)), st_, mem)
+    assert st_.sf != st_.of  # "l" condition holds
+
+
+def test_inc_preserves_carry(env):
+    st_, mem = env
+    st_.cf = True
+    execute(make("inc", gp(RAX)), st_, mem)
+    assert st_.cf
+
+
+def test_logic_clears_cf_of(env):
+    st_, mem = env
+    st_.cf = st_.of = True
+    st_.gpr[RAX] = 0
+    execute(make("test", gp(RAX), gp(RAX)), st_, mem)
+    assert not st_.cf and not st_.of and st_.zf
+
+
+def test_neg_flags(env):
+    st_, mem = env
+    st_.gpr[RAX] = 5
+    execute(make("neg", gp(RAX)), st_, mem)
+    assert to_signed(st_.gpr[RAX], 64) == -5
+    assert st_.cf
+
+
+def test_imul3(env):
+    st_, mem = env
+    st_.gpr[RBX] = 7
+    execute(make("imul", gp(RAX), gp(RBX), Imm(649)), st_, mem)
+    assert st_.gpr[RAX] == 7 * 649
+
+
+def test_imul_one_operand_widening(env):
+    st_, mem = env
+    st_.gpr[RAX] = 2**62
+    st_.gpr[RBX] = 4
+    execute(make("imul", gp(RBX)), st_, mem)
+    assert st_.gpr[RDX] == 1  # 2^64 in rdx:rax
+    assert st_.gpr[RAX] == 0
+
+
+def test_idiv(env):
+    st_, mem = env
+    st_.gpr[RAX] = to_signed(-100, 64) & (2**64 - 1)
+    execute(make("cqo"), st_, mem)
+    st_.gpr[RBX] = 7
+    execute(make("idiv", gp(RBX)), st_, mem)
+    assert to_signed(st_.gpr[RAX], 64) == -14
+    assert to_signed(st_.gpr[RDX], 64) == -2
+
+
+def test_shl_shifts_and_cf(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0x8000000000000001
+    execute(make("shl", gp(RAX), Imm(1)), st_, mem)
+    assert st_.gpr[RAX] == 2
+    assert st_.cf
+
+
+def test_sar_arithmetic(env):
+    st_, mem = env
+    st_.gpr[RAX] = to_signed(-16, 64) & (2**64 - 1)
+    execute(make("sar", gp(RAX), Imm(2)), st_, mem)
+    assert to_signed(st_.gpr[RAX], 64) == -4
+
+
+def test_cmovl_taken_and_not(env):
+    st_, mem = env
+    st_.gpr[RAX] = 1
+    st_.gpr[RBX] = 2
+    st_.sf, st_.of = True, False  # l
+    execute(make("cmovl", gp(RAX), gp(RBX)), st_, mem)
+    assert st_.gpr[RAX] == 2
+    st_.sf = False  # ge
+    st_.gpr[RBX] = 9
+    execute(make("cmovl", gp(RAX), gp(RBX)), st_, mem)
+    assert st_.gpr[RAX] == 2
+
+
+def test_setcc(env):
+    st_, mem = env
+    st_.zf = True
+    execute(make("sete", gp(RAX, 1)), st_, mem)
+    assert st_.gpr[RAX] & 0xFF == 1
+
+
+# -- memory ops -------------------------------------------------------------
+
+
+def test_mov_store_load(env):
+    st_, mem = env
+    st_.gpr[RAX] = 0xDEADBEEF
+    execute(make("mov", Mem(8, base=gp(RSP), disp=-8), gp(RAX)), st_, mem)
+    execute(make("mov", gp(RBX), Mem(8, base=gp(RSP), disp=-8)), st_, mem)
+    assert st_.gpr[RBX] == 0xDEADBEEF
+
+
+def test_push_pop(env):
+    st_, mem = env
+    st_.gpr[RAX] = 42
+    rsp0 = st_.gpr[RSP]
+    execute(make("push", gp(RAX)), st_, mem)
+    assert st_.gpr[RSP] == rsp0 - 8
+    st_.gpr[RAX] = 0
+    execute(make("pop", gp(RAX)), st_, mem)
+    assert st_.gpr[RAX] == 42 and st_.gpr[RSP] == rsp0
+
+
+def test_lea_computes_address_only(env):
+    st_, mem = env
+    st_.gpr[RSI] = 0x100
+    st_.gpr[RCX] = 3
+    execute(make("lea", gp(RAX), Mem(8, base=gp(RSI), index=gp(RCX), scale=8, disp=5)), st_, mem)
+    assert st_.gpr[RAX] == 0x100 + 24 + 5
+
+
+def test_movzx_movsx(env):
+    st_, mem = env
+    mem.write_u8(0x1100, 0xF0)
+    execute(make("movzx", gp(RAX, 4), Mem(1, disp=0x1100)), st_, mem)
+    assert st_.gpr[RAX] == 0xF0
+    execute(make("movsx", gp(RBX, 4), Mem(1, disp=0x1100)), st_, mem)
+    assert st_.gpr[RBX] == 0xFFFFFFF0
+
+
+# -- SSE ----------------------------------------------------------------------
+
+
+def test_addsd_preserves_upper_lane(env):
+    st_, mem = env
+    st_.xmm[0] = f64_to_bits(1.5) | (f64_to_bits(99.0) << 64)
+    st_.xmm[1] = f64_to_bits(2.25)
+    execute(make("addsd", xmm(0), xmm(1)), st_, mem)
+    assert bits_to_f64(st_.xmm[0]) == 3.75
+    assert bits_to_f64(st_.xmm[0] >> 64) == 99.0
+
+
+def test_movsd_load_zeroes_upper(env):
+    st_, mem = env
+    mem.write_f64(0x1200, 7.0)
+    st_.xmm[0] = (1 << 127) | f64_to_bits(1.0)
+    execute(make("movsd", xmm(0), Mem(8, disp=0x1200)), st_, mem)
+    assert st_.xmm[0] == f64_to_bits(7.0)
+
+
+def test_movsd_reg_reg_preserves_upper(env):
+    st_, mem = env
+    st_.xmm[0] = f64_to_bits(1.0) | (f64_to_bits(5.0) << 64)
+    st_.xmm[1] = f64_to_bits(2.0)
+    execute(make("movsd", xmm(0), xmm(1)), st_, mem)
+    assert bits_to_f64(st_.xmm[0]) == 2.0
+    assert bits_to_f64(st_.xmm[0] >> 64) == 5.0
+
+
+def test_movq_zeroes_upper(env):
+    st_, mem = env
+    st_.gpr[RCX] = f64_to_bits(3.0)
+    st_.xmm[3] = (1 << 127)
+    execute(make("movq", xmm(3), gp(RCX)), st_, mem)
+    assert st_.xmm[3] == f64_to_bits(3.0)
+
+
+def test_addpd_both_lanes(env):
+    st_, mem = env
+    st_.xmm[2] = f64_to_bits(1.0) | (f64_to_bits(10.0) << 64)
+    st_.xmm[3] = f64_to_bits(2.0) | (f64_to_bits(20.0) << 64)
+    execute(make("addpd", xmm(2), xmm(3)), st_, mem)
+    assert bits_to_f64(st_.xmm[2]) == 3.0
+    assert bits_to_f64(st_.xmm[2] >> 64) == 30.0
+
+
+def test_movapd_misaligned_faults(env):
+    st_, mem = env
+    from repro.errors import SimulatorError
+    with pytest.raises(SimulatorError):
+        execute(make("movapd", xmm(0), Mem(16, disp=0x1008)), st_, mem)
+
+
+def test_movupd_misaligned_ok(env):
+    st_, mem = env
+    mem.write_f64(0x1008, 4.0)
+    mem.write_f64(0x1010, 8.0)
+    execute(make("movupd", xmm(0), Mem(16, disp=0x1008)), st_, mem)
+    assert bits_to_f64(st_.xmm[0]) == 4.0
+    assert bits_to_f64(st_.xmm[0] >> 64) == 8.0
+
+
+def test_unpckhpd_broadcasts_high(env):
+    st_, mem = env
+    st_.xmm[2] = f64_to_bits(1.0) | (f64_to_bits(2.0) << 64)
+    execute(make("unpckhpd", xmm(2), xmm(2)), st_, mem)
+    assert bits_to_f64(st_.xmm[2]) == 2.0
+    assert bits_to_f64(st_.xmm[2] >> 64) == 2.0
+
+
+def test_haddpd(env):
+    st_, mem = env
+    st_.xmm[1] = f64_to_bits(1.0) | (f64_to_bits(2.0) << 64)
+    execute(make("haddpd", xmm(1), xmm(1)), st_, mem)
+    assert bits_to_f64(st_.xmm[1]) == 3.0
+
+
+def test_ucomisd_flags(env):
+    st_, mem = env
+    st_.xmm[0] = f64_to_bits(1.0)
+    st_.xmm[1] = f64_to_bits(2.0)
+    execute(make("ucomisd", xmm(0), xmm(1)), st_, mem)
+    assert st_.cf and not st_.zf  # below
+    execute(make("ucomisd", xmm(1), xmm(0)), st_, mem)
+    assert not st_.cf and not st_.zf  # above
+    execute(make("ucomisd", xmm(0), xmm(0)), st_, mem)
+    assert st_.zf and not st_.cf  # equal
+
+
+def test_ucomisd_nan_unordered(env):
+    st_, mem = env
+    st_.xmm[0] = f64_to_bits(float("nan"))
+    execute(make("ucomisd", xmm(0), xmm(0)), st_, mem)
+    assert st_.zf and st_.pf and st_.cf
+
+
+def test_cvtsi2sd_cvttsd2si(env):
+    st_, mem = env
+    st_.gpr[RAX] = to_signed(-7, 64) & (2**64 - 1)
+    execute(make("cvtsi2sd", xmm(0), gp(RAX)), st_, mem)
+    assert bits_to_f64(st_.xmm[0]) == -7.0
+    st_.xmm[1] = f64_to_bits(-2.9)
+    execute(make("cvttsd2si", gp(RBX), xmm(1)), st_, mem)
+    assert to_signed(st_.gpr[RBX], 64) == -2  # truncation toward zero
+
+
+def test_pxor_self_zeroes(env):
+    st_, mem = env
+    st_.xmm[5] = (1 << 128) - 1
+    execute(make("pxor", xmm(5), xmm(5)), st_, mem)
+    assert st_.xmm[5] == 0
+
+
+def test_divsd_by_zero_gives_inf(env):
+    st_, mem = env
+    st_.xmm[0] = f64_to_bits(1.0)
+    st_.xmm[1] = f64_to_bits(0.0)
+    execute(make("divsd", xmm(0), xmm(1)), st_, mem)
+    assert bits_to_f64(st_.xmm[0]) == float("inf")
+
+
+# -- property: 64-bit add matches Python modular arithmetic --------------------
+
+
+@given(a=st.integers(min_value=0, max_value=2**64 - 1),
+       b=st.integers(min_value=0, max_value=2**64 - 1))
+def test_add_modular_property(a, b):
+    st_ = CPUState()
+    mem = Memory()
+    st_.gpr[RAX] = a
+    st_.gpr[RBX] = b
+    execute(make("add", gp(RAX), gp(RBX)), st_, mem)
+    assert st_.gpr[RAX] == (a + b) % 2**64
+    assert st_.cf == (a + b >= 2**64)
+    assert st_.zf == ((a + b) % 2**64 == 0)
+
+
+@given(a=st.floats(allow_nan=False, allow_infinity=False, width=64),
+       b=st.floats(allow_nan=False, allow_infinity=False, width=64))
+def test_mulsd_matches_ieee(a, b):
+    st_ = CPUState()
+    mem = Memory()
+    st_.xmm[0] = f64_to_bits(a)
+    st_.xmm[1] = f64_to_bits(b)
+    execute(make("mulsd", xmm(0), xmm(1)), st_, mem)
+    expect = struct.unpack("<d", struct.pack("<d", a * b))[0]
+    got = bits_to_f64(st_.xmm[0])
+    assert got == expect or (got != got and expect != expect)

@@ -1,0 +1,101 @@
+"""Instruction dataflow facts (repro.dbrew.iinfo)."""
+
+from repro.dbrew.iinfo import analyze
+from repro.x86.asmparser import parse_line
+
+
+def facts(line):
+    return analyze(parse_line(line))
+
+
+def test_mov_reg_reg():
+    i = facts("mov rax, rbx")
+    assert i.reads == {("gp", 3)}
+    assert i.writes == {("gp", 0)}
+    assert not i.mem_read and not i.mem_write
+
+
+def test_add_is_rmw():
+    i = facts("add rax, rbx")
+    assert ("gp", 0) in i.reads and ("gp", 0) in i.writes
+    assert "z" in i.writes_flags
+
+
+def test_cmp_reads_both_writes_none():
+    i = facts("cmp rax, rbx")
+    assert i.reads == {("gp", 0), ("gp", 3)}
+    assert i.writes == set()
+
+
+def test_load_reads_address_registers():
+    i = facts("mov rax, [rsi + 8*rcx]")
+    assert ("gp", 6) in i.reads and ("gp", 1) in i.reads
+    assert i.mem_read and not i.mem_write
+    assert i.writes == {("gp", 0)}
+
+
+def test_store_dst_memory():
+    i = facts("mov [rdi], rax")
+    assert i.mem_write and not i.mem_read
+    assert ("gp", 7) in i.reads and ("gp", 0) in i.reads
+
+
+def test_rmw_memory_dst():
+    i = facts("add qword ptr [rdi], rax")
+    assert i.mem_read and i.mem_write
+
+
+def test_lea_is_not_a_memory_access():
+    i = facts("lea rax, [rsi + 8*rcx]")
+    assert not i.mem_read and not i.mem_write
+    assert ("gp", 6) in i.reads
+
+
+def test_movsd_load_form_is_write_only():
+    i = facts("movsd xmm0, [rdi]")
+    assert ("xmm", 0) in i.writes
+    assert ("xmm", 0) not in i.reads
+
+
+def test_addsd_merges_dst():
+    i = facts("addsd xmm0, xmm1")
+    assert ("xmm", 0) in i.reads and ("xmm", 0) in i.writes
+    assert ("xmm", 1) in i.reads
+
+
+def test_cmov_reads_dst_and_flags():
+    i = facts("cmovl rax, rbx")
+    assert ("gp", 0) in i.reads
+    assert i.reads_flags == "so"
+
+
+def test_cqo_implicit_regs():
+    i = facts("cqo")
+    assert i.reads == {("gp", 0)}
+    assert i.writes == {("gp", 2)}
+
+
+def test_idiv_implicit_regs():
+    i = facts("idiv rbx")
+    assert {("gp", 0), ("gp", 2), ("gp", 3)} <= i.reads
+    assert {("gp", 0), ("gp", 2)} <= i.writes
+
+
+def test_push_touches_stack():
+    i = facts("push rbx")
+    assert ("gp", 4) in i.reads and ("gp", 4) in i.writes
+    assert i.mem_write
+
+
+def test_setcc_writes_only():
+    i = facts("sete al")
+    assert ("gp", 0) in i.writes
+    assert ("gp", 0) not in i.reads
+    assert i.reads_flags == "z"
+
+
+def test_ucomisd_reads_only_flags_out():
+    i = facts("ucomisd xmm0, xmm1")
+    assert ("xmm", 0) in i.reads and ("xmm", 1) in i.reads
+    assert i.writes == set()
+    assert "z" in i.writes_flags and "c" in i.writes_flags

@@ -1,0 +1,325 @@
+"""DBrew rewriter tests: emulation, specialization, forks, widening, API."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import compile_c
+from repro.cpu import Image, Simulator
+from repro.dbrew import Rewriter
+from repro.dbrew.metastate import MetaState, MetaValue, VSP_BASE, is_stack_address
+from repro.errors import RewriteError
+
+
+def compile_and_sim(src):
+    prog = compile_c(src)
+    return prog.image, Simulator(prog.image)
+
+
+# -- metastate ----------------------------------------------------------------
+
+
+def test_metavalue_masks():
+    assert MetaValue.of(-1).value == 2**64 - 1
+    assert MetaValue.of(1 << 127, 128).value == 1 << 127
+
+
+def test_stack_address_classification():
+    assert is_stack_address(VSP_BASE)
+    assert is_stack_address(VSP_BASE - 4096)
+    assert not is_stack_address(0x400000)
+
+
+def test_stack_slot_subword_reads():
+    st_ = MetaState()
+    st_.stack_write(-8, 8, MetaValue.of(0x1122334455667788))
+    assert st_.stack_read(-8, 4).value == 0x55667788
+    assert st_.stack_read(-4, 4).value == 0x11223344
+    assert st_.stack_read(-6, 2).value == 0x5566
+
+
+def test_stack_slot_partial_write_merges():
+    st_ = MetaState()
+    st_.stack_write(-8, 8, MetaValue.of(0))
+    st_.stack_write(-8, 4, MetaValue.of(0xAABBCCDD))
+    assert st_.stack_read(-8, 8).value == 0xAABBCCDD
+
+
+def test_stack_unknown_poisons():
+    st_ = MetaState()
+    st_.stack_write(-8, 8, MetaValue.of(7))
+    st_.stack_write(-8, 4, MetaValue.unknown())
+    assert not st_.stack_read(-8, 8).known
+
+
+def test_digest_distinguishes_values():
+    a = MetaState()
+    b = MetaState()
+    assert a.digest() == b.digest()
+    b.gpr[3] = MetaValue.of(9)
+    assert a.digest() != b.digest()
+
+
+# -- basic rewriting ----------------------------------------------------------------
+
+
+def test_identity_rewrite_preserves_semantics():
+    img, sim = compile_and_sim(
+        "long f(long a, long b) { if (a < b) return a * 3; return b - a; }"
+    )
+    r = Rewriter(img, "f").set_signature(("i", "i"))
+    addr = r.rewrite(name="f_id")
+    assert addr != img.symbol("f")
+    sim.invalidate_code()
+    for a, b in [(1, 5), (5, 1), (0, 0), (2**63, 1)]:
+        assert sim.call_int("f_id", (a, b)) == sim.call_int("f", (a, b))
+
+
+def test_full_constant_folding():
+    img, sim = compile_and_sim("long f(long a, long b) { return a * b + 3; }")
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(0, 6).set_par(1, 7)
+    addr = r.rewrite(name="f_c")
+    sim.invalidate_code()
+    assert sim.call_int("f_c", (0, 0)) == 45
+    res = sim.call("f_c", (0, 0))
+    # specialized code is a handful of instructions
+    assert res.stats.instructions < 10
+
+
+def test_branch_folding_with_known_condition():
+    img, sim = compile_and_sim(
+        "long f(long a, long b) { if (a < 10) return b + 1; return b - 1; }"
+    )
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(0, 5)
+    addr = r.rewrite(name="f_b")
+    sim.invalidate_code()
+    assert sim.call_int("f_b", (999, 41)) == 42
+    # the not-taken path is not even in the generated code
+    code = img.function_bytes("f_b")
+    from repro.x86.decoder import decode_block
+    instrs = decode_block(code, addr, len(code), base_addr=addr)
+    assert not any(i.mnemonic.startswith("j") and i.mnemonic != "jmp"
+                   for i in instrs)
+
+
+def test_setmem_folds_loads():
+    img, sim = compile_and_sim("long f(long* p, long x) { return p[0] * x + p[1]; }")
+    data = img.alloc_data(16)
+    img.memory.write_u64(data, 100)
+    img.memory.write_u64(data + 8, 23)
+    r = Rewriter(img, "f").set_signature(("i", "i")) \
+        .set_par(0, data).set_mem(data, data + 16)
+    r.rewrite(name="f_m")
+    sim.invalidate_code()
+    assert sim.call_int("f_m", (0, 7)) == 723
+    # no loads from the fixed region remain
+    code = img.function_bytes("f_m")
+    from repro.x86.decoder import decode_block
+    from repro.x86.instr import Mem
+    instrs = decode_block(code, img.symbol("f_m"), len(code), base_addr=img.symbol("f_m"))
+    for ins in instrs:
+        for op in ins.operands:
+            if isinstance(op, Mem) and op.is_absolute:
+                assert not data <= op.disp < data + 16
+
+
+def test_known_pointer_without_setmem_keeps_loads():
+    img, sim = compile_and_sim("long f(long* p) { return p[0]; }")
+    data = img.alloc_data(8)
+    img.memory.write_u64(data, 55)
+    r = Rewriter(img, "f").set_signature(("i",)).set_par(0, data)
+    r.rewrite(name="f_nm")
+    sim.invalidate_code()
+    img.memory.write_u64(data, 66)  # data may change at runtime
+    assert sim.call_int("f_nm", (0,)) == 66
+
+
+def test_loop_full_unroll_with_known_bound():
+    img, sim = compile_and_sim("""
+    long f(long* v, long n) {
+        long s = 0;
+        for (long i = 0; i < n; i++) s += v[i];
+        return s;
+    }
+    """)
+    v = img.alloc_data(8 * 5)
+    for i in range(5):
+        img.memory.write_u64(v + 8 * i, i + 1)
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(1, 5)
+    r.rewrite(name="f_u")
+    sim.invalidate_code()
+    res = sim.call("f_u", (v, 0))
+    assert res.int_value == 15
+    assert res.stats.taken_branches == 0  # fully unrolled: straight line
+
+
+def test_generic_loop_closes_via_digest():
+    img, sim = compile_and_sim("""
+    long f(long* v, long n) {
+        long s = 0;
+        for (long i = 0; i < n; i++) s += v[i];
+        return s;
+    }
+    """)
+    v = img.alloc_data(8 * 64)
+    for i in range(64):
+        img.memory.write_u64(v + 8 * i, i)
+    r = Rewriter(img, "f").set_signature(("i", "i"))
+    r.rewrite(name="f_g")
+    sim.invalidate_code()
+    assert sim.call_int("f_g", (v, 64)) == sum(range(64))
+    assert r.stats.points < 10  # the loop must not unroll 64 times
+
+
+def test_widening_bounds_unrolling():
+    img, sim = compile_and_sim("""
+    long f(long* v, long n) {
+        long s = 0;
+        for (long i = 0; i < n; i++) s += v[i];
+        return s;
+    }
+    """)
+    v = img.alloc_data(8 * 64)
+    for i in range(64):
+        img.memory.write_u64(v + 8 * i, 2 * i)
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(1, 64)
+    r.set_unroll_limit(4)
+    r.rewrite(name="f_w")
+    assert r.stats.widenings >= 1
+    sim.invalidate_code()
+    assert sim.call_int("f_w", (v, 0)) == sum(2 * i for i in range(64))
+
+
+def test_call_inlining():
+    img, sim = compile_and_sim("""
+    long sq(long x) { return x * x; }
+    long f(long a) { return sq(a) + sq(a + 1); }
+    """)
+    r = Rewriter(img, "f").set_signature(("i",))
+    r.rewrite(name="f_i")
+    sim.invalidate_code()
+    res = sim.call("f_i", (5,))
+    assert res.int_value == 25 + 36
+    assert res.stats.per_mnemonic.get("call", 0) == 0  # calls inlined
+
+
+def test_call_beyond_inline_depth_emitted():
+    img, sim = compile_and_sim("""
+    long sq(long x) { return x * x; }
+    long f(long a) { return sq(a) + 1; }
+    """)
+    r = Rewriter(img, "f").set_signature(("i",)).set_inline_depth(0)
+    r.rewrite(name="f_d0")
+    sim.invalidate_code()
+    res = sim.call("f_d0", (6,))
+    assert res.int_value == 37
+    assert res.stats.per_mnemonic.get("call", 0) == 1
+
+
+def test_double_parameter_fixation():
+    img, sim = compile_and_sim("double f(double a, double b) { return a * b; }")
+    r = Rewriter(img, "f").set_signature(("f", "f"), "f").set_par_f64(0, 2.5)
+    r.rewrite(name="f_f")
+    sim.invalidate_code()
+    assert sim.call_f64("f_f", (), (0.0, 4.0)) == 10.0
+
+
+def test_default_error_handler_returns_original():
+    img, _sim = compile_and_sim("long f(long a) { return a; }")
+    r = Rewriter(img, "f").set_signature(("i",))
+    r.code_size_limit = 1  # impossible budget -> internal error
+    addr = r.rewrite(name="f_tiny")
+    assert addr == img.symbol("f")  # Sec. II default fallback
+
+
+def test_custom_error_handler_invoked():
+    img, _sim = compile_and_sim("long f(long a) { return a; }")
+    r = Rewriter(img, "f").set_signature(("i",))
+    r.code_size_limit = 1
+    seen = []
+
+    def handler(rw, exc):
+        seen.append(exc)
+        rw.code_size_limit = 1 << 16  # enlarge the buffer and retry
+        return rw._rewrite("f_retry")
+
+    r.error_handler = handler
+    addr = r.rewrite()
+    assert seen and isinstance(seen[0], RewriteError)
+    assert addr == img.symbol("f_retry")
+
+
+def test_rewriter_is_drop_in_replacement():
+    # same signature; extra/ignored fixed args don't change the ABI (Fig. 2)
+    img, sim = compile_and_sim("long f(long a, long b) { return a + b; }")
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(1, 10)
+    r.rewrite(name="f_p")
+    sim.invalidate_code()
+    assert sim.call_int("f_p", (5, 999999)) == 15  # second arg ignored
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+       b=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_specialized_matches_original_property(a, b):
+    src = """
+    long f(long a, long b) {
+        long s = 0;
+        if (a > b) s = a - b; else s = b - a;
+        return s * 3 + (a & b);
+    }
+    """
+    img, sim = compile_and_sim(src)
+    want = sim.call_int("f", (a & (2**64 - 1), b & (2**64 - 1)))
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(0, a)
+    r.rewrite(name="f_s")
+    sim.invalidate_code()
+    got = sim.call_int("f_s", (12345, b & (2**64 - 1)))
+    assert got == want
+
+
+def test_stats_counters():
+    img, _sim = compile_and_sim("long f(long a) { return a * 649; }")
+    r = Rewriter(img, "f").set_signature(("i",))
+    r.rewrite(name="f_st")
+    assert r.stats.decoded > 0
+    assert r.stats.emitted > 0
+    assert r.stats.points >= 1
+
+
+def test_stack_16_byte_slots():
+    from repro.dbrew.metastate import MetaState, MetaValue
+
+    st_ = MetaState()
+    v = (0xAAAA << 64) | 0xBBBB
+    st_.stack_write(-16, 16, MetaValue.of(v, 128))
+    assert st_.stack_read(-16, 16).value == v
+    assert st_.stack_read(-16, 8).value == 0xBBBB
+    assert st_.stack_read(-8, 8).value == 0xAAAA
+    st_.stack_write(-16, 16, MetaValue.unknown())
+    assert not st_.stack_read(-16, 16).known
+    assert not st_.stack_read(-16, 8).known
+
+
+def test_vector_spill_through_rewrite():
+    """A function that spills a vector to its stack must survive DBrew."""
+    img, sim = compile_and_sim("""
+    double f(double* a, double* b, long n) {
+        double s = 0.0;
+        for (long i = 0; i < n; i++) {
+            s = s + a[i] * b[i];
+        }
+        return s;
+    }
+    """)
+    a = img.alloc_data(8 * 4)
+    b = img.alloc_data(8 * 4)
+    for i in range(4):
+        img.memory.write_f64(a + 8 * i, float(i + 1))
+        img.memory.write_f64(b + 8 * i, 2.0)
+    r = Rewriter(img, "f").set_signature(("i", "i", "i"), "f").set_par(2, 4)
+    r.rewrite(name="f_vs")
+    sim.invalidate_code()
+    assert sim.call_f64("f_vs", (a, b, 0)) == 2 * (1 + 2 + 3 + 4)

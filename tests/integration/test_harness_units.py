@@ -1,0 +1,69 @@
+"""Harness-level units: figure formatting, mode table, workspace wiring."""
+
+import pytest
+
+from repro.bench.harness import ExperimentRow, format_compile_times, format_figure
+from repro.bench.modes import CODES, MODES, prepare_kernel
+from repro.stencil.jacobi import JacobiSetup, StencilWorkspace
+
+
+def make_row(code="flat", line=False):
+    row = ExperimentRow(code, line)
+    for i, m in enumerate(MODES):
+        row.cycles_per_cell[m] = 100.0 + i
+        row.seconds[m] = 10.0 + i
+        row.transform_seconds[m] = 0.001 * i
+        row.correct[m] = True
+    return row
+
+
+def test_relative_to_native():
+    row = make_row()
+    assert row.relative_to_native("native") == 1.0
+    assert row.relative_to_native("dbrew+llvm") == pytest.approx(104 / 100)
+
+
+def test_format_figure_contains_all_modes():
+    text = format_figure([make_row("direct"), make_row("flat")], title="T")
+    assert "T" in text
+    assert "direct" in text and "flat" in text
+    for m in MODES:
+        assert m in text
+    assert "ok" in text
+
+
+def test_format_figure_flags_wrong_results():
+    row = make_row()
+    row.correct["dbrew"] = False
+    text = format_figure([row], title="T")
+    assert "WRONG" in text
+
+
+def test_format_compile_times_excludes_native():
+    text = format_compile_times([make_row()], title="CT")
+    assert "native" not in text.splitlines()[2]
+    assert "(ms)" in text
+
+
+def test_prepare_kernel_rejects_unknown_cell():
+    ws = StencilWorkspace(JacobiSetup(sz=9, sweeps=1))
+    with pytest.raises(ValueError):
+        prepare_kernel(ws, "bogus", "native", line=False)
+    with pytest.raises(ValueError):
+        prepare_kernel(ws, "flat", "bogus", line=False)
+
+
+def test_native_mode_has_no_transform_cost():
+    ws = StencilWorkspace(JacobiSetup(sz=9, sweeps=1))
+    res = prepare_kernel(ws, "direct", "native", line=False)
+    assert res.transform_seconds == 0.0
+    assert res.kernel_addr == ws.image.symbol("apply_direct")
+
+
+def test_workspace_driver_caching():
+    ws = StencilWorkspace(JacobiSetup(sz=9, sweeps=1))
+    a1 = ws.driver_for(ws.image.symbol("apply_direct"), line=False)
+    a2 = ws.driver_for(ws.image.symbol("apply_direct"), line=False)
+    assert a1 == a2  # compiled once
+    a3 = ws.driver_for(ws.image.symbol("apply_flat"), line=False)
+    assert a3 != a1  # distinct kernel -> distinct driver

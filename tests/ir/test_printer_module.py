@@ -1,0 +1,66 @@
+"""Module-level printing and miscellaneous IR repr coverage."""
+
+from repro.cc import compile_c
+from repro.ir import (
+    DOUBLE, I64, Function, FunctionType, GlobalVariable, IRBuilder, Module,
+    print_function, print_module,
+)
+from repro.ir.printer import print_block
+from repro.lift import FunctionSignature, LiftOptions, lift_function
+
+
+def test_print_module_with_globals_and_declarations():
+    m = Module("t")
+    m.add_global(GlobalVariable("cfg", I64, b"\x01" * 8))
+    decl = Function("ext", FunctionType(I64, (I64,)))
+    decl.is_declaration = True
+    m.add_function(decl)
+    f = Function("main", FunctionType(I64, ()))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(b.call(decl, [b.const(I64, 1)], I64))
+    text = print_module(m)
+    assert "@cfg = constant [8 x i8]" in text
+    assert "declare i64 @ext(i64 %arg0)" in text
+    assert "define i64 @main()" in text
+    assert "call i64 @ext(i64 1)" in text
+
+
+def test_print_alwaysinline_attribute():
+    m = Module("t")
+    f = Function("f", FunctionType(I64, ()))
+    m.add_function(f)
+    IRBuilder(f.add_block("entry")).ret(IRBuilder(f.entry).const(I64, 0))
+    f.always_inline = True
+    assert "alwaysinline" in print_function(f)
+
+
+def test_instruction_repr_is_printable():
+    prog = compile_c("long f(long a) { if (a > 2) return a * 3; return 1; }")
+    m = Module("t")
+    func = lift_function(prog.image.memory, prog.image.symbol("f"),
+                         FunctionSignature(("i",), "i"),
+                         LiftOptions(name="f"), m)
+    # every instruction repr must render without raising
+    for blk in func.blocks:
+        text = print_block(blk)
+        assert blk.name in text
+        for ins in blk.instructions:
+            assert repr(ins)
+
+
+def test_whole_lifted_module_prints():
+    prog = compile_c("""
+    long helper(long x) { return x + 1; }
+    long f(long a) { return helper(a) * 2; }
+    """)
+    img = prog.image
+    m = Module("t")
+    lift_function(img.memory, img.symbol("f"), FunctionSignature(("i",), "i"),
+                  LiftOptions(name="f", known_functions={
+                      img.symbol("helper"): ("helper",
+                                             FunctionSignature(("i",), "i")),
+                  }), m)
+    text = print_module(m)
+    assert "declare i64 @helper" in text
+    assert "define i64 @f" in text

@@ -1,0 +1,135 @@
+"""Loop vectorizer unit tests: recognition, refusal reasons, transform."""
+
+import pytest
+
+from repro.ir import (
+    DOUBLE, I8, I64, Function, FunctionType, IRBuilder, Interpreter, Module,
+    verify, ptr,
+)
+from repro.ir.passes import vectorize
+from repro.ir.values import Constant, ConstantFP
+
+
+def build_row_loop(*, align=1, with_accumulator=False):
+    """for (i = 0; i < n; i++) dst[i] = 0.25 * (src[i-1] + src[i+1])"""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (ptr(DOUBLE), ptr(DOUBLE), I64)))
+    m.add_function(f)
+    entry = f.add_block("entry")
+    head = f.add_block("head")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    IRBuilder(entry).br(head)
+    b = IRBuilder(head)
+    i = b.phi(I64, "i")
+    extra = None
+    if with_accumulator:
+        extra = b.phi(DOUBLE, "acc")
+    c = b.icmp("slt", i, f.args[2])
+    b.cond_br(c, body, exit_)
+    b = IRBuilder(body)
+    lo = b.load(b.gep(f.args[0], b.add(i, b.const(I64, -1))), align=align)
+    hi = b.load(b.gep(f.args[0], b.add(i, b.const(I64, 1))), align=align)
+    s = b.fadd(lo, hi)
+    v = b.fmul(ConstantFP(DOUBLE, 0.25), s)
+    b.store(v, b.gep(f.args[1], i), align=align)
+    i2 = b.add(i, b.const(I64, 1))
+    if with_accumulator:
+        acc2 = b.fadd(extra, v)
+        extra.add_incoming(ConstantFP(DOUBLE, 0.0), entry)
+        extra.add_incoming(acc2, body)
+    b.br(head)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, body)
+    IRBuilder(exit_).ret(Constant(I64, 0))
+    verify(f)
+    return m, f
+
+
+def test_gate_refuses_unaligned_without_force():
+    _m, f = build_row_loop(align=1)
+    report = vectorize.run(f)
+    assert not report.vectorized
+    assert "alignment" in report.reason
+
+
+def test_force_vectorizes():
+    m, f = build_row_loop(align=1)
+    report = vectorize.run(f, force_vector_width=2)
+    assert report.vectorized, report.reason
+    verify(f)
+
+
+def test_forced_loop_still_correct():
+    m, f = build_row_loop(align=1)
+    vectorize.run(f, force_vector_width=2)
+    interp = Interpreter(m)
+    interp.memory.map(0x1000, 0x1000)
+    src, dst = 0x1000, 0x1800
+    vals = [float(k * k % 13) for k in range(32)]
+    for k, v in enumerate(vals):
+        interp.memory.write_f64(src + 8 * k, v)
+    interp.run(f, [src + 8, dst, 20])  # src offset so i-1 stays mapped
+    for k in range(20):
+        want = 0.25 * (vals[k] + vals[k + 2])
+        assert interp.memory.read_f64(dst + 8 * k) == want
+
+
+def test_aligned_loop_vectorizes_without_force():
+    _m, f = build_row_loop(align=16)
+    report = vectorize.run(f)
+    assert report.vectorized
+
+
+def test_accumulator_loop_refused():
+    _m, f = build_row_loop(with_accumulator=True)
+    report = vectorize.run(f, force_vector_width=2)
+    assert not report.vectorized  # reductions are not supported
+
+
+def test_unsupported_width_refused():
+    _m, f = build_row_loop()
+    report = vectorize.run(f, force_vector_width=4)
+    assert not report.vectorized
+    assert "width" in report.reason
+
+
+def test_no_loop_found():
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(f.args[0])
+    report = vectorize.run(f)
+    assert not report.vectorized
+    assert "no vectorizable loop" in report.reason
+
+
+def test_loop_with_call_refused():
+    m = Module("t")
+    decl = Function("ext", FunctionType(DOUBLE, (DOUBLE,)))
+    decl.is_declaration = True
+    m.add_function(decl)
+    f = Function("f", FunctionType(I64, (ptr(DOUBLE), I64)))
+    m.add_function(f)
+    entry = f.add_block("entry")
+    head = f.add_block("head")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    IRBuilder(entry).br(head)
+    b = IRBuilder(head)
+    i = b.phi(I64, "i")
+    c = b.icmp("slt", i, f.args[1])
+    b.cond_br(c, body, exit_)
+    b = IRBuilder(body)
+    v = b.load(b.gep(f.args[0], i))
+    r = b.call(decl, [v], DOUBLE)
+    b.store(r, b.gep(f.args[0], i))
+    i2 = b.add(i, b.const(I64, 1))
+    b.br(head)
+    i.add_incoming(Constant(I64, 0), entry)
+    i.add_incoming(i2, body)
+    IRBuilder(exit_).ret(Constant(I64, 0))
+    verify(f)
+    report = vectorize.run(f, force_vector_width=2)
+    assert not report.vectorized

@@ -1,0 +1,92 @@
+"""Unit tests for the Sec. IV fixation wrapper builder."""
+
+import struct
+
+import pytest
+
+from repro.cc import compile_c
+from repro.errors import LiftError
+from repro.ir import Interpreter, Module, verify
+from repro.ir.passes import run_o3
+from repro.lift import FunctionSignature, LiftOptions, lift_function
+from repro.lift.fixation import FixedMemory, build_fixation_wrapper
+
+
+@pytest.fixture
+def lifted():
+    prog = compile_c("""
+    double f(double* cfg, long n, double x) {
+        double acc = 0.0;
+        for (long i = 0; i < n; i++) acc = acc * x + cfg[i];
+        return acc;
+    }
+    """)
+    img = prog.image
+    m = Module("t")
+    func = lift_function(img.memory, img.symbol("f"),
+                         FunctionSignature(("i", "i", "f"), "f"),
+                         LiftOptions(name="f"), m)
+    return img, m, func
+
+
+def test_wrapper_keeps_full_signature(lifted):
+    img, m, func = lifted
+    data = img.alloc_data(16, data=struct.pack("<2d", 2.0, 5.0))
+    w = build_fixation_wrapper(m, func, {0: FixedMemory(data, 16), 1: 2},
+                               img.memory, name="w")
+    verify(w)
+    assert len(w.args) == len(func.args)  # drop-in replacement (Sec. II)
+    assert func.always_inline
+
+
+def test_wrapper_specializes_through_o3(lifted):
+    img, m, func = lifted
+    data = img.alloc_data(16, data=struct.pack("<2d", 2.0, 5.0))
+    w = build_fixation_wrapper(m, func, {0: FixedMemory(data, 16), 1: 2},
+                               img.memory, name="w")
+    run_o3(w)
+    verify(w)
+    # 2*x + 5 at x=3 -> 11; fixed args ignored
+    got = Interpreter(m, img.memory).run(w, [0, 999, 3.0])
+    assert got == 11.0
+    # fully specialized: no call, no loop, no loads
+    opcodes = {i.opcode for i in w.instructions()}
+    assert "call" not in opcodes and "load" not in opcodes
+
+
+def test_wrapper_fixes_double_parameter(lifted):
+    img, m, func = lifted
+    data = img.alloc_data(16, data=struct.pack("<2d", 1.0, 0.0))
+    w = build_fixation_wrapper(
+        m, func, {0: FixedMemory(data, 16), 1: 2, 2: 10.0},
+        img.memory, name="w2",
+    )
+    run_o3(w)
+    got = Interpreter(m, img.memory).run(w, [0, 0, 0.0])
+    assert got == 10.0  # 1*10 + 0
+
+
+def test_wrapper_rejects_bad_index(lifted):
+    img, m, func = lifted
+    with pytest.raises(LiftError, match="out of range"):
+        build_fixation_wrapper(m, func, {9: 1}, img.memory, name="bad1")
+
+
+def test_wrapper_rejects_type_mismatch(lifted):
+    img, m, func = lifted
+    with pytest.raises(LiftError, match="does not match"):
+        build_fixation_wrapper(m, func, {2: 7}, img.memory, name="bad2")
+    with pytest.raises(LiftError, match="does not match"):
+        build_fixation_wrapper(m, func, {0: 2.5}, img.memory, name="bad3")
+
+
+def test_wrapper_copies_memory_snapshot(lifted):
+    """The global holds a *copy*: later writes to the region don't leak in."""
+    img, m, func = lifted
+    data = img.alloc_data(16, data=struct.pack("<2d", 3.0, 4.0))
+    w = build_fixation_wrapper(m, func, {0: FixedMemory(data, 16), 1: 2},
+                               img.memory, name="w3")
+    img.memory.write_f64(data, 99.0)  # runtime change after fixation
+    run_o3(w)
+    got = Interpreter(m, img.memory).run(w, [0, 0, 1.0])
+    assert got == 7.0  # snapshot 3+4, not 99+4

@@ -1,0 +1,213 @@
+"""Lifter building blocks in isolation: regfile facets, flag conditions,
+memory operands, segment overrides."""
+
+import pytest
+
+from repro.cpu import Image, Simulator
+from repro.ir import (
+    DOUBLE, I1, I8, I64, I128, Function, FunctionType, IRBuilder,
+    Interpreter, Module, Undef, V2F64, verify, print_function,
+)
+from repro.ir.values import Constant
+from repro.lift import FunctionSignature, LiftOptions, lift_function
+from repro.lift.flags import FlagModel
+from repro.lift.regfile import RegFile, RegState
+from repro.x86 import parse_asm
+from repro.x86.asm import assemble
+
+
+@pytest.fixture
+def env():
+    m = Module("t")
+    f = Function("t", FunctionType(I64, (I64, I64)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    state = RegState.fresh()
+    regs = RegFile(state, b, facet_cache=True)
+    return m, f, b, state, regs
+
+
+# -- regfile -------------------------------------------------------------------
+
+
+def test_gpr_write32_zexts(env):
+    m, f, b, state, regs = env
+    regs.write_gpr(0, Constant(I8, 7), 1)  # write al
+    v = regs.read_gpr(0, 8)
+    b.ret(v)
+    verify_entry(f)
+
+
+def verify_entry(f):
+    IRBuilder(f.entry)  # ensure terminator exists for verify
+    if f.entry.terminator is None:
+        IRBuilder(f.entry).ret(Constant(I64, 0))
+    verify(f)
+
+
+def test_facet_cache_hit_returns_same_value(env):
+    _m, f, b, state, regs = env
+    v1 = regs.read_gpr(3, 4)
+    v2 = regs.read_gpr(3, 4)
+    assert v1 is v2  # cached trunc
+
+
+def test_facet_cache_invalidated_on_write(env):
+    _m, f, b, state, regs = env
+    v1 = regs.read_gpr(3, 4)
+    regs.write_gpr(3, Constant(I64, 5), 8)
+    v2 = regs.read_gpr(3, 4)
+    assert v1 is not v2
+
+
+def test_no_cache_materializes_each_time():
+    m = Module("t")
+    f = Function("t", FunctionType(I64, ()))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    regs = RegFile(RegState.fresh(), b, facet_cache=False)
+    v1 = regs.read_gpr(3, 4)
+    v2 = regs.read_gpr(3, 4)
+    assert v1 is not v2
+
+
+def test_xmm_f64_facet_via_extract(env):
+    _m, f, b, state, regs = env
+    v = regs.read_xmm_f64(2)
+    assert v.opcode == "extractelement"
+
+
+def test_xmm_scalar_write_preserves_upper(env):
+    _m, f, b, state, regs = env
+    from repro.ir.values import ConstantFP
+    regs.write_xmm_f64_low_preserve(1, ConstantFP(DOUBLE, 2.0))
+    # canonical is a bitcast of an insertelement into the OLD vector
+    canon = state.xmm[1]
+    assert canon.opcode == "bitcast"
+    assert canon.operands[0].opcode == "insertelement"
+
+
+def test_xmm_zero_rest_uses_zeroinitializer(env):
+    _m, f, b, state, regs = env
+    from repro.ir.values import ConstantFP, ConstantVector
+    regs.write_xmm_f64_zero_rest(1, ConstantFP(DOUBLE, 2.0))
+    insert = state.xmm[1].operands[0]
+    assert isinstance(insert.operands[0], ConstantVector)
+
+
+def test_pointer_facet_inttoptr(env):
+    _m, f, b, state, regs = env
+    p1 = regs.read_gpr_ptr(7)
+    p2 = regs.read_gpr_ptr(7)
+    assert p1 is p2 and p1.opcode == "inttoptr"
+
+
+# -- flag model --------------------------------------------------------------
+
+
+def flag_env():
+    m = Module("t")
+    f = Function("t", FunctionType(I1, (I64, I64)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    regs = RegFile(RegState.fresh(), b, facet_cache=True)
+    return m, f, b, regs
+
+
+@pytest.mark.parametrize("cc,pred", [
+    ("l", "slt"), ("ge", "sge"), ("le", "sle"), ("g", "sgt"),
+    ("b", "ult"), ("ae", "uge"), ("e", "eq"), ("ne", "ne"),
+])
+def test_flag_cache_predicates(cc, pred):
+    m, f, b, regs = flag_env()
+    flags = FlagModel(regs, b, flag_cache=True)
+    a, c = f.args
+    r = b.sub(a, c)
+    flags.set_after_sub(a, c, r, is_cmp=True)
+    cond = flags.condition(cc)
+    assert cond.opcode == "icmp" and cond.pred == pred
+    assert cond.operands[0] is a and cond.operands[1] is c
+
+
+def test_flag_cache_invalidated_by_add():
+    m, f, b, regs = flag_env()
+    flags = FlagModel(regs, b, flag_cache=True)
+    a, c = f.args
+    flags.set_after_sub(a, c, b.sub(a, c), is_cmp=True)
+    flags.set_after_add(a, c, b.add(a, c))
+    cond = flags.condition("l")
+    assert cond.opcode != "icmp" or cond.operands[0] is not a  # from bits
+
+
+def test_test_idiom_cache():
+    m, f, b, regs = flag_env()
+    flags = FlagModel(regs, b, flag_cache=True)
+    a, _ = f.args
+    r = b.and_(a, a)
+    flags.set_after_logic(r, cache_test=(a, a))
+    cond = flags.condition("le")
+    assert cond.opcode == "icmp" and cond.pred == "sle"
+    assert isinstance(cond.operands[1], Constant) and cond.operands[1].value == 0
+
+
+_CC_PY = {
+    "e": lambda sa, sb: sa == sb,
+    "ne": lambda sa, sb: sa != sb,
+    "l": lambda sa, sb: sa < sb,
+    "ge": lambda sa, sb: sa >= sb,
+    "le": lambda sa, sb: sa <= sb,
+    "g": lambda sa, sb: sa > sb,
+}
+_CC_PY_UNSIGNED = {
+    "b": lambda a, b: a < b,
+    "ae": lambda a, b: a >= b,
+    "be": lambda a, b: a <= b,
+    "a": lambda a, b: a > b,
+}
+
+
+@pytest.mark.parametrize("cc", sorted(_CC_PY) + sorted(_CC_PY_UNSIGNED))
+def test_conditions_from_bits_semantics(cc):
+    """Every cc must evaluate correctly when built from raw flag bits
+    (the Fig. 6b fallback path, flag cache disabled)."""
+    for a_val, b_val in [(3, 9), (9, 3), (5, 5), (2**63, 1), (1, 2**63),
+                         (0, 0), (2**64 - 1, 1)]:
+        m, f, b, regs = flag_env()
+        flags = FlagModel(regs, b, flag_cache=False)
+        a = Constant(I64, a_val)
+        c = Constant(I64, b_val)
+        r = b.sub(a, c)
+        flags.set_after_sub(a, c, r)
+        b.ret(flags.condition(cc))
+        verify(f)
+        got = Interpreter(m).run(f, [0, 0])
+        if cc in _CC_PY:
+            sa = a_val - 2**64 if a_val >= 2**63 else a_val
+            sb = b_val - 2**64 if b_val >= 2**63 else b_val
+            want = int(_CC_PY[cc](sa, sb))
+        else:
+            want = int(_CC_PY_UNSIGNED[cc](a_val, b_val))
+        assert got == want, (cc, a_val, b_val)
+
+
+# -- segment overrides ---------------------------------------------------------
+
+
+def test_fs_gs_lift_to_address_spaces():
+    img = Image()
+    base = img.next_code_addr()
+    code, _ = assemble(parse_asm("""
+        mov rax, qword ptr fs:[0x10]
+        mov rdx, qword ptr gs:[0x20]
+        add rax, rdx
+        ret
+    """), base=base)
+    img.add_function("f", code)
+    m = Module("t")
+    f = lift_function(img.memory, base, FunctionSignature((), "i"),
+                      LiftOptions(name="f"), m)
+    verify(f)
+    text = print_function(f)
+    # Sec. III-E: fs -> addrspace 257, gs -> addrspace 256
+    assert "addrspace(257)" in text
+    assert "addrspace(256)" in text

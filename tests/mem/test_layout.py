@@ -1,0 +1,73 @@
+"""Struct layout rules must match the System V AMD64 ABI."""
+
+import pytest
+
+from repro.mem.layout import StructLayout, align_up
+
+
+def test_align_up():
+    assert align_up(0, 8) == 0
+    assert align_up(1, 8) == 8
+    assert align_up(8, 8) == 8
+    assert align_up(9, 16) == 16
+
+
+def test_align_up_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        align_up(5, 3)
+
+
+def test_fp_struct_layout():
+    # struct FP { double f; int dx, dy; };  (Fig. 7 names the doubles first)
+    fp = StructLayout("FP", [("f", "double", 1), ("dx", "int", 1), ("dy", "int", 1)])
+    assert fp.offset_of("f") == 0
+    assert fp.offset_of("dx") == 8
+    assert fp.offset_of("dy") == 12
+    assert fp.size == 16
+    assert fp.align == 8
+
+
+def test_padding_between_members():
+    s = StructLayout("S", [("c", "char", 1), ("d", "double", 1)])
+    assert s.offset_of("d") == 8
+    assert s.size == 16
+
+
+def test_trailing_padding():
+    s = StructLayout("S", [("d", "double", 1), ("c", "char", 1)])
+    assert s.size == 16
+
+
+def test_flat_stencil_struct():
+    # struct FS { int ps; struct FP p[]; };
+    fp = StructLayout("FP", [("f", "double", 1), ("dx", "int", 1), ("dy", "int", 1)])
+    fs = StructLayout("FS", [("ps", "int", 1), ("p", fp, 0)])
+    assert fs.offset_of("ps") == 0
+    assert fs.offset_of("p") == 8  # aligned for the doubles inside FP
+    assert fs.sizeof_with_flexible(4) == 8 + 4 * 16
+
+
+def test_flexible_member_must_be_last():
+    fp = StructLayout("FP", [("f", "double", 1)])
+    with pytest.raises(ValueError):
+        StructLayout("FS", [("p", fp, 0), ("ps", "int", 1)])
+
+
+def test_array_member():
+    s = StructLayout("S", [("a", "int", 4), ("b", "long", 1)])
+    assert s.offset_of("b") == 16
+    assert s.size == 24
+
+
+def test_nested_struct_alignment():
+    inner = StructLayout("I", [("x", "long", 1)])
+    s = StructLayout("S", [("c", "char", 1), ("i", inner, 1)])
+    assert s.offset_of("i") == 8
+    assert s.size == 16
+
+
+def test_no_flexible_sizeof_guard():
+    s = StructLayout("S", [("x", "int", 1)])
+    assert s.sizeof_with_flexible(0) == 4
+    with pytest.raises(ValueError):
+        s.sizeof_with_flexible(2)

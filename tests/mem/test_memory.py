@@ -1,0 +1,109 @@
+"""Unit + property tests for the simulated memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.mem.memory import Memory
+
+
+@pytest.fixture
+def mem():
+    m = Memory()
+    m.map(0x1000, 0x1000)
+    return m
+
+
+def test_zero_initialized(mem):
+    assert mem.read(0x1000, 16) == bytes(16)
+
+
+def test_write_read_bytes(mem):
+    mem.write(0x1100, b"hello")
+    assert mem.read(0x1100, 5) == b"hello"
+
+
+def test_unmapped_read_raises(mem):
+    with pytest.raises(MemoryAccessError):
+        mem.read(0x3000, 1)
+
+
+def test_straddling_region_end_raises(mem):
+    with pytest.raises(MemoryAccessError):
+        mem.read(0x1FFF, 2)
+
+
+def test_overlapping_map_rejected(mem):
+    with pytest.raises(MemoryAccessError):
+        mem.map(0x1800, 0x1000)
+
+
+def test_adjacent_map_allowed(mem):
+    mem.map(0x2000, 0x1000)
+    mem.write_u8(0x2000, 7)
+    assert mem.read_u8(0x2000) == 7
+
+
+def test_map_with_initializer():
+    m = Memory()
+    m.map(0x0, 16, data=b"\x01\x02")
+    assert m.read(0, 4) == b"\x01\x02\x00\x00"
+
+
+def test_little_endian_u32(mem):
+    mem.write_u32(0x1000, 0x12345678)
+    assert mem.read(0x1000, 4) == bytes.fromhex("78563412")
+
+
+def test_is_mapped(mem):
+    assert mem.is_mapped(0x1000, 0x1000)
+    assert not mem.is_mapped(0xFFF, 2)
+    assert not mem.is_mapped(0x1FFF, 2)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_u64_roundtrip(v):
+    m = Memory()
+    m.map(0, 8)
+    m.write_u64(0, v)
+    assert m.read_u64(0) == v
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_i32_roundtrip(v):
+    m = Memory()
+    m.map(0, 4)
+    m.write_uint(0, v, 4)
+    assert m.read_i32(0) == v
+
+
+@given(st.floats(allow_nan=False))
+def test_f64_roundtrip(v):
+    m = Memory()
+    m.map(0, 8)
+    m.write_f64(0, v)
+    assert m.read_f64(0) == v
+
+
+def test_f64_nan_roundtrip():
+    m = Memory()
+    m.map(0, 8)
+    m.write_f64(0, float("nan"))
+    assert m.read_f64(0) != m.read_f64(0)
+
+
+@given(st.integers(min_value=0, max_value=2**128 - 1))
+def test_u128_roundtrip(v):
+    m = Memory()
+    m.map(0, 16)
+    m.write_u128(0, v)
+    assert m.read_u128(0) == v
+
+
+def test_write_uint_masks():
+    m = Memory()
+    m.map(0, 8)
+    m.write_uint(0, -1, 4)
+    assert m.read_u32(0) == 0xFFFFFFFF
+    assert m.read_u64(0) == 0xFFFFFFFF

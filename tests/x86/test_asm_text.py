@@ -1,0 +1,168 @@
+"""Assembler text tools: parser, printer, label resolution, relaxation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AsmSyntaxError, EncodeError
+from repro.x86 import parse_asm
+from repro.x86.asm import Label, LabelRef, assemble, assemble_full, branch_targets
+from repro.x86.asmparser import parse_line
+from repro.x86.decoder import decode_block
+from repro.x86.instr import Imm, Instruction, Mem, Reg, gp, make
+from repro.x86.printer import format_instruction, format_operand
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def test_parse_simple_instruction():
+    ins = parse_line("mov rax, rdi")
+    assert ins.mnemonic == "mov"
+    assert ins.operands[0].name == "rax"
+
+
+def test_parse_label():
+    lbl = parse_line("loop:")
+    assert isinstance(lbl, Label) and lbl.name == "loop"
+
+
+def test_parse_comment_and_blank():
+    assert parse_line("; a comment") is None
+    assert parse_line("   ") is None
+    ins = parse_line("ret ; done")
+    assert ins.mnemonic == "ret"
+
+
+def test_parse_memory_full_form():
+    ins = parse_line("mov rax, qword ptr [rsi + 8*rcx - 0x10]")
+    mem = ins.operands[1]
+    assert isinstance(mem, Mem)
+    assert mem.base.name == "rsi"
+    assert mem.index.name == "rcx"
+    assert mem.scale == 8
+    assert mem.disp == -0x10
+
+
+def test_parse_memory_scale_first():
+    ins = parse_line("mov rax, [8*rcx + rsi]")
+    mem = ins.operands[1]
+    assert mem.index.name == "rcx" and mem.scale == 8 and mem.base.name == "rsi"
+
+
+def test_parse_riprel():
+    ins = parse_line("movsd xmm0, qword ptr [rip + 0x600000]")
+    mem = ins.operands[1]
+    assert mem.riprel and mem.disp == 0x600000
+
+
+def test_parse_segment_override():
+    ins = parse_line("mov rax, qword ptr fs:[0x10]")
+    assert ins.operands[1].seg == "fs"
+
+
+def test_parse_cc_alias_normalization():
+    assert parse_line("jz out").mnemonic == "je"
+    assert parse_line("jnae out").mnemonic == "jb"
+    assert parse_line("cmovnle rax, rbx").mnemonic == "cmovg"
+
+
+def test_parse_label_reference():
+    ins = parse_line("jmp done")
+    assert isinstance(ins.operands[0], LabelRef)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(AsmSyntaxError):
+        parse_line("mov rax, [rsi + rdi + rbx + rcx]")
+    with pytest.raises(AsmSyntaxError):
+        parse_asm("mov rax, @@@")
+
+
+def test_default_memory_size_follows_register():
+    ins = parse_line("mov eax, [rdi]")
+    assert ins.operands[1].size == 4
+    ins = parse_line("mov al, [rdi]")
+    assert ins.operands[1].size == 1
+
+
+# -- printer ---------------------------------------------------------------------
+
+
+def test_printer_register_and_imm():
+    assert format_operand(gp(0, 4)) == "eax"
+    assert format_operand(Imm(5)) == "5"
+    assert format_operand(Imm(-1000)) == "-0x3e8"
+
+
+def test_printer_memory_forms():
+    assert format_operand(Mem(8, base=gp(6), index=gp(1), scale=8, disp=-8)) == \
+        "qword ptr [rsi + 8 * rcx - 0x8]"
+    assert format_operand(Mem(4, disp=0x600000)) == "dword ptr [0x600000]"
+    assert format_operand(Mem(8, disp=0x1234, riprel=True)) == \
+        "qword ptr [rip + 0x1234]"
+
+
+def test_print_parse_roundtrip():
+    lines = [
+        "mov rax, rdi",
+        "lea r8, qword ptr [rsi + 4 * rcx + 0x20]",
+        "addsd xmm0, qword ptr [rdi - 0x8]",
+        "movzx eax, byte ptr [rax]",
+        "imul rdx, rbx, 0x65",
+        "cmovl rax, rsi",
+    ]
+    for line in lines:
+        ins = parse_line(line)
+        again = parse_line(format_instruction(ins))
+        assert (again.mnemonic, again.operands) == (ins.mnemonic, ins.operands)
+
+
+# -- assembler ---------------------------------------------------------------------
+
+
+def test_assemble_forward_and_backward_labels():
+    code, placed, labels = assemble_full(parse_asm("""
+    start:
+        jmp forward
+        nop
+    forward:
+        jmp start
+    """), base=0x1000)
+    assert labels["start"] == 0x1000
+    re = decode_block(code, 0x1000, len(code), base_addr=0x1000)
+    targets = branch_targets(re)
+    assert labels["forward"] in targets and labels["start"] in targets
+
+
+def test_assemble_duplicate_label_rejected():
+    with pytest.raises(EncodeError, match="duplicate"):
+        assemble(parse_asm("x:\nnop\nx:\nret"), base=0)
+
+
+def test_assemble_undefined_label_rejected():
+    with pytest.raises(EncodeError, match="undefined"):
+        assemble(parse_asm("jmp nowhere"), base=0)
+
+
+def test_branch_relaxation_rel8_vs_rel32():
+    # short loop -> rel8 (2 bytes); long jump over padding -> rel32
+    short_src = "top:\nnop\njmp top"
+    code, placed = assemble(parse_asm(short_src), base=0)
+    jmp = placed[-1]
+    assert jmp.length == 2
+    long_src = "jmp end\n" + "nop\n" * 200 + "end:\nret"
+    code2, placed2 = assemble(parse_asm(long_src), base=0)
+    assert placed2[0].length == 5  # rel32 form
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_pad=st.integers(min_value=0, max_value=300))
+def test_relaxation_fixed_point_property(n_pad):
+    src = "jmp end\n" + "nop\n" * n_pad + "end:\nret"
+    code, placed = assemble(parse_asm(src), base=0x4000)
+    re = decode_block(code, 0x4000, len(code), base_addr=0x4000)
+    # the decoded jump must land exactly on the ret
+    target = re[0].operands[0].value
+    ret_addr = re[-1].addr
+    assert target == ret_addr

@@ -1,0 +1,184 @@
+"""Property-based encode/decode round-trip over the supported subset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x86 import isa
+from repro.x86.decoder import decode_one
+from repro.x86.encoder import encode
+from repro.x86.instr import Imm, Instruction, Mem, Reg, gp, make, xmm
+
+
+def gp_regs(sizes=(1, 2, 4, 8)):
+    return st.builds(
+        gp,
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from(sizes),
+    )
+
+
+def xmm_regs():
+    return st.builds(xmm, st.integers(min_value=0, max_value=15))
+
+
+@st.composite
+def mem_operands(draw, size=None):
+    base = draw(st.one_of(st.none(), gp_regs(sizes=(8,))))
+    index = draw(st.one_of(st.none(), gp_regs(sizes=(8,))))
+    if index is not None and index.index == 4:  # rsp cannot index
+        index = None
+    scale = draw(st.sampled_from([1, 2, 4, 8]))
+    disp = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    msize = size if size is not None else draw(st.sampled_from([1, 2, 4, 8]))
+    if base is None and index is None:
+        disp = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return Mem(size=msize, base=base, index=index, scale=scale, disp=disp)
+
+
+def roundtrip(ins: Instruction, addr: int = 0x400000) -> Instruction:
+    raw = encode(ins, addr)
+    back = decode_one(raw, 0, addr)
+    assert back.length == len(raw)
+    return back
+
+
+@given(
+    mnem=st.sampled_from(sorted(isa.ALU_GROUP)),
+    dst=gp_regs(sizes=(4, 8)),
+    src=gp_regs(sizes=(4, 8)),
+)
+def test_alu_reg_reg(mnem, dst, src):
+    src = src.with_size(dst.size)
+    back = roundtrip(make(mnem, dst, src))
+    assert (back.mnemonic, back.operands) == (mnem, (dst, src))
+
+
+@given(
+    mnem=st.sampled_from(sorted(isa.ALU_GROUP)),
+    dst=gp_regs(sizes=(4, 8)),
+    imm=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+def test_alu_reg_imm(mnem, dst, imm):
+    back = roundtrip(make(mnem, dst, Imm(imm)))
+    assert back.mnemonic == mnem
+    got = back.operands[1]
+    assert isinstance(got, Imm)
+    assert got.value == imm
+
+
+@given(mnem=st.sampled_from(sorted(isa.ALU_GROUP)), dst=gp_regs(sizes=(8,)), m=mem_operands(size=8))
+def test_alu_reg_mem(mnem, dst, m):
+    back = roundtrip(make(mnem, dst, m))
+    assert back.operands == (dst, m)
+
+
+@given(dst=gp_regs(sizes=(1, 2, 4, 8)), m=mem_operands())
+def test_mov_store_load(dst, m):
+    m = Mem(size=dst.size, base=m.base, index=m.index, scale=m.scale, disp=m.disp)
+    assert roundtrip(make("mov", dst, m)).operands == (dst, m)
+    assert roundtrip(make("mov", m, dst)).operands == (m, dst)
+
+
+@given(dst=gp_regs(sizes=(8,)), imm=st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_mov_imm64(dst, imm):
+    back = roundtrip(make("mov", dst, Imm(imm)))
+    got = back.operands[1]
+    assert isinstance(got, Imm)
+    assert got.value == imm
+
+
+@given(dst=gp_regs(sizes=(8,)), m=mem_operands(size=8))
+def test_lea(dst, m):
+    assert roundtrip(make("lea", dst, m)).operands == (dst, m)
+
+
+@given(
+    mnem=st.sampled_from(sorted(isa.SSE_SD) + sorted(isa.SSE_PD) + sorted(isa.SSE_PI)),
+    dst=xmm_regs(),
+    src=xmm_regs(),
+)
+def test_sse_reg_reg(mnem, dst, src):
+    back = roundtrip(make(mnem, dst, src))
+    assert (back.mnemonic, back.operands) == (mnem, (dst, src))
+
+
+@given(dst=xmm_regs(), m=mem_operands(size=8))
+def test_movsd_roundtrip(dst, m):
+    assert roundtrip(make("movsd", dst, m)).operands == (dst, m)
+    assert roundtrip(make("movsd", m, dst)).operands == (m, dst)
+
+
+@given(
+    target_off=st.integers(min_value=-(2**25), max_value=2**25),
+    cc=st.sampled_from(isa.CC_NAMES),
+)
+def test_jcc_targets(target_off, cc):
+    addr = 0x40000000
+    back = roundtrip(make("j" + cc, Imm(addr + target_off)), addr)
+    got = back.operands[0]
+    assert isinstance(got, Imm)
+    assert got.value == addr + target_off
+
+
+@given(target_off=st.integers(min_value=-(2**25), max_value=2**25))
+def test_call_jmp_targets(target_off):
+    addr = 0x40000000
+    for mnem in ("jmp", "call"):
+        back = roundtrip(make(mnem, Imm(addr + target_off)), addr)
+        assert back.operands[0] == Imm(addr + target_off)
+
+
+@given(dst=gp_regs(sizes=(4, 8)), src=gp_regs(sizes=(4, 8)), cc=st.sampled_from(isa.CC_NAMES))
+def test_cmov_roundtrip(dst, src, cc):
+    src = src.with_size(dst.size)
+    back = roundtrip(make("cmov" + cc, dst, src))
+    assert (back.mnemonic, back.operands) == ("cmov" + cc, (dst, src))
+
+
+@given(
+    mnem=st.sampled_from(sorted(isa.SHIFT_GROUP)),
+    dst=gp_regs(sizes=(4, 8)),
+    count=st.integers(min_value=1, max_value=63),
+)
+def test_shift_roundtrip(mnem, dst, count):
+    back = roundtrip(make(mnem, dst, Imm(count)))
+    assert back.mnemonic == mnem
+    assert back.operands[0] == dst
+    assert back.operands[1].value == count
+
+
+@given(reg=gp_regs(sizes=(8,)))
+def test_push_pop_roundtrip(reg):
+    assert roundtrip(make("push", reg)).operands == (reg,)
+    assert roundtrip(make("pop", reg)).operands == (reg,)
+
+
+@given(
+    dst=gp_regs(sizes=(4, 8)),
+    src=gp_regs(sizes=(4, 8)),
+    imm=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+def test_imul3_roundtrip(dst, src, imm):
+    src = src.with_size(dst.size)
+    back = roundtrip(make("imul", dst, src, Imm(imm)))
+    assert back.mnemonic == "imul"
+    assert back.operands[0] == dst
+    assert back.operands[1] == src
+    assert back.operands[2].value == imm
+
+
+@given(m=mem_operands(size=8))
+def test_riprel_mem(m):
+    target = 0x60000000
+    mem = Mem(size=8, disp=target, riprel=True)
+    back = roundtrip(make("mov", gp(0), mem), addr=0x40001234)
+    got = back.operands[1]
+    assert isinstance(got, Mem) and got.riprel and got.disp == target
+
+
+@pytest.mark.parametrize("seg", ["fs", "gs"])
+def test_segment_override(seg):
+    mem = Mem(size=8, base=gp(0), disp=0x10, seg=seg)
+    back = roundtrip(make("mov", gp(3), mem))
+    assert back.operands[1] == mem
