@@ -19,13 +19,15 @@ from repro.lift import FunctionSignature
 from repro.stencil.jacobi import matrices_equal
 from repro.stencil.sources import LINE_SIGNATURE
 
+_O3 = O3Options()
+
 ABLATIONS = {
-    "full-O3": O3Options(),
-    "no-mem2reg": O3Options(enable_mem2reg=False),
-    "no-gvn": O3Options(enable_gvn=False),
-    "no-instcombine": O3Options(enable_instcombine=False),
-    "no-unroll": O3Options(enable_unroll=False),
-    "no-fastmath": O3Options(fast_math=False),
+    "full-O3": _O3,
+    "no-mem2reg": _O3.replace(enable_mem2reg=False),
+    "no-gvn": _O3.replace(enable_gvn=False),
+    "no-instcombine": _O3.replace(enable_instcombine=False),
+    "no-unroll": _O3.replace(enable_unroll=False),
+    "no-fastmath": _O3.replace(fast_math=False),
 }
 
 _CYCLES = {}

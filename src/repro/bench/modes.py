@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.cache import SpecializationCache
 from repro.dbrew import Rewriter
 from repro.jit import BinaryTransformer
 from repro.lift import FunctionSignature, LiftOptions
@@ -36,6 +37,8 @@ class ModeResult:
     name: str
     transform_seconds: float = 0.0
     stages: dict[str, float] = field(default_factory=dict)
+    #: cache stage that served the transform (None = full compile / native)
+    cache_stage: str | None = None
 
 
 def _signature(line: bool) -> FunctionSignature:
@@ -75,8 +78,14 @@ def _dbrew_input(code: str, line: bool) -> str:
 
 
 def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
-                   line: bool, uid: str = "") -> ModeResult:
-    """Build the kernel for one evaluation cell; returns its address."""
+                   line: bool, uid: str = "",
+                   cache: SpecializationCache | None = None) -> ModeResult:
+    """Build the kernel for one evaluation cell; returns its address.
+
+    With a ``cache``, repeated preparations of the same cell are memoized —
+    the compile stages a hit skips report as zero and ``cache_stage`` names
+    the stage boundary the transform was served from.
+    """
     if code not in CODES or mode not in MODES:
         raise ValueError(f"unknown cell ({code}, {mode})")
     native = _native_kernel(code, line)
@@ -88,15 +97,15 @@ def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
         return ModeResult(ws.image.symbol(native), native)
 
     if mode == "llvm":
-        tx = BinaryTransformer(ws.image)
+        tx = BinaryTransformer(ws.image, cache=cache)
         res = tx.llvm_identity(native, sig, name=f"k.{tag}")
         return ModeResult(res.addr, res.name, res.total_seconds, {
             "lift": res.lift_seconds, "opt": res.optimize_seconds,
             "codegen": res.codegen_seconds,
-        })
+        }, cache_stage=res.cache_stage)
 
     if mode == "llvm-fix":
-        tx = BinaryTransformer(ws.image)
+        tx = BinaryTransformer(ws.image, cache=cache)
         fixes: dict[int, object] = {}
         if fix["fix_memory"] is not None:
             fixes[0] = fix["fix_memory"]
@@ -104,31 +113,35 @@ def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
         return ModeResult(res.addr, res.name, res.total_seconds, {
             "lift": res.lift_seconds, "opt": res.optimize_seconds,
             "codegen": res.codegen_seconds,
-        })
+        }, cache_stage=res.cache_stage)
 
     if mode == "dbrew":
+        before = cache.stats.stage_hits["rewrite"] if cache is not None else 0
         t0 = time.perf_counter()
-        addr = _dbrew_rewrite(ws, code, line, f"k.{tag}")
+        addr = _dbrew_rewrite(ws, code, line, f"k.{tag}", cache=cache)
         dt = time.perf_counter() - t0
-        return ModeResult(addr, f"k.{tag}", dt, {"rewrite": dt})
+        hit = cache is not None and cache.stats.stage_hits["rewrite"] > before
+        return ModeResult(addr, f"k.{tag}", dt, {"rewrite": dt},
+                          cache_stage="rewrite" if hit else None)
 
     # dbrew+llvm: rewrite first, then the identity transformation on top
     t0 = time.perf_counter()
-    dbrew_addr = _dbrew_rewrite(ws, code, line, f"k.{tag}.dbrew")
+    dbrew_addr = _dbrew_rewrite(ws, code, line, f"k.{tag}.dbrew", cache=cache)
     t_rw = time.perf_counter() - t0
-    tx = BinaryTransformer(ws.image)
+    tx = BinaryTransformer(ws.image, cache=cache)
     res = tx.llvm_identity(dbrew_addr, sig, name=f"k.{tag}")
     return ModeResult(res.addr, res.name, t_rw + res.total_seconds, {
         "rewrite": t_rw, "lift": res.lift_seconds,
         "opt": res.optimize_seconds, "codegen": res.codegen_seconds,
-    })
+    }, cache_stage=res.cache_stage)
 
 
-def _dbrew_rewrite(ws: StencilWorkspace, code: str, line: bool, name: str) -> int:
+def _dbrew_rewrite(ws: StencilWorkspace, code: str, line: bool, name: str,
+                   cache: SpecializationCache | None = None) -> int:
     fix = _stencil_fix(ws, code)
     target = _dbrew_input(code, line)
     sig = LINE_SIGNATURE if line else ELEMENT_SIGNATURE
-    r = Rewriter(ws.image, target).set_signature(tuple(sig), None)
+    r = Rewriter(ws.image, target, cache=cache).set_signature(tuple(sig), None)
     if code != "direct":
         r.set_par(0, fix["arg"])  # type: ignore[arg-type]
         for start, end in fix["regions"]:  # type: ignore[union-attr]

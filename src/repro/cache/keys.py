@@ -1,0 +1,169 @@
+"""Content-addressed cache keys for runtime transformations.
+
+A specialization is identified by *what goes into the compile*, never by
+where its inputs happen to live:
+
+* the machine-code bytes of the function being transformed (and of every
+  known callee the lifter will turn into a definition),
+* the declared :class:`~repro.lift.FunctionSignature`,
+* the lifter configuration,
+* the fixation values — for :class:`~repro.lift.fixation.FixedMemory`
+  arguments this includes the *contents* of the fixed region, because
+  fixation bakes those bytes into the module as constant globals,
+* the :class:`~repro.ir.passes.O3Options` pipeline configuration,
+* the :class:`~repro.ir.codegen.JITOptions` code-generation knobs.
+
+Keys are layered so a hit can land at any stage boundary (see
+:mod:`repro.cache.cache`):
+
+========  ==========================================================
+lifted    H(code bytes, callees, signature, lift options)
+module    H(lifted key, mode, fixes, O3 options)
+machine   H(module key, JIT options)   [valid per image generation]
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import fields, is_dataclass
+
+from repro.cpu.image import Image
+from repro.lift import FunctionSignature, LiftOptions
+from repro.lift.fixation import FixedMemory
+from repro.mem.memory import Memory
+
+_SEP = b"\x00\xff"
+
+
+def digest_bytes(*parts: bytes) -> str:
+    """Stable short digest of a byte sequence."""
+    h = hashlib.blake2b(digest_size=16)
+    for p in parts:
+        h.update(p)
+        h.update(_SEP)
+    return h.hexdigest()
+
+
+def digest_str(*parts: str) -> str:
+    return digest_bytes(*(p.encode() for p in parts))
+
+
+#: value-keyed memo for frozen options dataclasses (a handful of distinct
+#: configurations exist per process; hashing them per transform is waste)
+_OPTS_MEMO: dict[object, str] = {}
+
+
+def options_digest(opts: object) -> str:
+    """Digest of a flat (frozen) options dataclass by field name/value."""
+    if not is_dataclass(opts):
+        raise TypeError(f"expected a dataclass, got {type(opts).__name__}")
+    try:
+        memo = _OPTS_MEMO.get(opts)
+    except TypeError:  # unhashable (mutable dataclass): no memo
+        memo = None
+    if memo is not None:
+        return memo
+    items = []
+    for f in sorted(fields(opts), key=lambda f: f.name):
+        items.append(f"{f.name}={getattr(opts, f.name)!r}")
+    d = digest_str(type(opts).__name__, *items)
+    try:
+        _OPTS_MEMO[opts] = d
+    except TypeError:
+        pass
+    return d
+
+
+def signature_digest(sig: FunctionSignature) -> str:
+    return digest_str("sig", ",".join(sig.params), sig.ret or "-")
+
+
+def function_extent(image: Image, func: str | int) -> tuple[int, int] | None:
+    """(address, size) of a function's installed bytes, if known.
+
+    Works for named symbols and for raw addresses that match an installed
+    function (e.g. a DBrew rewrite result) — this is how the rewritten-code
+    digest feeds the key for the DBrew+LLVM composition.
+    """
+    if isinstance(func, str):
+        name: str | None = func
+    else:
+        name = image.symbol_at(func)
+    if name is None or name not in image.func_sizes:
+        return None
+    return image.symbol(name), image.func_sizes[name]
+
+
+def fixes_digest(fixes: dict[int, int | float | FixedMemory] | None,
+                 memory: Memory) -> str:
+    """Digest of a fixation configuration, content-addressing fixed memory.
+
+    A :class:`FixedMemory` region hashes its *bytes*: two configs that point
+    at the same address but see different data must not collide, and two
+    that see identical data at different addresses still differ (the region
+    address is folded into lifted pointer arithmetic by specialization).
+    """
+    if not fixes:
+        return digest_str("fixes", "none")
+    items: list[bytes] = []
+    for idx in sorted(fixes):
+        v = fixes[idx]
+        if isinstance(v, FixedMemory):
+            payload = memory.read(v.addr, v.size)
+            items.append(b"m%d:%d:%d:" % (idx, v.addr, v.size) + payload)
+        elif isinstance(v, float):
+            items.append(b"f%d:" % idx + struct.pack("<d", v))
+        else:
+            items.append(b"i%d:%d" % (idx, v & (2**64 - 1)))
+    return digest_bytes(b"fixes", *items)
+
+
+def lift_options_digest(opts: LiftOptions, image: Image) -> str:
+    """Digest of the lifter configuration including known-callee *bytes*.
+
+    ``known_functions`` entries become lifted definitions in the module, so
+    their machine code is a compile input exactly like the entry function's.
+    """
+    items = [
+        f"flag_cache={opts.flag_cache}",
+        f"facet_cache={opts.facet_cache}",
+        f"stack_size={opts.stack_size}",
+    ]
+    for addr in sorted(opts.known_functions):
+        cname, csig = opts.known_functions[addr]
+        extent = function_extent(image, addr)
+        if extent is not None:
+            code = image.memory.read(extent[0], extent[1]).hex()
+        else:
+            code = f"@{addr:#x}"
+        items.append(f"callee:{cname}:{signature_digest(csig)}:{code}")
+    return digest_str("lift", *items)
+
+
+def lifted_key(image: Image, func: str | int, signature: FunctionSignature,
+               lift_opts: LiftOptions) -> str | None:
+    """Stage-1 key, or None when the function's extent is unknown."""
+    extent = function_extent(image, func)
+    if extent is None:
+        return None
+    addr, size = extent
+    code = image.memory.read(addr, size)
+    return digest_str(
+        "lifted", digest_bytes(code), signature_digest(signature),
+        lift_options_digest(lift_opts, image),
+    )
+
+
+def module_key(lkey: str, mode: str, fdigest: str, o3_digest: str) -> str:
+    """Stage-2 key: the post-O3 module is determined by the lifted IR plus
+    the transformation mode, fixation values and pipeline configuration."""
+    return digest_str("module", lkey, mode, fdigest, o3_digest)
+
+
+def machine_key(mkey: str, jit_digest: str) -> str:
+    """Stage-3 key: installed machine code additionally depends on the
+    code-generation options (and, implicitly, on the image it lives in —
+    machine entries are stored per image and per generation)."""
+    return digest_str("machine", mkey, jit_digest)

@@ -1,0 +1,103 @@
+"""Cache storage backends: a bounded in-memory LRU and a pickle disk store.
+
+The LRU is the first level: recently used entries stay hot and eviction is
+strictly bounded by entry count (IR modules dominate the footprint, and the
+entry count maps directly to the number of distinct specializations kept
+warm).  The disk store is an optional second level for the
+position-independent stages (lifted / post-O3 IR): those survive process
+restarts, so a service that re-specializes the same kernels on every boot
+skips straight past decode+lift+O3.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Any, Iterator
+
+
+class LRUStore:
+    """Ordered-dict LRU with a hard entry capacity."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: OrderedDict[str, Any] = OrderedDict()
+
+    def get(self, key: str) -> Any | None:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class DiskStore:
+    """One pickle file per cache entry under ``root``.
+
+    Best-effort by design: a corrupt, unreadable or unwritable entry is a
+    miss, never an error — the compile pipeline is always available as the
+    slow path.  Writes go through a temp file + rename so a concurrent
+    reader can never observe a torn entry.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.pkl")
+
+    def get(self, key: str) -> Any | None:
+        try:
+            with open(self._path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def put(self, key: str, value: Any) -> bool:
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            return True
+        except (OSError, pickle.PicklingError, TypeError):
+            return False
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return sum(1 for n in os.listdir(self.root) if n.endswith(".pkl"))

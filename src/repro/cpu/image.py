@@ -14,6 +14,8 @@ Layout mirrors a small static Linux binary:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import SimulatorError
 from repro.mem.layout import align_up
 from repro.mem.memory import Memory
@@ -50,6 +52,33 @@ class Image:
         self._rodata_limit = RODATA_BASE + rodata_size
         self._data_limit = DATA_BASE + data_size
         self._jit_limit = JIT_BASE + jit_size
+        self._invalidation_hooks: list[Callable[[int, int], None]] = []
+
+    # -- runtime patching --------------------------------------------------------
+
+    def add_invalidation_hook(self, hook: Callable[[int, int], None]) -> None:
+        """Register ``hook(addr, size)`` to fire when installed bytes are
+        patched (the specialization cache uses this to drop entries whose
+        content digests were memoized)."""
+        if hook not in self._invalidation_hooks:
+            self._invalidation_hooks.append(hook)
+
+    def remove_invalidation_hook(self, hook: Callable[[int, int], None]) -> None:
+        try:
+            self._invalidation_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def patch_code(self, addr: int, data: bytes) -> None:
+        """Overwrite installed bytes *and tell everyone who memoized them*.
+
+        Direct ``image.memory.write`` is still possible (and used for plain
+        data), but code patches must go through here so caches keyed by
+        function-content digests re-read the new bytes.
+        """
+        self.memory.write(addr, data)
+        for hook in list(self._invalidation_hooks):
+            hook(addr, len(data))
 
     # -- allocation ------------------------------------------------------------
 

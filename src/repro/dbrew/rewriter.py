@@ -62,7 +62,8 @@ class _Point:
 class Rewriter:
     """Mirror of the Fig. 2/3 configuration API."""
 
-    def __init__(self, image: Image, func: str | int) -> None:
+    def __init__(self, image: Image, func: str | int, *,
+                 cache: "SpecializationCache | None" = None) -> None:
         self.image = image
         self.entry = image.symbol(func) if isinstance(func, str) else func
         self.func_name = func if isinstance(func, str) else f"f{func:x}"
@@ -76,6 +77,10 @@ class Rewriter:
         self.error_handler = None  # type: ignore[assignment]
         self.stats = RewriteStats()
         self.verbose = False
+        self.cache = cache
+        #: content digest of the last emitted code (feeds the LLVM
+        #: post-processing cache key in the DBrew+LLVM composition)
+        self.last_digest: str | None = None
         self._decode_cache: dict[int, Instruction] = {}
 
     # -- configuration (dbrew_setpar / dbrew_setmem) ---------------------------
@@ -112,19 +117,67 @@ class Rewriter:
 
     # -- rewriting -----------------------------------------------------------------
 
+    def _cache_key(self) -> str | None:
+        """Content key of this rewrite: entry bytes + full configuration.
+
+        ``set_mem`` regions hash their *contents* — that data is what the
+        rewrite bakes into the emitted code, so two rewrites over the same
+        region with different data must not collide.
+        """
+        from repro.cache import keys as cache_keys
+
+        extent = cache_keys.function_extent(self.image, self.entry)
+        if extent is None:
+            return None
+        code = self.image.memory.read(extent[0], extent[1])
+        parts = [b"dbrew", code,
+                 ",".join(self.signature).encode(),
+                 (self.ret_class or "-").encode(),
+                 repr(sorted(self._fixed.items())).encode(),
+                 b"%d:%d:%d" % (self.unroll_limit, self.inline_depth,
+                                self.code_size_limit)]
+        for start, end in sorted(self._mem_regions):
+            parts.append(b"mem%d:%d:" % (start, end)
+                         + self.image.memory.read(start, end - start))
+        return cache_keys.digest_bytes(*parts)
+
     def rewrite(self, *, name: str | None = None) -> int:
         """Rewrite; returns the new entry address.
 
         On internal failure the default error handler returns the original
         function (Sec. II); a custom ``error_handler(rewriter, exc)`` may
         return an address instead.
+
+        With a :class:`~repro.cache.SpecializationCache` attached, an
+        identical rewrite (same entry bytes, same ``set_par``/``set_mem``
+        configuration) returns the previously emitted code.
         """
+        rkey = self._cache_key() if self.cache is not None else None
+        if rkey is not None:
+            assert self.cache is not None
+            hit = self.cache.get_rewrite(self.image, rkey)
+            if hit is not None:
+                addr, cached_name = hit
+                new_name = name or f"{self.func_name}.rewritten"
+                self.image.symbols[new_name] = addr
+                self.image.func_sizes[new_name] = \
+                    self.image.func_sizes[cached_name]
+                self.last_digest = self.cache.code_digest(self.image, addr)
+                return addr
         try:
-            return self._rewrite(name)
+            addr = self._rewrite(name)
         except RewriteError as exc:
             if self.error_handler is not None:
                 return self.error_handler(self, exc)  # type: ignore[misc]
             return self.entry
+        if rkey is not None and addr != self.entry:
+            assert self.cache is not None
+            installed = self.image.symbol_at(addr)
+            if installed is not None:
+                self.cache.put_rewrite(self.image, rkey, addr, installed)
+        if self.cache is not None:
+            self.last_digest = self.cache.code_digest(self.image, addr)
+        return addr
 
     def _initial_state(self) -> MetaState:
         for idx in self._fixed:

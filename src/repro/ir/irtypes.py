@@ -16,6 +16,15 @@ class Type:
     def size_bytes(self) -> int:
         raise NotImplementedError
 
+    # types are immutable and compared with ``is``: any copy (deepcopy of a
+    # cached IR module, pickle round-trip through the on-disk code cache)
+    # must come back as the *same* interned object
+    def __copy__(self) -> "Type":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Type":
+        return self
+
     @property
     def is_integer(self) -> bool:
         return isinstance(self, IntType)
@@ -49,6 +58,9 @@ class VoidType(Type):
             cls._instance = super().__new__(cls)
         return cls._instance
 
+    def __reduce__(self):
+        return (VoidType, ())
+
     def size_bytes(self) -> int:
         return 0
 
@@ -71,6 +83,9 @@ class IntType(Type):
 
     bits: int
 
+    def __reduce__(self):
+        return (IntType, (self.bits,))
+
     def size_bytes(self) -> int:
         return max(1, self.bits // 8)
 
@@ -90,6 +105,9 @@ class DoubleType(Type):
             cls._instance = super().__new__(cls)
         return cls._instance
 
+    def __reduce__(self):
+        return (DoubleType, ())
+
     def size_bytes(self) -> int:
         return 8
 
@@ -104,6 +122,9 @@ class FloatType(Type):
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
+
+    def __reduce__(self):
+        return (FloatType, ())
 
     def size_bytes(self) -> int:
         return 4
@@ -127,6 +148,9 @@ class PointerType(Type):
 
     pointee: Type
     addrspace: int
+
+    def __reduce__(self):
+        return (PointerType, (self.pointee, self.addrspace))
 
     def size_bytes(self) -> int:
         return 8
@@ -152,6 +176,9 @@ class VectorType(Type):
 
     elem: Type
     count: int
+
+    def __reduce__(self):
+        return (VectorType, (self.elem, self.count))
 
     def size_bytes(self) -> int:
         return self.elem.size_bytes() * self.count

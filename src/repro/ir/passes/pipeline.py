@@ -4,11 +4,13 @@ level 3 ... optionally, floating-point optimizations can be enabled").
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.ir.module import Function
 from repro.ir.passes import (
     constprop, dce, gvn, inline, instcombine, mem2reg, simplifycfg, unroll,
+    vectorize,
 )
 
 
@@ -34,6 +36,15 @@ class O3Options:
     force_vector_width: int = 0
     max_iterations: int = 8
 
+    def replace(self, **kw) -> "O3Options":
+        """A copy with the given fields changed.
+
+        ``O3Options`` is frozen (it is hashed into cache keys), so ablation
+        studies and mode overrides derive variants through this instead of
+        re-spelling every field.
+        """
+        return dataclasses.replace(self, **kw)
+
     @staticmethod
     def lightweight() -> "O3Options":
         """The paper's Sec. VII proposal: a *small subset* of passes as
@@ -58,13 +69,31 @@ class O3Options:
         )
 
 
-def run_o3(func: Function, options: O3Options = O3Options()) -> None:
-    """Optimize one function in place to a fixpoint (bounded)."""
+@dataclass
+class O3Report:
+    """What one ``run_o3`` invocation actually did (cold-path telemetry)."""
+
+    iterations: int = 0
+    converged: bool = False
+    vectorized: bool = False
+
+
+def run_o3(func: Function, options: O3Options = O3Options()) -> O3Report:
+    """Optimize one function in place to a fixpoint (bounded).
+
+    The sweep loop exits as soon as a full pass sweep reports no change;
+    when that fixed point is reached (and vectorization does nothing), the
+    trailing DCE/SimplifyCFG cleanup is skipped too — those passes just ran
+    to a fixpoint inside the loop, so re-running them is pure overhead on
+    the runtime compile path.
+    """
+    report = O3Report()
     simplifycfg.run(func)
     if options.enable_mem2reg:
         mem2reg.run(func)
         simplifycfg.run(func)
     for _ in range(options.max_iterations):
+        report.iterations += 1
         changed = False
         if options.enable_inline:
             changed |= inline.run(func)
@@ -80,13 +109,15 @@ def run_o3(func: Function, options: O3Options = O3Options()) -> None:
         if options.enable_unroll:
             changed |= unroll.run(func)
         if not changed:
+            report.converged = True
             break
-    from repro.ir.passes import vectorize as _vectorize
-    report = _vectorize.run(func, force_vector_width=options.force_vector_width)
-    if report.vectorized:
+    vec = vectorize.run(func, force_vector_width=options.force_vector_width)
+    report.vectorized = vec.vectorized
+    if vec.vectorized:
         constprop.run(func)
         if options.enable_instcombine:
             instcombine.run(func, options.fast_math)
+    if vec.vectorized or not report.converged:
         dce.run(func)
-    dce.run(func)
-    simplifycfg.run(func)
+        simplifycfg.run(func)
+    return report

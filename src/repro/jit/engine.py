@@ -13,13 +13,22 @@ Each public method implements one evaluation mode of Sec. VI:
 
 All methods return a :class:`TransformResult` carrying the new entry
 address and wall-clock compile-time stages for Fig. 10.
+
+With a :class:`~repro.cache.SpecializationCache` attached (``cache=``),
+repeated transformations are memoized per stage: an identical request
+returns the installed code directly (``cache_stage == "machine"``), a
+request differing only in code-generation options reuses the post--O3
+module, and a re-specialization of a known function for new parameter
+values reuses the lifted IR (``cache_stage == "lifted"``).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.cache import MachineEntry, SpecializationCache
+from repro.cache import keys as cache_keys
 from repro.cpu.image import Image
 from repro.ir.codegen import JITEngine, JITOptions
 from repro.ir.module import Function, Module
@@ -39,6 +48,8 @@ class TransformResult:
     lift_seconds: float = 0.0
     optimize_seconds: float = 0.0
     codegen_seconds: float = 0.0
+    #: which cache stage served this transform (None = full compile)
+    cache_stage: str | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -50,11 +61,16 @@ class BinaryTransformer:
 
     def __init__(self, image: Image, *, lift_options: LiftOptions | None = None,
                  o3_options: O3Options | None = None,
-                 jit_options: JITOptions | None = None) -> None:
+                 jit_options: JITOptions | None = None,
+                 cache: SpecializationCache | None = None) -> None:
         self.image = image
         self.lift_options = lift_options or LiftOptions()
         self.o3_options = o3_options or O3Options()
         self.jit_options = jit_options or JITOptions()
+        self.cache = cache
+        #: (image generation, digest) memo for the lifter configuration —
+        #: it hashes known-callee bytes, so it must follow image patches
+        self._lift_digest: tuple[int, str] | None = None
 
     def _lift(self, func: str | int, signature: FunctionSignature,
               module: Module, name: str) -> tuple[Function, float]:
@@ -97,24 +113,121 @@ class BinaryTransformer:
                 run_o3(f, self.o3_options)
         run_o3(main, self.o3_options)
 
+    # -- cache plumbing ----------------------------------------------------------
+
+    def _lifted_key(self, func: str | int,
+                    signature: FunctionSignature) -> str | None:
+        """Stage-1 key via the cache's memoized content digests."""
+        assert self.cache is not None
+        code_digest = self.cache.code_digest(self.image, func)
+        if code_digest is None:
+            return None
+        generation = self.cache.attach_image(self.image).generation
+        if self._lift_digest is None or self._lift_digest[0] != generation:
+            self._lift_digest = (generation, cache_keys.lift_options_digest(
+                self.lift_options, self.image))
+        return cache_keys.digest_str(
+            "lifted", code_digest, cache_keys.signature_digest(signature),
+            self._lift_digest[1],
+        )
+
+    def _codegen(self, main: Function, out_name: str) -> tuple[int, float]:
+        t0 = time.perf_counter()
+        addr = JITEngine(self.image, self.jit_options).compile_function(
+            main, name=out_name
+        )
+        return addr, time.perf_counter() - t0
+
+    def _transform(self, func: str | int, signature: FunctionSignature,
+                   fixes: dict[int, int | float | FixedMemory] | None,
+                   out_name: str, mode: str) -> TransformResult:
+        """The shared memoized pipeline behind both LLVM modes."""
+        cache = self.cache
+        lkey = mkey = xkey = None
+        if cache is not None:
+            lkey = self._lifted_key(func, signature)
+        if lkey is not None:
+            assert cache is not None
+            mkey = cache_keys.module_key(
+                lkey, mode, cache_keys.fixes_digest(fixes, self.image.memory),
+                cache_keys.options_digest(self.o3_options),
+            )
+            xkey = cache_keys.machine_key(
+                mkey, cache_keys.options_digest(self.jit_options))
+
+            entry = cache.get_machine(self.image, xkey)
+            if entry is not None:
+                # already installed in this image: alias the requested name
+                # to the existing code, nothing to compile
+                self.image.symbols[out_name] = entry.addr
+                self.image.func_sizes[out_name] = entry.size
+                cache.note_transform("machine")
+                return TransformResult(entry.addr, out_name, entry.function,
+                                       entry.module, cache_stage="machine")
+
+            hit = cache.get_module(mkey)
+            if hit is not None:
+                module, main_name = hit
+                main = module.functions[main_name]
+                addr, t_cg = self._codegen(main, out_name)
+                cache.put_machine(self.image, xkey, MachineEntry(
+                    addr, out_name, self.image.func_sizes[out_name], main, module))
+                cache.note_transform("module")
+                return TransformResult(addr, out_name, main, module,
+                                       codegen_seconds=t_cg,
+                                       cache_stage="module")
+
+        module = None
+        lifted = None
+        t_lift = 0.0
+        cache_stage = None
+        if lkey is not None:
+            assert cache is not None
+            hit = cache.get_lifted(lkey)
+            if hit is not None:
+                module, lifted_name = hit
+                lifted = module.functions[lifted_name]
+                cache_stage = "lifted"
+        if module is None or lifted is None:
+            module = Module(f"tx.{out_name}")
+            lifted, t_lift = self._lift(
+                func, signature, module,
+                out_name + (".orig" if mode == "fixed" else ".lifted"))
+            if lkey is not None:
+                assert cache is not None
+                cache.put_lifted(lkey, module, lifted.name)
+
+        t0 = time.perf_counter()
+        if mode == "fixed":
+            main = build_fixation_wrapper(
+                module, lifted, fixes or {}, self.image.memory, name=out_name
+            )
+        else:
+            main = lifted
+        self._optimize_module(module, main)
+        t_opt = time.perf_counter() - t0
+        if mkey is not None:
+            assert cache is not None
+            cache.put_module(mkey, module, main.name)
+
+        addr, t_cg = self._codegen(main, out_name)
+        if xkey is not None:
+            assert cache is not None
+            cache.put_machine(self.image, xkey, MachineEntry(
+                addr, out_name, self.image.func_sizes[out_name], main, module))
+            cache.note_transform(cache_stage)
+        return TransformResult(addr, out_name, main, module,
+                               t_lift, t_opt, t_cg, cache_stage=cache_stage)
+
+    # -- evaluation modes --------------------------------------------------------
+
     def llvm_identity(self, func: str | int, signature: FunctionSignature,
                       *, name: str | None = None) -> TransformResult:
         """Lift -> -O3 -> JIT, no specialization ("basically an identity
         transformation", Sec. VI)."""
         base = func if isinstance(func, str) else f"f{func:x}"
         out_name = name or f"{base}.llvm"
-        module = Module(f"tx.{out_name}")
-        lifted, t_lift = self._lift(func, signature, module, out_name + ".lifted")
-        t0 = time.perf_counter()
-        self._optimize_module(module, lifted)
-        t_opt = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        addr = JITEngine(self.image, self.jit_options).compile_function(
-            lifted, name=out_name
-        )
-        t_cg = time.perf_counter() - t0
-        return TransformResult(addr, out_name, lifted, module,
-                               t_lift, t_opt, t_cg)
+        return self._transform(func, signature, None, out_name, "identity")
 
     def llvm_vectorized(self, func: str | int, signature: FunctionSignature,
                         fixes: dict[int, int | float | FixedMemory] | None = None,
@@ -127,18 +240,8 @@ class BinaryTransformer:
         ``force_vector_width=2`` (the metadata gate is overridden, exactly
         like the paper's command-line experiment, but as a first-class API).
         """
-        forced = O3Options(
-            fast_math=self.o3_options.fast_math,
-            enable_inline=self.o3_options.enable_inline,
-            enable_unroll=self.o3_options.enable_unroll,
-            enable_gvn=self.o3_options.enable_gvn,
-            enable_instcombine=self.o3_options.enable_instcombine,
-            enable_mem2reg=self.o3_options.enable_mem2reg,
-            force_vector_width=2,
-            max_iterations=self.o3_options.max_iterations,
-        )
         saved = self.o3_options
-        self.o3_options = forced
+        self.o3_options = saved.replace(force_vector_width=2)
         try:
             if fixes:
                 return self.llvm_fixed(func, signature, fixes, name=name)
@@ -152,18 +255,4 @@ class BinaryTransformer:
         """Lift the original, then specialize at IR level (Sec. IV)."""
         base = func if isinstance(func, str) else f"f{func:x}"
         out_name = name or f"{base}.llvmfix"
-        module = Module(f"tx.{out_name}")
-        lifted, t_lift = self._lift(func, signature, module, out_name + ".orig")
-        t0 = time.perf_counter()
-        wrapper = build_fixation_wrapper(
-            module, lifted, fixes, self.image.memory, name=out_name
-        )
-        self._optimize_module(module, wrapper)
-        t_opt = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        addr = JITEngine(self.image, self.jit_options).compile_function(
-            wrapper, name=out_name
-        )
-        t_cg = time.perf_counter() - t0
-        return TransformResult(addr, out_name, wrapper, module,
-                               t_lift, t_opt, t_cg)
+        return self._transform(func, signature, fixes, out_name, "fixed")

@@ -9,9 +9,18 @@ must consume compiler output, not just our own.
 Branch operands are normalized to *absolute* target addresses, and
 RIP-relative memory displacements to absolute addresses, so downstream
 passes never deal with encoding-relative offsets.
+
+Dispatch is table-driven: two 256-entry handler tables (one-byte opcodes
+and the 0F escape map) are precomputed at import, so decoding an
+instruction costs one prefix scan plus one indexed lookup instead of a
+linear walk over every opcode pattern — this is a hot path of the runtime
+rewriter (DBrew decodes each guest instruction; the lifter decodes every
+discovered block).
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.errors import DecodeError
 from repro.x86 import isa
@@ -203,7 +212,10 @@ def decode_one(code: bytes, offset: int = 0, addr: int = 0) -> Instruction:
         cur.u8()
 
     opc = cur.u8()
-    ins = _decode_opcode(cur, ctx, opc)
+    handler = _DISPATCH[opc]
+    if handler is None:
+        raise DecodeError(f"unknown opcode {opc:#04x} at {cur.addr:#x}")
+    ins = handler(cur, ctx, opc)
     raw = code[cur.start : cur.pos]
     ops = tuple(_finish_riprel(o, cur.end_addr()) for o in ins.operands)
     return Instruction(ins.mnemonic, ops, addr=addr, length=cur.length, raw=raw)
@@ -214,245 +226,428 @@ def _rel_target(cur: _Cursor, size: int) -> Imm:
     return Imm(cur.end_addr() + rel, 8)
 
 
-def _decode_opcode(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
-    # --- one-byte opcodes -------------------------------------------------
-    if opc in (0xC3,):
-        return Instruction("ret")
-    if opc == 0x90 and not ctx.rep_f3:
-        return Instruction("nop")
-    if opc == 0xC9:
-        return Instruction("leave")
-    if opc == 0xCC:
-        return Instruction("int3")
-    if opc == 0x99:
-        return Instruction("cqo" if ctx.w else "cdq")
-    if 0x50 <= opc <= 0x57:
-        return Instruction("push", (Reg("gp", (opc - 0x50) | (ctx.b << 3), 8),))
-    if 0x58 <= opc <= 0x5F:
-        return Instruction("pop", (Reg("gp", (opc - 0x58) | (ctx.b << 3), 8),))
-    if opc == 0x68:
-        return Instruction("push", (Imm(cur.imm(4), 4),))
-    if opc == 0x6A:
-        return Instruction("push", (Imm(cur.imm(1), 1),))
-    if opc == 0xE8:
-        return Instruction("call", (_rel_target(cur, 4),))
-    if opc == 0xE9:
-        return Instruction("jmp", (_rel_target(cur, 4),))
-    if opc == 0xEB:
-        return Instruction("jmp", (_rel_target(cur, 1),))
-    if 0x70 <= opc <= 0x7F:
-        return Instruction("j" + isa.CC_NAMES[opc - 0x70], (_rel_target(cur, 1),))
+# --------------------------------------------------------------------------
+# one-byte opcode handlers
+#
+# Every handler has the uniform shape (cursor, prefix ctx, opcode byte) ->
+# Instruction; the tables at the bottom of this file bind them to opcode
+# bytes once, at import.
+# --------------------------------------------------------------------------
 
+_Handler = Callable[[_Cursor, _Ctx, int], Instruction]
+
+
+def _op_simple(mnemonic: str) -> _Handler:
+    def handler(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+        return Instruction(mnemonic)
+    return handler
+
+
+def _h_nop_90(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    if ctx.rep_f3:  # F3 90 = pause: unsupported
+        raise DecodeError(f"unknown opcode {opc:#04x} at {cur.addr:#x}")
+    return Instruction("nop")
+
+
+def _h_cqo(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("cqo" if ctx.w else "cdq")
+
+
+def _h_push_reg(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("push", (Reg("gp", (opc - 0x50) | (ctx.b << 3), 8),))
+
+
+def _h_pop_reg(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("pop", (Reg("gp", (opc - 0x58) | (ctx.b << 3), 8),))
+
+
+def _h_push_imm32(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("push", (Imm(cur.imm(4), 4),))
+
+
+def _h_push_imm8(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("push", (Imm(cur.imm(1), 1),))
+
+
+def _h_call_rel32(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("call", (_rel_target(cur, 4),))
+
+
+def _h_jmp_rel32(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("jmp", (_rel_target(cur, 4),))
+
+
+def _h_jmp_rel8(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("jmp", (_rel_target(cur, 1),))
+
+
+def _h_jcc_rel8(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("j" + isa.CC_NAMES[opc - 0x70], (_rel_target(cur, 1),))
+
+
+def _h_alu(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
     base = opc & 0xF8
     low = opc & 7
-    if base in (0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38) and low < 6:
-        mnem, _digit = _ALU_BY_BASE[base]
-        byte_op = (low & 1) == 0
-        size = ctx.int_size(byte_op)
-        if low in (0, 1):  # r/m, r
-            reg, rm = _modrm(cur, ctx, size)
-            return Instruction(mnem, (rm, reg))
-        if low in (2, 3):  # r, r/m
-            reg, rm = _modrm(cur, ctx, size)
-            return Instruction(mnem, (reg, rm))
-        # 4/5: al/ax/eax/rax, imm
-        size = ctx.int_size(low == 4)
-        acc = Reg("gp", 0, size)
-        return Instruction(mnem, (acc, Imm(cur.imm(1 if low == 4 else min(size, 4)),
-                                           1 if low == 4 else min(size, 4))))
-    if opc in (0x80, 0x81, 0x83):
-        size = ctx.int_size(opc == 0x80)
+    mnem, _digit = _ALU_BY_BASE[base]
+    byte_op = (low & 1) == 0
+    size = ctx.int_size(byte_op)
+    if low in (0, 1):  # r/m, r
         reg, rm = _modrm(cur, ctx, size)
-        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
-        mnem = _ALU_BY_DIGIT[digit]
-        if opc == 0x80 or opc == 0x83:
-            imm = Imm(cur.imm(1), 1)
-        else:
-            imm = Imm(cur.imm(min(size, 4)), min(size, 4))
-        return Instruction(mnem, (rm, imm))
-    if opc in (0x84, 0x85):
-        size = ctx.int_size(opc == 0x84)
-        reg, rm = _modrm(cur, ctx, size)
-        return Instruction("test", (rm, reg))
-    if opc in (0x88, 0x89):
-        size = ctx.int_size(opc == 0x88)
-        reg, rm = _modrm(cur, ctx, size)
-        return Instruction("mov", (rm, reg))
-    if opc in (0x8A, 0x8B):
-        size = ctx.int_size(opc == 0x8A)
-        reg, rm = _modrm(cur, ctx, size)
-        return Instruction("mov", (reg, rm))
-    if opc == 0x8D:
-        size = ctx.int_size(False)
-        reg, rm = _modrm(cur, ctx, size, rm_size=size)
-        if not isinstance(rm, Mem):
-            raise DecodeError("lea with register r/m")
-        return Instruction("lea", (reg, rm))
-    if opc == 0x63:
-        reg, rm = _modrm(cur, ctx, 8, rm_size=4)
-        return Instruction("movsxd", (reg, rm))
-    if 0xB8 <= opc <= 0xBF:
-        size = ctx.int_size(False)
-        reg = Reg("gp", (opc - 0xB8) | (ctx.b << 3), size)
-        if size == 8:
-            return Instruction("mov", (reg, Imm(cur.imm(8), 8)))
-        return Instruction("mov", (reg, Imm(cur.imm(min(size, 4)), min(size, 4))))
-    if 0xB0 <= opc <= 0xB7:
-        reg = _gp(ctx, opc - 0xB0, ctx.b, 1)
-        return Instruction("mov", (reg, Imm(cur.imm(1), 1)))
-    if opc in (0xC6, 0xC7):
-        size = ctx.int_size(opc == 0xC6)
-        reg, rm = _modrm(cur, ctx, size)
-        isize = 1 if opc == 0xC6 else min(size, 4)
-        return Instruction("mov", (rm, Imm(cur.imm(isize), isize)))
-    if opc in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
-        size = ctx.int_size(opc in (0xC0, 0xD0, 0xD2))
-        reg, rm = _modrm(cur, ctx, size)
-        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
-        mnem = _SHIFT_BY_DIGIT.get(digit)
-        if mnem is None:
-            raise DecodeError(f"unsupported shift /{digit}")
-        if opc in (0xC0, 0xC1):
-            return Instruction(mnem, (rm, Imm(cur.imm(1, signed=False), 1)))
-        if opc in (0xD0, 0xD1):
-            return Instruction(mnem, (rm, Imm(1, 1)))
-        return Instruction(mnem, (rm, Reg("gp", 1, 1)))
-    if opc in (0xF6, 0xF7):
-        size = ctx.int_size(opc == 0xF6)
-        reg, rm = _modrm(cur, ctx, size)
-        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
-        if digit in (0, 1):
-            isize = 1 if opc == 0xF6 else min(size, 4)
-            return Instruction("test", (rm, Imm(cur.imm(isize), isize)))
-        mnem = _UNARY_BY_DIGIT[digit]
-        if mnem == "imul1":
-            mnem = "imul"  # one-operand widening form; distinguished by arity
-        return Instruction(mnem, (rm,))
-    if opc in (0xFE, 0xFF):
-        size = ctx.int_size(opc == 0xFE)
-        reg, rm = _modrm(cur, ctx, size)
-        digit = (reg.index if not reg.high8 else reg.index + 4) & 7
-        if digit == 0:
-            return Instruction("inc", (rm,))
-        if digit == 1:
-            return Instruction("dec", (rm,))
-        if opc == 0xFF and digit == 6:
-            return Instruction("push", (rm,))
-        if opc == 0xFF and digit == 4:
-            return Instruction("jmp", (rm,))  # indirect; rejected by consumers
-        if opc == 0xFF and digit == 2:
-            return Instruction("call", (rm,))
-        raise DecodeError(f"unsupported FF /{digit}")
-    if opc in (0x69, 0x6B):
-        size = ctx.int_size(False)
-        reg, rm = _modrm(cur, ctx, size)
-        if opc == 0x6B:
-            imm = Imm(cur.imm(1), 1)
-        else:
-            imm = Imm(cur.imm(min(size, 4)), min(size, 4))
-        return Instruction("imul", (reg, rm, imm))
-
-    # --- 0F escape --------------------------------------------------------
-    if opc == 0x0F:
-        return _decode_0f(cur, ctx)
-
-    raise DecodeError(f"unknown opcode {opc:#04x} at {cur.addr:#x}")
-
-
-def _decode_0f(cur: _Cursor, ctx: _Ctx) -> Instruction:
-    opc = cur.u8()
-    if opc == 0x0B:
-        return Instruction("ud2")
-    if opc == 0x05:
-        return Instruction("syscall")
-    if 0x80 <= opc <= 0x8F:
-        return Instruction("j" + isa.CC_NAMES[opc - 0x80], (_rel_target(cur, 4),))
-    if 0x40 <= opc <= 0x4F:
-        size = ctx.int_size(False)
-        reg, rm = _modrm(cur, ctx, size)
-        return Instruction("cmov" + isa.CC_NAMES[opc - 0x40], (reg, rm))
-    if 0x90 <= opc <= 0x9F:
-        _reg, rm = _modrm(cur, ctx, 1)
-        return Instruction("set" + isa.CC_NAMES[opc - 0x90], (rm,))
-    if opc == 0xAF:
-        size = ctx.int_size(False)
-        reg, rm = _modrm(cur, ctx, size)
-        return Instruction("imul", (reg, rm))
-    if opc in (0xB6, 0xB7, 0xBE, 0xBF):
-        dsize = ctx.int_size(False)
-        ssize = 1 if opc in (0xB6, 0xBE) else 2
-        mnem = "movzx" if opc in (0xB6, 0xB7) else "movsx"
-        reg, rm = _modrm(cur, ctx, dsize, rm_size=ssize)
-        return Instruction(mnem, (reg, rm))
-    if opc == 0x1F:
-        _reg, _rm = _modrm(cur, ctx, ctx.int_size(False))
-        return Instruction("nop")
-
-    prefix = ctx.sse_prefix()
-
-    if opc == 0x10 or opc == 0x11:
-        mnem = {0xF2: "movsd", 0xF3: "movss", 0x66: "movupd", None: "movups"}[prefix]
-        width = {0xF2: 8, 0xF3: 4, 0x66: 16, None: 16}[prefix]
-        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction(mnem, (reg, rm) if opc == 0x10 else (rm, reg))
-    if opc in (0x28, 0x29):
-        mnem = "movapd" if prefix == 0x66 else "movaps"
-        reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction(mnem, (reg, rm) if opc == 0x28 else (rm, reg))
-    if opc in (0x12, 0x13, 0x16, 0x17) and prefix == 0x66:
-        mnem = "movlpd" if opc in (0x12, 0x13) else "movhpd"
-        reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction(mnem, (reg, rm) if opc in (0x12, 0x16) else (rm, reg))
-    if opc in (0x2E, 0x2F):
-        mnem = ("u" if opc == 0x2E else "") + ("comisd" if prefix == 0x66 else "comiss")
-        width = 8 if prefix == 0x66 else 4
-        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction(mnem, (reg, rm))
-    if opc == 0x2A:
-        mnem = "cvtsi2sd" if prefix == 0xF2 else "cvtsi2ss"
-        size = 8 if ctx.w else 4
-        reg, rm = _modrm(cur, ctx, size, reg_is_xmm=True)
-        return Instruction(mnem, (reg, rm))
-    if opc in (0x2C, 0x2D):
-        sd = prefix == 0xF2
-        mnem = ("cvtt" if opc == 0x2C else "cvt") + ("sd2si" if sd else "ss2si")
-        size = 8 if ctx.w else 4
-        reg, rm = _modrm(cur, ctx, 8 if sd else 4, rm_is_xmm=True, reg_size=size)
-        return Instruction(mnem, (reg, rm))
-    if opc == 0x5A:
-        mnem = "cvtsd2ss" if prefix == 0xF2 else "cvtss2sd"
-        width = 8 if prefix == 0xF2 else 4
-        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction(mnem, (reg, rm))
-    if opc == 0x6E:
-        mnem = "movq" if ctx.w else "movd"
-        reg, rm = _modrm(cur, ctx, 8 if ctx.w else 4, reg_is_xmm=True)
-        return Instruction(mnem, (reg, rm))
-    if opc == 0x7E:
-        if prefix == 0xF3:
-            reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
-            return Instruction("movq", (reg, rm))
-        mnem = "movq" if ctx.w else "movd"
-        reg, rm = _modrm(cur, ctx, 8 if ctx.w else 4, reg_is_xmm=True)
         return Instruction(mnem, (rm, reg))
-    if opc == 0xD6:
-        reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction("movq", (rm, reg))
-    if opc == 0xC6 and prefix == 0x66:
-        reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction("shufpd", (reg, rm, Imm(cur.imm(1, signed=False), 1)))
-    if opc == 0x70 and prefix == 0x66:
-        reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
-        return Instruction("pshufd", (reg, rm, Imm(cur.imm(1, signed=False), 1)))
-
-    table = _SSE_0F_BY_PREFIX.get(prefix, {})
-    if opc in table:
-        mnem = table[opc]
-        width = isa.SSE_SCALAR_WIDTH.get(mnem, 16)
-        reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+    if low in (2, 3):  # r, r/m
+        reg, rm = _modrm(cur, ctx, size)
         return Instruction(mnem, (reg, rm))
+    # 4/5: al/ax/eax/rax, imm
+    size = ctx.int_size(low == 4)
+    acc = Reg("gp", 0, size)
+    return Instruction(mnem, (acc, Imm(cur.imm(1 if low == 4 else min(size, 4)),
+                                       1 if low == 4 else min(size, 4))))
 
-    raise DecodeError(f"unknown 0F opcode {opc:#04x} at {cur.addr:#x}")
+
+def _h_alu_imm(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0x80)
+    reg, rm = _modrm(cur, ctx, size)
+    digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+    mnem = _ALU_BY_DIGIT[digit]
+    if opc == 0x80 or opc == 0x83:
+        imm = Imm(cur.imm(1), 1)
+    else:
+        imm = Imm(cur.imm(min(size, 4)), min(size, 4))
+    return Instruction(mnem, (rm, imm))
+
+
+def _h_test(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0x84)
+    reg, rm = _modrm(cur, ctx, size)
+    return Instruction("test", (rm, reg))
+
+
+def _h_mov_store(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0x88)
+    reg, rm = _modrm(cur, ctx, size)
+    return Instruction("mov", (rm, reg))
+
+
+def _h_mov_load(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0x8A)
+    reg, rm = _modrm(cur, ctx, size)
+    return Instruction("mov", (reg, rm))
+
+
+def _h_lea(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(False)
+    reg, rm = _modrm(cur, ctx, size, rm_size=size)
+    if not isinstance(rm, Mem):
+        raise DecodeError("lea with register r/m")
+    return Instruction("lea", (reg, rm))
+
+
+def _h_movsxd(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    reg, rm = _modrm(cur, ctx, 8, rm_size=4)
+    return Instruction("movsxd", (reg, rm))
+
+
+def _h_mov_imm_reg(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(False)
+    reg = Reg("gp", (opc - 0xB8) | (ctx.b << 3), size)
+    if size == 8:
+        return Instruction("mov", (reg, Imm(cur.imm(8), 8)))
+    return Instruction("mov", (reg, Imm(cur.imm(min(size, 4)), min(size, 4))))
+
+
+def _h_mov_imm8_reg(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    reg = _gp(ctx, opc - 0xB0, ctx.b, 1)
+    return Instruction("mov", (reg, Imm(cur.imm(1), 1)))
+
+
+def _h_mov_imm_rm(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0xC6)
+    reg, rm = _modrm(cur, ctx, size)
+    isize = 1 if opc == 0xC6 else min(size, 4)
+    return Instruction("mov", (rm, Imm(cur.imm(isize), isize)))
+
+
+def _h_shift(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc in (0xC0, 0xD0, 0xD2))
+    reg, rm = _modrm(cur, ctx, size)
+    digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+    mnem = _SHIFT_BY_DIGIT.get(digit)
+    if mnem is None:
+        raise DecodeError(f"unsupported shift /{digit}")
+    if opc in (0xC0, 0xC1):
+        return Instruction(mnem, (rm, Imm(cur.imm(1, signed=False), 1)))
+    if opc in (0xD0, 0xD1):
+        return Instruction(mnem, (rm, Imm(1, 1)))
+    return Instruction(mnem, (rm, Reg("gp", 1, 1)))
+
+
+def _h_unary_group(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0xF6)
+    reg, rm = _modrm(cur, ctx, size)
+    digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+    if digit in (0, 1):
+        isize = 1 if opc == 0xF6 else min(size, 4)
+        return Instruction("test", (rm, Imm(cur.imm(isize), isize)))
+    mnem = _UNARY_BY_DIGIT[digit]
+    if mnem == "imul1":
+        mnem = "imul"  # one-operand widening form; distinguished by arity
+    return Instruction(mnem, (rm,))
+
+
+def _h_incdec_group(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(opc == 0xFE)
+    reg, rm = _modrm(cur, ctx, size)
+    digit = (reg.index if not reg.high8 else reg.index + 4) & 7
+    if digit == 0:
+        return Instruction("inc", (rm,))
+    if digit == 1:
+        return Instruction("dec", (rm,))
+    if opc == 0xFF and digit == 6:
+        return Instruction("push", (rm,))
+    if opc == 0xFF and digit == 4:
+        return Instruction("jmp", (rm,))  # indirect; rejected by consumers
+    if opc == 0xFF and digit == 2:
+        return Instruction("call", (rm,))
+    raise DecodeError(f"unsupported FF /{digit}")
+
+
+def _h_imul_imm(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(False)
+    reg, rm = _modrm(cur, ctx, size)
+    if opc == 0x6B:
+        imm = Imm(cur.imm(1), 1)
+    else:
+        imm = Imm(cur.imm(min(size, 4)), min(size, 4))
+    return Instruction("imul", (reg, rm, imm))
+
+
+def _h_0f_escape(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    opc2 = cur.u8()
+    handler = _DISPATCH_0F[opc2]
+    if handler is None:
+        raise DecodeError(f"unknown 0F opcode {opc2:#04x} at {cur.addr:#x}")
+    return handler(cur, ctx, opc2)
+
+
+# --------------------------------------------------------------------------
+# 0F escape-map handlers
+# --------------------------------------------------------------------------
+
+
+def _h0f_jcc_rel32(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    return Instruction("j" + isa.CC_NAMES[opc - 0x80], (_rel_target(cur, 4),))
+
+
+def _h0f_cmov(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(False)
+    reg, rm = _modrm(cur, ctx, size)
+    return Instruction("cmov" + isa.CC_NAMES[opc - 0x40], (reg, rm))
+
+
+def _h0f_setcc(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    _reg, rm = _modrm(cur, ctx, 1)
+    return Instruction("set" + isa.CC_NAMES[opc - 0x90], (rm,))
+
+
+def _h0f_imul(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    size = ctx.int_size(False)
+    reg, rm = _modrm(cur, ctx, size)
+    return Instruction("imul", (reg, rm))
+
+
+def _h0f_movzx_movsx(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    dsize = ctx.int_size(False)
+    ssize = 1 if opc in (0xB6, 0xBE) else 2
+    mnem = "movzx" if opc in (0xB6, 0xB7) else "movsx"
+    reg, rm = _modrm(cur, ctx, dsize, rm_size=ssize)
+    return Instruction(mnem, (reg, rm))
+
+
+def _h0f_long_nop(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    _reg, _rm = _modrm(cur, ctx, ctx.int_size(False))
+    return Instruction("nop")
+
+
+def _h0f_movups(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    prefix = ctx.sse_prefix()
+    mnem = {0xF2: "movsd", 0xF3: "movss", 0x66: "movupd", None: "movups"}[prefix]
+    width = {0xF2: 8, 0xF3: 4, 0x66: 16, None: 16}[prefix]
+    reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction(mnem, (reg, rm) if opc == 0x10 else (rm, reg))
+
+
+def _h0f_movaps(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    mnem = "movapd" if ctx.sse_prefix() == 0x66 else "movaps"
+    reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction(mnem, (reg, rm) if opc == 0x28 else (rm, reg))
+
+
+def _h0f_movlhpd(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    if ctx.sse_prefix() != 0x66:
+        return _h0f_sse_table(cur, ctx, opc)
+    mnem = "movlpd" if opc in (0x12, 0x13) else "movhpd"
+    reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction(mnem, (reg, rm) if opc in (0x12, 0x16) else (rm, reg))
+
+
+def _h0f_comis(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    prefix = ctx.sse_prefix()
+    mnem = ("u" if opc == 0x2E else "") + ("comisd" if prefix == 0x66 else "comiss")
+    width = 8 if prefix == 0x66 else 4
+    reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction(mnem, (reg, rm))
+
+
+def _h0f_cvtsi2(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    mnem = "cvtsi2sd" if ctx.sse_prefix() == 0xF2 else "cvtsi2ss"
+    size = 8 if ctx.w else 4
+    reg, rm = _modrm(cur, ctx, size, reg_is_xmm=True)
+    return Instruction(mnem, (reg, rm))
+
+
+def _h0f_cvt2si(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    sd = ctx.sse_prefix() == 0xF2
+    mnem = ("cvtt" if opc == 0x2C else "cvt") + ("sd2si" if sd else "ss2si")
+    size = 8 if ctx.w else 4
+    reg, rm = _modrm(cur, ctx, 8 if sd else 4, rm_is_xmm=True, reg_size=size)
+    return Instruction(mnem, (reg, rm))
+
+
+def _h0f_cvt_ss_sd(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    prefix = ctx.sse_prefix()
+    mnem = "cvtsd2ss" if prefix == 0xF2 else "cvtss2sd"
+    width = 8 if prefix == 0xF2 else 4
+    reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction(mnem, (reg, rm))
+
+
+def _h0f_movd_to_xmm(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    mnem = "movq" if ctx.w else "movd"
+    reg, rm = _modrm(cur, ctx, 8 if ctx.w else 4, reg_is_xmm=True)
+    return Instruction(mnem, (reg, rm))
+
+
+def _h0f_movd_from_xmm(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    if ctx.sse_prefix() == 0xF3:
+        reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
+        return Instruction("movq", (reg, rm))
+    mnem = "movq" if ctx.w else "movd"
+    reg, rm = _modrm(cur, ctx, 8 if ctx.w else 4, reg_is_xmm=True)
+    return Instruction(mnem, (rm, reg))
+
+
+def _h0f_movq_store(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    reg, rm = _modrm(cur, ctx, 8, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction("movq", (rm, reg))
+
+
+def _h0f_shufpd(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    if ctx.sse_prefix() != 0x66:
+        return _h0f_sse_table(cur, ctx, opc)
+    reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction("shufpd", (reg, rm, Imm(cur.imm(1, signed=False), 1)))
+
+
+def _h0f_pshufd(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    if ctx.sse_prefix() != 0x66:
+        return _h0f_sse_table(cur, ctx, opc)
+    reg, rm = _modrm(cur, ctx, 16, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction("pshufd", (reg, rm, Imm(cur.imm(1, signed=False), 1)))
+
+
+def _h0f_sse_table(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
+    """Prefix-dependent packed/scalar arithmetic from the ISA tables."""
+    table = _SSE_0F_BY_PREFIX.get(ctx.sse_prefix(), {})
+    mnem = table.get(opc)
+    if mnem is None:
+        raise DecodeError(f"unknown 0F opcode {opc:#04x} at {cur.addr:#x}")
+    width = isa.SSE_SCALAR_WIDTH.get(mnem, 16)
+    reg, rm = _modrm(cur, ctx, width, reg_is_xmm=True, rm_is_xmm=True)
+    return Instruction(mnem, (reg, rm))
+
+
+# --------------------------------------------------------------------------
+# dispatch tables, built once at import
+# --------------------------------------------------------------------------
+
+_DISPATCH: list[_Handler | None] = [None] * 256
+_DISPATCH_0F: list[_Handler | None] = [None] * 256
+
+
+def _build_dispatch() -> None:
+    d = _DISPATCH
+    d[0xC3] = _op_simple("ret")
+    d[0x90] = _h_nop_90
+    d[0xC9] = _op_simple("leave")
+    d[0xCC] = _op_simple("int3")
+    d[0x99] = _h_cqo
+    for opc in range(0x50, 0x58):
+        d[opc] = _h_push_reg
+    for opc in range(0x58, 0x60):
+        d[opc] = _h_pop_reg
+    d[0x68] = _h_push_imm32
+    d[0x6A] = _h_push_imm8
+    d[0xE8] = _h_call_rel32
+    d[0xE9] = _h_jmp_rel32
+    d[0xEB] = _h_jmp_rel8
+    for opc in range(0x70, 0x80):
+        d[opc] = _h_jcc_rel8
+    for base in (0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38):
+        for low in range(6):
+            d[base | low] = _h_alu
+    for opc in (0x80, 0x81, 0x83):
+        d[opc] = _h_alu_imm
+    d[0x84] = d[0x85] = _h_test
+    d[0x88] = d[0x89] = _h_mov_store
+    d[0x8A] = d[0x8B] = _h_mov_load
+    d[0x8D] = _h_lea
+    d[0x63] = _h_movsxd
+    for opc in range(0xB8, 0xC0):
+        d[opc] = _h_mov_imm_reg
+    for opc in range(0xB0, 0xB8):
+        d[opc] = _h_mov_imm8_reg
+    d[0xC6] = d[0xC7] = _h_mov_imm_rm
+    for opc in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
+        d[opc] = _h_shift
+    d[0xF6] = d[0xF7] = _h_unary_group
+    d[0xFE] = d[0xFF] = _h_incdec_group
+    d[0x69] = d[0x6B] = _h_imul_imm
+    d[0x0F] = _h_0f_escape
+
+    e = _DISPATCH_0F
+    # SSE-table opcodes first; specific handlers below override overlaps
+    # (e.g. 5A is both cvtsd2ss in SSE_SD and the dedicated cvt handler)
+    for table in _SSE_0F_BY_PREFIX.values():
+        for opc in table:
+            e[opc] = _h0f_sse_table
+    e[0x0B] = _op_simple("ud2")
+    e[0x05] = _op_simple("syscall")
+    for opc in range(0x80, 0x90):
+        e[opc] = _h0f_jcc_rel32
+    for opc in range(0x40, 0x50):
+        e[opc] = _h0f_cmov
+    for opc in range(0x90, 0xA0):
+        e[opc] = _h0f_setcc
+    e[0xAF] = _h0f_imul
+    for opc in (0xB6, 0xB7, 0xBE, 0xBF):
+        e[opc] = _h0f_movzx_movsx
+    e[0x1F] = _h0f_long_nop
+    e[0x10] = e[0x11] = _h0f_movups
+    e[0x28] = e[0x29] = _h0f_movaps
+    for opc in (0x12, 0x13, 0x16, 0x17):
+        e[opc] = _h0f_movlhpd
+    e[0x2E] = e[0x2F] = _h0f_comis
+    e[0x2A] = _h0f_cvtsi2
+    e[0x2C] = e[0x2D] = _h0f_cvt2si
+    e[0x5A] = _h0f_cvt_ss_sd
+    e[0x6E] = _h0f_movd_to_xmm
+    e[0x7E] = _h0f_movd_from_xmm
+    e[0xD6] = _h0f_movq_store
+    e[0xC6] = _h0f_shufpd
+    e[0x70] = _h0f_pshufd
+
+
+_build_dispatch()
 
 
 def decode_block(code: bytes, addr: int, length: int, *, base_addr: int = 0) -> list[Instruction]:

@@ -1,0 +1,85 @@
+"""Unit tests for the two cache storage levels."""
+
+import pickle
+
+from repro.cache import DiskStore, LRUStore
+
+
+def test_lru_basic_roundtrip():
+    s = LRUStore(4)
+    s.put("a", 1)
+    s.put("b", 2)
+    assert s.get("a") == 1
+    assert s.get("b") == 2
+    assert s.get("missing") is None
+    assert len(s) == 2
+    assert "a" in s and "c" not in s
+
+
+def test_lru_eviction_bounds_capacity():
+    s = LRUStore(3)
+    for i in range(10):
+        s.put(f"k{i}", i)
+        assert len(s) <= 3
+    assert s.evictions == 7
+    # only the newest three survive
+    assert s.get("k9") == 9 and s.get("k8") == 8 and s.get("k7") == 7
+    assert s.get("k0") is None
+
+
+def test_lru_get_refreshes_recency():
+    s = LRUStore(2)
+    s.put("old", 1)
+    s.put("new", 2)
+    assert s.get("old") == 1  # touch: "old" becomes most recent
+    s.put("newer", 3)         # evicts "new", not "old"
+    assert s.get("old") == 1
+    assert s.get("new") is None
+
+
+def test_lru_overwrite_does_not_grow():
+    s = LRUStore(2)
+    s.put("a", 1)
+    s.put("a", 2)
+    assert len(s) == 1
+    assert s.get("a") == 2
+    assert s.evictions == 0
+
+
+def test_lru_discard_and_clear():
+    s = LRUStore(4)
+    s.put("a", 1)
+    s.put("b", 2)
+    s.discard("a")
+    s.discard("not-there")  # no-op
+    assert s.get("a") is None and s.get("b") == 2
+    s.clear()
+    assert len(s) == 0
+
+
+def test_disk_store_roundtrip(tmp_path):
+    d = DiskStore(str(tmp_path))
+    assert d.get("k") is None
+    assert d.put("k", ("value", 42))
+    assert d.get("k") == ("value", 42)
+
+
+def test_disk_store_survives_reopen(tmp_path):
+    DiskStore(str(tmp_path)).put("k", [1, 2, 3])
+    assert DiskStore(str(tmp_path)).get("k") == [1, 2, 3]
+
+
+def test_disk_store_corrupt_entry_is_a_miss(tmp_path):
+    d = DiskStore(str(tmp_path))
+    d.put("k", "good")
+    path = next(tmp_path.iterdir())
+    path.write_bytes(b"not a pickle")
+    assert d.get("k") is None
+
+
+def test_disk_store_truncated_pickle_is_a_miss(tmp_path):
+    d = DiskStore(str(tmp_path))
+    d.put("k", list(range(100)))
+    path = next(tmp_path.iterdir())
+    path.write_bytes(pickle.dumps(list(range(100)))[:10])
+    assert d.get("k") is None
