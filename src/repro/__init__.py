@@ -25,6 +25,7 @@ evaluation.
 from repro.cc import CompiledProgram, compile_c
 from repro.cpu import CostModel, HASWELL, Image, Simulator
 from repro.dbrew import Rewriter
+from repro.guard import Budget, BudgetExceededError, GuardedTransformer
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory
@@ -33,10 +34,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BinaryTransformer",
+    "Budget",
+    "BudgetExceededError",
     "CompiledProgram",
     "CostModel",
     "FixedMemory",
     "FunctionSignature",
+    "GuardedTransformer",
     "HASWELL",
     "Image",
     "LiftOptions",

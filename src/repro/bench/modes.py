@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.cache import SpecializationCache
 from repro.dbrew import Rewriter
+from repro.guard import GuardedTransformer
 from repro.jit import BinaryTransformer
 from repro.lift import FunctionSignature, LiftOptions
 from repro.lift.fixation import FixedMemory
@@ -27,6 +28,14 @@ from repro.stencil.sources import ELEMENT_SIGNATURE, LINE_SIGNATURE
 
 MODES = ("native", "llvm", "llvm-fix", "dbrew", "dbrew+llvm")
 CODES = ("direct", "flat", "sorted")
+
+#: evaluation mode -> guard-ladder restriction (modes the guard can serve;
+#: "native" needs no transform and plain "dbrew" has no gate composition)
+GUARD_LADDERS = {
+    "llvm": ("llvm",),
+    "llvm-fix": ("llvm-fix",),
+    "dbrew+llvm": ("dbrew+llvm",),
+}
 
 
 @dataclass
@@ -39,6 +48,10 @@ class ModeResult:
     stages: dict[str, float] = field(default_factory=dict)
     #: cache stage that served the transform (None = full compile / native)
     cache_stage: str | None = None
+    #: ladder rung that served a guarded preparation (None = unguarded)
+    guard_mode: str | None = None
+    #: the differential gate ran and passed for this kernel
+    verified: bool = False
 
 
 def _signature(line: bool) -> FunctionSignature:
@@ -79,12 +92,20 @@ def _dbrew_input(code: str, line: bool) -> str:
 
 def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
                    line: bool, uid: str = "",
-                   cache: SpecializationCache | None = None) -> ModeResult:
+                   cache: SpecializationCache | None = None,
+                   guard: GuardedTransformer | None = None) -> ModeResult:
     """Build the kernel for one evaluation cell; returns its address.
 
     With a ``cache``, repeated preparations of the same cell are memoized —
     the compile stages a hit skips report as zero and ``cache_stage`` names
     the stage boundary the transform was served from.
+
+    With a ``guard``, transforming modes are routed through the
+    degradation ladder (restricted to the requested mode's rung, then
+    ``original``): the preparation can no longer fail, ``guard_mode``
+    reports the rung that served it, and ``verified`` whether the
+    differential gate passed.  ``native`` and plain ``dbrew`` bypass the
+    guard (nothing to transform / no LLVM composition to gate).
     """
     if code not in CODES or mode not in MODES:
         raise ValueError(f"unknown cell ({code}, {mode})")
@@ -95,6 +116,22 @@ def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
 
     if mode == "native":
         return ModeResult(ws.image.symbol(native), native)
+
+    if guard is not None and mode in GUARD_LADDERS:
+        fixes: dict[int, object] = {}
+        if fix["fix_memory"] is not None:
+            fixes[0] = fix["fix_memory"]
+        res = guard.transform(
+            native, sig, fixes or None,  # type: ignore[arg-type]
+            mem_regions=fix["regions"],  # type: ignore[arg-type]
+            name=f"k.{tag}", ladder=GUARD_LADDERS[mode],
+            dbrew_func=_dbrew_input(code, line),
+        )
+        return ModeResult(
+            res.addr, res.name, res.seconds,
+            cache_stage=res.result.cache_stage if res.result else None,
+            guard_mode=res.mode, verified=res.verified,
+        )
 
     if mode == "llvm":
         tx = BinaryTransformer(ws.image, cache=cache)

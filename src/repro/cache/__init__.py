@@ -5,9 +5,10 @@ See :mod:`repro.cache.cache` for the stage model and
 """
 
 from repro.cache.cache import CacheStats, MachineEntry, SpecializationCache
+from repro.cache.negative import NegativeCache, NegativeEntry
 from repro.cache.store import DiskStore, LRUStore
 
 __all__ = [
     "CacheStats", "DiskStore", "LRUStore", "MachineEntry",
-    "SpecializationCache",
+    "NegativeCache", "NegativeEntry", "SpecializationCache",
 ]

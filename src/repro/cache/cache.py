@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cache import keys as K
+from repro.cache.negative import NegativeCache, NegativeEntry
 from repro.cache.store import DiskStore, LRUStore
 from repro.cpu.image import Image
 from repro.ir.module import Function, Module
@@ -62,6 +63,10 @@ class CacheStats:
     #: whole-transform outcomes: a transform is a hit if *any* stage hit
     transforms: int = 0
     transform_hits: int = 0
+    #: failure-quarantine traffic (see repro.cache.negative)
+    negative_hits: int = 0
+    negative_misses: int = 0
+    negative_stores: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -80,6 +85,9 @@ class CacheStats:
             "transforms": self.transforms,
             "transform_hits": self.transform_hits,
             "hit_rate": self.hit_rate,
+            "negative_hits": self.negative_hits,
+            "negative_misses": self.negative_misses,
+            "negative_stores": self.negative_stores,
         }
 
 
@@ -131,7 +139,8 @@ class SpecializationCache:
     """
 
     def __init__(self, *, capacity: int = 256, machine_capacity: int = 1024,
-                 disk_dir: str | None = None) -> None:
+                 disk_dir: str | None = None,
+                 negative: NegativeCache | None = None) -> None:
         self.stats = CacheStats()
         self._lifted = LRUStore(capacity)
         self._modules = LRUStore(capacity)
@@ -139,6 +148,11 @@ class SpecializationCache:
         self._disk = DiskStore(disk_dir) if disk_dir else None
         self._images: "weakref.WeakKeyDictionary[Image, _ImageState]" = \
             weakref.WeakKeyDictionary()
+        #: failure quarantine (see repro.cache.negative); shared with the
+        #: guard ladder so a failed specialization is served its fallback
+        #: without re-running the pipeline
+        self.negative = negative if negative is not None \
+            else NegativeCache(capacity=capacity * 4)
 
     # -- image binding ---------------------------------------------------------
 
@@ -223,6 +237,26 @@ class SpecializationCache:
     def put_rewrite(self, image: Image, rkey: str, addr: int, name: str) -> None:
         self.attach_image(image).rewrites.put(rkey, (addr, name))
         self.stats.stores += 1
+
+    # -- failure quarantine ------------------------------------------------------
+
+    def check_negative(self, key: str) -> NegativeEntry | None:
+        """A fresh quarantine entry for this transform key, or None."""
+        entry = self.negative.check(key)
+        if entry is not None:
+            self.stats.negative_hits += 1
+        else:
+            self.stats.negative_misses += 1
+        return entry
+
+    def put_negative(self, key: str, rung: str, reason: str,
+                     context: dict | None = None) -> NegativeEntry:
+        """Quarantine a failed transform under its content key."""
+        self.stats.negative_stores += 1
+        return self.negative.record(key, rung, reason, context)
+
+    def forget_negative(self, key: str) -> None:
+        self.negative.forget(key)
 
     # -- accounting --------------------------------------------------------------
 

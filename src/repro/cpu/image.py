@@ -53,6 +53,10 @@ class Image:
         self._data_limit = DATA_BASE + data_size
         self._jit_limit = JIT_BASE + jit_size
         self._invalidation_hooks: list[Callable[[int, int], None]] = []
+        #: bumped once per *successful* patch_code; a failed patch rolls
+        #: this back together with the bytes, so observers can use it as a
+        #: cheap "did code change" check
+        self.generation = 0
 
     # -- runtime patching --------------------------------------------------------
 
@@ -75,10 +79,31 @@ class Image:
         Direct ``image.memory.write`` is still possible (and used for plain
         data), but code patches must go through here so caches keyed by
         function-content digests re-read the new bytes.
+
+        The patch is atomic from the caller's view: if the write or any
+        invalidation hook raises, the previous bytes and the generation
+        counter are restored (and the hooks re-run over the restore), so a
+        failed install never leaves a half-patched image behind.
         """
+        previous = self.memory.read(addr, len(data))  # validates the range
+        generation = self.generation
         self.memory.write(addr, data)
-        for hook in list(self._invalidation_hooks):
-            hook(addr, len(data))
+        self.generation = generation + 1
+        try:
+            for hook in list(self._invalidation_hooks):
+                hook(addr, len(data))
+        except BaseException:
+            self.memory.write(addr, previous)
+            self.generation = generation
+            # the memoizers already saw (or partially saw) the new bytes:
+            # re-invalidate over the restored content, tolerating repeated
+            # failure so the image itself always ends up consistent
+            for hook in list(self._invalidation_hooks):
+                try:
+                    hook(addr, len(data))
+                except BaseException:
+                    pass
+            raise
 
     # -- allocation ------------------------------------------------------------
 
@@ -94,12 +119,20 @@ class Image:
         return addr
 
     def add_function(self, name: str, code: bytes, *, jit: bool = False) -> int:
-        """Install machine code under ``name``; returns the entry address."""
+        """Install machine code under ``name``; returns the entry address.
+
+        All-or-nothing: the allocation cursor and symbol table only commit
+        after the bytes are in place, so a failed install is invisible.
+        """
         if jit:
-            addr, self._jit_cursor = self._bump(self._jit_cursor, self._jit_limit, len(code), 16)
+            addr, cursor = self._bump(self._jit_cursor, self._jit_limit, len(code), 16)
         else:
-            addr, self._code_cursor = self._bump(self._code_cursor, self._code_limit, len(code), 16)
+            addr, cursor = self._bump(self._code_cursor, self._code_limit, len(code), 16)
         self.memory.write(addr, code)
+        if jit:
+            self._jit_cursor = cursor
+        else:
+            self._code_cursor = cursor
         self.symbols[name] = addr
         self.func_sizes[name] = len(code)
         return addr

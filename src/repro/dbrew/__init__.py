@@ -18,6 +18,10 @@ Direct calls are inlined up to a configurable depth.
 :meth:`Rewriter.rewrite`.
 """
 
-from repro.dbrew.rewriter import Rewriter, RewriteStats
+from repro.dbrew.rewriter import (
+    ErrorHandler, Rewriter, RewriteStats, default_error_handler,
+    raising_error_handler,
+)
 
-__all__ = ["Rewriter", "RewriteStats"]
+__all__ = ["ErrorHandler", "Rewriter", "RewriteStats",
+           "default_error_handler", "raising_error_handler"]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import struct
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.cpu.image import Image
 from repro.cpu.semantics import execute
@@ -35,8 +36,26 @@ from repro.x86.decoder import decode_one
 from repro.x86.instr import Imm, Instruction, Mem, Reg, gp, make, xmm
 from repro.x86.registers import RSP, SYSV_INT_ARGS
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.guard.budget import Budget
+
 _FRAME = 136  # keeps rsp 16-aligned at emitted call sites
 _MASK64 = (1 << 64) - 1
+
+#: ``handler(rewriter, exc) -> entry address`` invoked when a rewrite hits
+#: an internal :class:`RewriteError` (the paper's Sec. II error contract)
+ErrorHandler = Callable[["Rewriter", RewriteError], int]
+
+
+def default_error_handler(rewriter: "Rewriter", exc: RewriteError) -> int:
+    """Sec. II's default policy: fall back to the original function."""
+    return rewriter.entry
+
+
+def raising_error_handler(rewriter: "Rewriter", exc: RewriteError) -> int:
+    """Propagate instead of falling back (what the guard ladder installs:
+    it owns the fallback decision and needs the error to record the rung)."""
+    raise exc
 
 
 @dataclass
@@ -63,7 +82,8 @@ class Rewriter:
     """Mirror of the Fig. 2/3 configuration API."""
 
     def __init__(self, image: Image, func: str | int, *,
-                 cache: "SpecializationCache | None" = None) -> None:
+                 cache: "SpecializationCache | None" = None,
+                 budget: "Budget | None" = None) -> None:
         self.image = image
         self.entry = image.symbol(func) if isinstance(func, str) else func
         self.func_name = func if isinstance(func, str) else f"f{func:x}"
@@ -74,10 +94,13 @@ class Rewriter:
         self.unroll_limit = 512
         self.inline_depth = 8
         self.code_size_limit = 1 << 16
-        self.error_handler = None  # type: ignore[assignment]
+        self.error_handler: ErrorHandler = default_error_handler
+        #: the RewriteError the last rewrite() recovered from (None = clean)
+        self.last_error: RewriteError | None = None
         self.stats = RewriteStats()
         self.verbose = False
         self.cache = cache
+        self.budget = budget
         #: content digest of the last emitted code (feeds the LLVM
         #: post-processing cache key in the DBrew+LLVM composition)
         self.last_digest: str | None = None
@@ -164,12 +187,14 @@ class Rewriter:
                     self.image.func_sizes[cached_name]
                 self.last_digest = self.cache.code_digest(self.image, addr)
                 return addr
+        self.last_error = None
         try:
             addr = self._rewrite(name)
         except RewriteError as exc:
-            if self.error_handler is not None:
-                return self.error_handler(self, exc)  # type: ignore[misc]
-            return self.entry
+            exc.with_context(stage="rewrite", func=self.func_name,
+                             addr=self.entry)
+            self.last_error = exc
+            return self.error_handler(self, exc)
         if rkey is not None and addr != self.entry:
             assert self.cache is not None
             installed = self.image.symbol_at(addr)
@@ -226,11 +251,16 @@ class Rewriter:
             point = worklist.pop(0)
             self.stats.points += 1
             if self.stats.points > 4096:
-                raise RewriteError("too many trace points (state explosion)")
+                raise RewriteError("too many trace points (state explosion)",
+                                   stage="rewrite", addr=point.addr)
+            if self.budget is not None:
+                self.budget.charge("trace_points", stage="rewrite",
+                                   addr=point.addr)
             out.append(Label(point.label))
             self._process_point(point, out, worklist)
             if len(out) * 4 > self.code_size_limit:
-                raise RewriteError("generated code exceeds the buffer limit")
+                raise RewriteError("generated code exceeds the buffer limit",
+                                   stage="rewrite", addr=point.addr)
 
         from repro.backend.emit import peephole
         out = peephole(out)
@@ -261,7 +291,9 @@ class Rewriter:
             try:
                 ins = decode_one(window, 0, pc)
             except Exception as exc:  # decoding gap -> internal error (Sec. II)
-                raise RewriteError(f"cannot decode at {pc:#x}: {exc}") from exc
+                raise RewriteError(f"cannot decode at {pc:#x}: {exc}",
+                                   stage="rewrite", addr=pc,
+                                   data=window) from exc
             self._decode_cache[pc] = ins
             self.stats.decoded += 1
         return ins
@@ -271,13 +303,18 @@ class Rewriter:
         pc = point.addr
         rstack = list(point.rstack)
         state = point.state
+        budget = self.budget
         for _ in range(200_000):
+            if budget is not None:
+                budget.charge("emulated", stage="rewrite", addr=pc)
             ins = self._decode(pc)
             cls = isa.control_class(ins.mnemonic)
             if cls == "jmp":
                 (t,) = ins.operands
                 if not isinstance(t, Imm):
-                    raise RewriteError(f"indirect jump at {pc:#x}")
+                    raise RewriteError(f"indirect jump at {pc:#x}",
+                                       stage="rewrite", addr=pc,
+                                       instruction=ins.mnemonic)
                 pc = self._follow(t.value, pc, rstack, state, out, worklist)
                 if pc is None:
                     return
@@ -291,7 +328,9 @@ class Rewriter:
             if cls == "call":
                 (t,) = ins.operands
                 if not isinstance(t, Imm):
-                    raise RewriteError(f"indirect call at {pc:#x}")
+                    raise RewriteError(f"indirect call at {pc:#x}",
+                                       stage="rewrite", addr=pc,
+                                       instruction=ins.mnemonic)
                 if len(rstack) < self.inline_depth:
                     # inline: push a sentinel return address, descend
                     sp = state.gpr[RSP]
@@ -326,7 +365,8 @@ class Rewriter:
             # ordinary instruction
             self._step(ins, state, out)
             pc = ins.end
-        raise RewriteError("rewrite trace did not terminate")
+        raise RewriteError("rewrite trace did not terminate",
+                           stage="rewrite", addr=pc)
 
     def _follow(self, target: int, pc: int, rstack: list[int], state: MetaState,
                 out: list[Item], worklist: list[_Point]) -> int | None:
@@ -590,7 +630,9 @@ class Rewriter:
         try:
             execute(ins, cpu, tmp_mem)
         except Exception as exc:
-            raise RewriteError(f"emulation failed at {ins.addr:#x}: {exc}") from exc
+            raise RewriteError(f"emulation failed at {ins.addr:#x}: {exc}",
+                               stage="rewrite", addr=ins.addr,
+                               instruction=ins.mnemonic) from exc
 
         for kind, idx in analyze(ins).writes:
             if kind == "gp":

@@ -5,13 +5,52 @@ catch a single base type at API boundaries.  DBrew-style rewriting failures
 deliberately use a dedicated branch (:class:`RewriteError`) because the
 paper's Section II requires them to be *recoverable*: the default error
 handler falls back to the original function instead of propagating.
+
+Errors carry *structured context* (:attr:`ReproError.context`): the guest
+address, raw bytes, pipeline stage, instruction, ... of the failure.  The
+guard ladder (:mod:`repro.guard`) records this context per degradation
+rung, so a production log can answer "which instruction at which address
+killed which stage" without re-running the transform.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    Keyword arguments become :attr:`context`, a flat ``str -> value`` dict
+    of structured failure metadata.  Conventional keys: ``stage`` (pipeline
+    stage name: decode/lift/opt/codegen/rewrite/verify), ``addr`` (guest
+    address), ``instruction`` (mnemonic or str of the decoded instruction),
+    ``data`` (raw bytes involved).
+    """
+
+    def __init__(self, *args: object, **context: Any) -> None:
+        super().__init__(*args)
+        self.context: dict[str, Any] = dict(context)
+
+    def with_context(self, **context: Any) -> "ReproError":
+        """Merge additional context keys (existing keys win: the innermost
+        raise site knows best).  Returns self for raise-chaining."""
+        for k, v in context.items():
+            self.context.setdefault(k, v)
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if not self.context:
+            return base
+        parts = []
+        for k in sorted(self.context):
+            v = self.context[k]
+            if k in ("addr", "address") and isinstance(v, int):
+                parts.append(f"{k}={v:#x}")
+            else:
+                parts.append(f"{k}={v!r}")
+        return f"{base} [{', '.join(parts)}]"
 
 
 class EncodeError(ReproError):
@@ -61,3 +100,23 @@ class RewriteError(ReproError):
 
 class LiftError(RewriteError):
     """The x86-64 -> IR transformation hit an unsupported construct."""
+
+
+class BudgetExceededError(RewriteError):
+    """A transformation ran out of its resource budget (fuel or deadline).
+
+    Raised by the budget checks threaded through the rewrite driver, the
+    lifter and the -O3 pipeline (see :class:`repro.guard.Budget`) so that
+    an adversarial or pathological input degrades to a fallback instead of
+    hanging the request path.
+    """
+
+
+class VerificationError(RewriteError):
+    """The differential verification gate observed a divergence.
+
+    The specialized code computed a different result than the original
+    function on at least one probe vector; the guard ladder treats this
+    like any other rung failure and falls back (LeanBin's
+    validate-before-swap policy).
+    """

@@ -1,0 +1,40 @@
+"""Guarded rewriting: degradation ladder, budgets, differential gate.
+
+The paper's Sec. II error contract (fall back to the original function on
+any rewrite failure) generalized into a front door for the whole pipeline:
+
+* :class:`GuardedTransformer` — tries ``dbrew+llvm`` -> ``llvm-fix`` ->
+  ``llvm`` -> ``original`` and always returns a callable entry;
+* :class:`Budget` — wall-clock deadline plus per-stage fuel counters;
+* :class:`DifferentialGate` — validate-before-swap probe execution;
+* failure quarantine via :class:`repro.cache.NegativeCache`.
+"""
+
+from repro.guard.budget import Budget, BudgetExceededError
+from repro.guard.guarded import (
+    LADDER,
+    GuardedTransformer,
+    GuardResult,
+    GuardStats,
+    RungAttempt,
+)
+from repro.guard.verify import (
+    DifferentialGate,
+    GateOptions,
+    GateReport,
+    ProbeOutcome,
+)
+
+__all__ = [
+    "LADDER",
+    "Budget",
+    "BudgetExceededError",
+    "DifferentialGate",
+    "GateOptions",
+    "GateReport",
+    "GuardResult",
+    "GuardStats",
+    "GuardedTransformer",
+    "ProbeOutcome",
+    "RungAttempt",
+]

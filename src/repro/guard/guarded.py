@@ -1,0 +1,348 @@
+"""GuardedTransformer: the fault-tolerant front door for the Fig. 1 pipeline.
+
+The paper requires rewrite failures to be *internal and recoverable*
+(Sec. II: "the default error handler falls back to the original function").
+Production rewriters go further — every rewriter fails on some real inputs
+(Schulte et al.'s broad comparative evaluation), and LeanBin gates
+recompiled code behind dynamic validation before swapping it in.  This
+module composes both policies around the whole transform pipeline:
+
+* a **degradation ladder** — transformation modes attempted in order of
+  expected payoff (``dbrew+llvm`` -> ``llvm-fix`` -> ``llvm`` ->
+  ``original``), each rung catching :class:`~repro.errors.ReproError` and
+  recording why it failed; the last rung always succeeds, so
+  :meth:`GuardedTransformer.transform` *always returns a callable entry*;
+* **resource budgets** — one :class:`~repro.guard.budget.Budget` shared by
+  every rung bounds wall-clock and stage fuel, so adversarial inputs
+  degrade instead of hanging;
+* a **differential verification gate** — each specialized candidate must
+  agree with the original on probe executions before it is served
+  (:mod:`repro.guard.verify`);
+* **failure quarantine** — failed (key, rung) pairs are negative-cached
+  with TTL/back-off (:mod:`repro.cache.negative`), so a function that
+  cannot specialize is served its fallback instantly on repeat requests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cache import NegativeCache, NegativeEntry, SpecializationCache
+from repro.cache import keys as cache_keys
+from repro.cpu.image import Image
+from repro.dbrew import Rewriter, raising_error_handler
+from repro.errors import BudgetExceededError, ReproError, VerificationError
+from repro.guard.budget import Budget
+from repro.guard.verify import DifferentialGate, GateOptions, GateReport
+from repro.ir.codegen import JITOptions
+from repro.ir.passes import O3Options
+from repro.jit import BinaryTransformer, TransformResult
+from repro.lift import FunctionSignature, LiftOptions
+from repro.lift.fixation import FixedMemory
+
+#: the full degradation ladder, strongest specialization first
+LADDER = ("dbrew+llvm", "llvm-fix", "llvm", "original")
+
+
+@dataclass
+class RungAttempt:
+    """What happened on one rung of the ladder for one transform."""
+
+    rung: str
+    ok: bool = False
+    seconds: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    #: structured ReproError.context of the failure (stage, addr, ...)
+    context: dict[str, Any] = field(default_factory=dict)
+    #: served from quarantine without attempting (fresh negative entry)
+    quarantined: bool = False
+    verified: bool = False
+
+
+@dataclass
+class GuardStats:
+    """Aggregate ladder counters across one GuardedTransformer's lifetime."""
+
+    transforms: int = 0
+    #: transforms served by each rung
+    served_by: dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in LADDER})
+    #: rung attempt failures, by rung
+    failures: dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in LADDER})
+    verification_rejections: int = 0
+    budget_exceeded: int = 0
+    #: rungs skipped because a fresh quarantine entry covered them
+    negative_served: int = 0
+    #: transforms that degraded all the way to the original function
+    fallbacks: int = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "transforms": self.transforms,
+            "served_by": dict(self.served_by),
+            "failures": dict(self.failures),
+            "verification_rejections": self.verification_rejections,
+            "budget_exceeded": self.budget_exceeded,
+            "negative_served": self.negative_served,
+            "fallbacks": self.fallbacks,
+        }
+
+
+@dataclass
+class GuardResult:
+    """Outcome of one guarded transform: always a callable entry address."""
+
+    addr: int
+    name: str
+    #: the rung that served this transform
+    mode: str
+    attempts: list[RungAttempt] = field(default_factory=list)
+    verified: bool = False
+    gate: GateReport | None = None
+    result: TransformResult | None = None
+    seconds: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.mode == "original"
+
+    def failure_summary(self) -> list[str]:
+        """One line per failed rung (for logs)."""
+        return [f"{a.rung}: {'quarantined' if a.quarantined else a.error}"
+                for a in self.attempts if not a.ok]
+
+
+class GuardedTransformer:
+    """Fault-tolerant, budgeted, verified runtime transformation driver."""
+
+    def __init__(self, image: Image, *,
+                 cache: SpecializationCache | None = None,
+                 budget: Budget | None = None,
+                 gate_options: GateOptions = GateOptions(),
+                 verify: bool = True,
+                 lift_options: LiftOptions | None = None,
+                 o3_options: O3Options | None = None,
+                 jit_options: JITOptions | None = None,
+                 negative: NegativeCache | None = None) -> None:
+        self.image = image
+        self.cache = cache
+        self.budget = budget
+        self.verify = verify
+        self.gate = DifferentialGate(image, gate_options)
+        self.stats = GuardStats()
+        #: quarantine: the attached cache's by default, standalone otherwise
+        if negative is not None:
+            self.negative = negative
+        elif cache is not None:
+            self.negative = cache.negative
+        else:
+            self.negative = NegativeCache()
+        self.tx = BinaryTransformer(
+            image, lift_options=lift_options, o3_options=o3_options,
+            jit_options=jit_options, cache=cache, budget=budget,
+        )
+
+    # -- keys ----------------------------------------------------------------
+
+    def _guard_key(self, entry: int, signature: FunctionSignature,
+                   fixes: dict[int, int | float | FixedMemory] | None,
+                   mem_regions: Sequence[tuple[int, int]]) -> str:
+        """Content key of one guarded request (shared by all rungs)."""
+        if self.cache is not None:
+            code = self.cache.code_digest(self.image, entry)
+        else:
+            extent = cache_keys.function_extent(self.image, entry)
+            code = None if extent is None else cache_keys.digest_bytes(
+                self.image.memory.read(extent[0], extent[1]))
+        if code is None:
+            code = f"@{entry:#x}/g{self.image.generation}"
+        try:
+            fdigest = cache_keys.fixes_digest(fixes, self.image.memory)
+        except ReproError:
+            fdigest = repr(sorted(fixes)) if fixes else "none"
+        return cache_keys.digest_str(
+            "guard", code, cache_keys.signature_digest(signature), fdigest,
+            repr(sorted(mem_regions)),
+            cache_keys.options_digest(self.tx.o3_options),
+            cache_keys.options_digest(self.tx.jit_options),
+        )
+
+    # -- rungs ----------------------------------------------------------------
+
+    def _attempt(self, rung: str, entry: int, out_name: str,
+                 signature: FunctionSignature,
+                 fixes: dict[int, int | float | FixedMemory] | None,
+                 mem_regions: Sequence[tuple[int, int]],
+                 dbrew_entry: int) -> TransformResult:
+        if rung == "dbrew+llvm":
+            rw = Rewriter(self.image, dbrew_entry, cache=self.cache,
+                          budget=self.budget)
+            rw.error_handler = raising_error_handler
+            rw.set_signature(signature.params, signature.ret)
+            for i, v in (fixes or {}).items():
+                if isinstance(v, FixedMemory):
+                    rw.set_par(i, v.addr)
+                    rw.set_mem(v.addr, v.addr + v.size)
+                elif isinstance(v, float):
+                    rw.set_par_f64(i, v)
+                else:
+                    rw.set_par(i, v)
+            for start, end in mem_regions:
+                rw.set_mem(start, end)
+            addr = rw.rewrite(name=out_name + ".dbrew")
+            return self.tx.llvm_identity(addr, signature, name=out_name)
+        if rung == "llvm-fix":
+            return self.tx.llvm_fixed(entry, signature, fixes or {},
+                                      name=out_name)
+        if rung == "llvm":
+            return self.tx.llvm_identity(entry, signature, name=out_name)
+        raise ValueError(f"unknown ladder rung {rung!r}")
+
+    # -- the guarded transform -------------------------------------------------
+
+    def transform(self, func: str | int, signature: FunctionSignature,
+                  fixes: dict[int, int | float | FixedMemory] | None = None,
+                  *, mem_regions: Sequence[tuple[int, int]] = (),
+                  name: str | None = None,
+                  probes: Sequence[tuple] = (),
+                  ladder: Sequence[str] | None = None,
+                  dbrew_func: str | int | None = None) -> GuardResult:
+        """Attempt the ladder; always returns a callable entry address.
+
+        ``fixes`` drives both specializing rungs (DBrew ``set_par`` /
+        ``set_mem`` and IR-level fixation); ``mem_regions`` declares extra
+        fixed memory for DBrew; ``probes`` are user argument vectors for
+        the verification gate (one value per non-fixed parameter);
+        ``dbrew_func`` optionally rewrites a different entry on the DBrew
+        rung (the paper's line kernels keep a callable element function for
+        DBrew to inline).  A rung whose requirements are not met (the
+        specializing rungs without ``fixes``) is skipped silently.
+
+        Warm-path note: a machine-stage cache hit skips the gate (the
+        entry was gated when installed; ``verified`` is only True when the
+        gate ran on *this* request).  Sharing the cache with an unguarded
+        :class:`BinaryTransformer` weakens that reasoning — give the guard
+        its own cache when every served byte must have been gated.
+        """
+        t_start = time.perf_counter()
+        entry = self.image.symbol(func) if isinstance(func, str) else func
+        base = func if isinstance(func, str) else f"f{func:x}"
+        out_name = name or f"{base}.guarded"
+        dbrew_entry = entry if dbrew_func is None else (
+            self.image.symbol(dbrew_func) if isinstance(dbrew_func, str)
+            else dbrew_func)
+
+        rungs = tuple(ladder) if ladder is not None else LADDER
+        if ladder is None and not fixes and not mem_regions:
+            # nothing to specialize: don't waste budget on the fixing rungs
+            rungs = tuple(r for r in rungs
+                          if r not in ("dbrew+llvm", "llvm-fix"))
+        if not rungs or rungs[-1] != "original":
+            rungs = rungs + ("original",)
+
+        if self.budget is not None:
+            self.budget.start()
+        self.stats.transforms += 1
+        out = GuardResult(addr=entry, name=out_name, mode="original")
+
+        # the guard key digests code bytes + fixed-memory contents — real
+        # work on the microsecond warm path.  Compute it lazily: the happy
+        # path (empty quarantine, rung succeeds) never needs it.
+        key: str | None = None
+
+        def guard_key() -> str:
+            nonlocal key
+            if key is None:
+                key = self._guard_key(entry, signature, fixes, mem_regions)
+            return key
+
+        for rung in rungs:
+            attempt = RungAttempt(rung=rung)
+            out.attempts.append(attempt)
+            if rung == "original":
+                attempt.ok = True
+                self.image.symbols[out_name] = entry
+                size = _known_size(self.image, entry)
+                if size is not None:
+                    self.image.func_sizes[out_name] = size
+                out.addr, out.mode = entry, "original"
+                self.stats.served_by["original"] += 1
+                self.stats.fallbacks += 1
+                break
+
+            quarantined = (self._check_negative(f"{guard_key()}:{rung}")
+                           if len(self.negative) else None)
+            if quarantined is not None:
+                attempt.quarantined = True
+                attempt.error = quarantined.reason
+                attempt.error_type = "Quarantined"
+                attempt.context = dict(quarantined.context)
+                self.stats.negative_served += 1
+                continue
+
+            t0 = time.perf_counter()
+            try:
+                result = self._attempt(rung, entry, out_name, signature,
+                                       fixes, mem_regions, dbrew_entry)
+                # a machine-stage hit is code this cache installed before
+                # (and Image.patch_code invalidation keeps honest), so it
+                # was already gated on install: don't re-pay the probe
+                # executions on the warm path
+                if self.verify and result.cache_stage != "machine":
+                    out.gate = self.gate.gate(
+                        entry, result.addr, signature, fixes, probes,
+                        self.budget)
+                    attempt.verified = True
+            except ReproError as exc:
+                attempt.seconds = time.perf_counter() - t0
+                attempt.error = str(exc)
+                attempt.error_type = type(exc).__name__
+                attempt.context = dict(exc.context)
+                self.stats.failures[rung] += 1
+                if isinstance(exc, VerificationError):
+                    self.stats.verification_rejections += 1
+                if isinstance(exc, BudgetExceededError):
+                    self.stats.budget_exceeded += 1
+                self._record_negative(f"{guard_key()}:{rung}", rung, attempt)
+                continue
+            attempt.seconds = time.perf_counter() - t0
+            attempt.ok = True
+            out.addr, out.mode = result.addr, rung
+            out.result = result
+            out.verified = attempt.verified
+            self.stats.served_by[rung] += 1
+            if len(self.negative):
+                self._forget_negative(f"{guard_key()}:{rung}")
+            break
+
+        out.seconds = time.perf_counter() - t_start
+        return out
+
+    # -- quarantine plumbing (via the shared cache when present) --------------
+
+    def _check_negative(self, key: str) -> NegativeEntry | None:
+        if self.cache is not None and self.negative is self.cache.negative:
+            return self.cache.check_negative(key)
+        return self.negative.check(key)
+
+    def _record_negative(self, key: str, rung: str,
+                         attempt: RungAttempt) -> None:
+        reason = f"{attempt.error_type}: {attempt.error}"
+        if self.cache is not None and self.negative is self.cache.negative:
+            self.cache.put_negative(key, rung, reason, attempt.context)
+        else:
+            self.negative.record(key, rung, reason, attempt.context)
+
+    def _forget_negative(self, key: str) -> None:
+        self.negative.forget(key)
+
+
+def _known_size(image: Image, addr: int) -> int | None:
+    name = image.symbol_at(addr)
+    if name is None:
+        return None
+    return image.func_sizes.get(name)

@@ -1,0 +1,263 @@
+"""Differential verification gate: validate-before-swap (LeanBin's policy).
+
+Before a specialized function is allowed to serve traffic, it is executed
+against the *original* function under the deterministic CPU simulator on a
+set of probe argument vectors — user-supplied probes plus deterministically
+sampled ones.  Both runs start from an identical memory snapshot; the gate
+compares return values **and** all post-run memory (minus the stack region,
+whose dead slots legitimately differ between code layouts).  Any divergence
+raises :class:`~repro.errors.VerificationError`, and the guard ladder falls
+back to the next rung — a wrong specialization must cost a fallback, never
+a miscompile.
+
+Probe semantics: a probe supplies one value per *free* parameter slot; the
+values of fixed parameters (scalar fixations, :class:`FixedMemory` region
+addresses) are substituted automatically for both sides, because the
+original needs them and the specialized code ignores them.
+
+A probe on which the *original* function itself faults (e.g. a sampled
+integer used as a pointer) is inconclusive and skipped; only probes where
+the original produced a result participate in the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cpu.image import Image
+from repro.cpu.simulator import Simulator
+from repro.errors import ReproError, VerificationError
+from repro.lift import FunctionSignature
+from repro.lift.fixation import FixedMemory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guard.budget import Budget
+
+#: deterministic f64 sample values (varied signs/magnitudes, no NaN — NaN
+#: compare rules would need per-kernel knowledge)
+_F64_SAMPLES = (0.0, 1.0, -1.5, 2.25, 0.5, -3.0, 8.0, -0.125)
+#: deterministic small i64 sample values (safe loop bounds / selectors)
+_I64_SAMPLES = (0, 1, 2, 3, 5, 8, 13, 21)
+
+
+@dataclass(frozen=True)
+class GateOptions:
+    """Verification-gate configuration."""
+
+    #: sampled argument vectors appended to the user-supplied probes
+    samples: int = 4
+    #: sample-rotation seed, so repeated gates on one function vary
+    seed: int = 0
+    #: per-probe simulated-instruction ceiling (bounds gate latency)
+    max_steps: int = 2_000_000
+    #: absolute tolerance for f64 return values (0.0 = bit-exact)
+    tolerance: float = 0.0
+    #: require at least this many conclusive probes for a PASS verdict;
+    #: 0 = a gate where every probe was inconclusive passes vacuously
+    min_conclusive: int = 0
+
+
+@dataclass
+class ProbeOutcome:
+    """One probe's differential result."""
+
+    args: tuple
+    expected: object | None = None
+    actual: object | None = None
+    expected_error: str | None = None
+    actual_error: str | None = None
+    agreed: bool = False
+    inconclusive: bool = False
+    #: first memory address whose post-run contents diverged (if any)
+    diverged_addr: int | None = None
+
+
+@dataclass
+class GateReport:
+    """Outcome of one differential verification."""
+
+    passed: bool = False
+    probes: list[ProbeOutcome] = field(default_factory=list)
+    conclusive: int = 0
+    #: why the gate rejected (None on pass)
+    reason: str | None = None
+
+
+class DifferentialGate:
+    """Compares a specialized function against its original by execution."""
+
+    def __init__(self, image: Image, options: GateOptions = GateOptions()) -> None:
+        self.image = image
+        self.options = options
+
+    # -- probe construction -------------------------------------------------
+
+    def _sampled_probes(self, signature: FunctionSignature,
+                        fixes: dict[int, int | float | FixedMemory] | None,
+                        ) -> list[tuple]:
+        free = [i for i in range(len(signature.params))
+                if not (fixes and i in fixes)]
+        probes = []
+        for k in range(self.options.samples):
+            rot = k + self.options.seed
+            vec = []
+            for slot, i in enumerate(free):
+                idx = (rot + slot * 3) % len(_I64_SAMPLES)
+                if signature.params[i] == "f":
+                    vec.append(_F64_SAMPLES[idx])
+                else:
+                    vec.append(_I64_SAMPLES[idx])
+            probes.append(tuple(vec))
+        return probes
+
+    def _full_args(self, probe: tuple, signature: FunctionSignature,
+                   fixes: dict[int, int | float | FixedMemory] | None,
+                   ) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        """Substitute fixed values, split SysV-style into int/f64 args."""
+        it = iter(probe)
+        int_args: list[int] = []
+        f64_args: list[float] = []
+        for i, cls in enumerate(signature.params):
+            if fixes and i in fixes:
+                v = fixes[i]
+                if isinstance(v, FixedMemory):
+                    value: int | float = v.addr
+                else:
+                    value = v
+            else:
+                try:
+                    value = next(it)  # type: ignore[assignment]
+                except StopIteration:
+                    raise VerificationError(
+                        f"probe {probe!r} is shorter than the free "
+                        "parameters of the signature", stage="verify")
+            if cls == "f":
+                f64_args.append(float(value))
+            else:
+                int_args.append(int(value) & (2**64 - 1))
+        return tuple(int_args), tuple(f64_args)
+
+    # -- execution ----------------------------------------------------------
+
+    def _run(self, addr: int, int_args: tuple[int, ...],
+             f64_args: tuple[float, ...], ret: str | None):
+        """(result, error string) of one simulated call."""
+        sim = Simulator(self.image)
+        try:
+            res = sim.call(addr, int_args, f64_args,
+                           max_steps=self.options.max_steps)
+        except ReproError as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+        if ret == "f":
+            return res.xmm0, None  # raw bits: exact by default
+        if ret == "i":
+            return res.rax, None
+        return None, None
+
+    def _stack_extent(self) -> tuple[int, int]:
+        from repro.cpu.image import STACK_SIZE, STACK_TOP
+        return (STACK_TOP - STACK_SIZE, STACK_TOP + 0x1000)
+
+    def _mem_diff(self, a: list[tuple[int, bytes]],
+                  b: list[tuple[int, bytes]]) -> int | None:
+        """First differing address outside the stack region, or None."""
+        lo, hi = self._stack_extent()
+        for (sa, da), (sb, db) in zip(a, b):
+            assert sa == sb
+            if da == db:
+                continue
+            if lo <= sa and sa + len(da) <= hi:
+                continue  # dead stack slots legitimately differ
+            for off, (x, y) in enumerate(zip(da, db)):
+                if x != y:
+                    return sa + off
+        return None
+
+    def _values_agree(self, want: object, got: object, ret: str | None) -> bool:
+        if want == got:
+            return True
+        if ret == "f" and self.options.tolerance > 0 \
+                and isinstance(want, int) and isinstance(got, int):
+            from repro.cpu.semantics import bits_to_f64
+            w, g = bits_to_f64(want), bits_to_f64(got)
+            return abs(w - g) <= self.options.tolerance
+        return False
+
+    # -- the gate ------------------------------------------------------------
+
+    def check(self, original: int | str, specialized: int | str,
+              signature: FunctionSignature,
+              fixes: dict[int, int | float | FixedMemory] | None = None,
+              probes: Sequence[tuple] = (),
+              budget: "Budget | None" = None) -> GateReport:
+        """Differentially execute and compare; never installs or uninstalls.
+
+        Returns a :class:`GateReport`; ``report.passed`` is the verdict.
+        Raising is left to the caller (:meth:`gate` wraps this with the
+        raise-on-divergence contract).
+        """
+        orig = self.image.symbol(original) if isinstance(original, str) else original
+        spec = self.image.symbol(specialized) if isinstance(specialized, str) else specialized
+        report = GateReport()
+        all_probes = list(probes) + self._sampled_probes(signature, fixes)
+        base = self.image.memory.snapshot()
+        try:
+            for probe in all_probes:
+                if budget is not None:
+                    budget.check_deadline("verify")
+                out = ProbeOutcome(args=probe)
+                report.probes.append(out)
+                int_args, f64_args = self._full_args(probe, signature, fixes)
+                out.expected, out.expected_error = self._run(
+                    orig, int_args, f64_args, signature.ret)
+                mem_orig = self.image.memory.snapshot()
+                self.image.memory.restore(base)
+                if out.expected_error is not None:
+                    # the original itself rejects this input: inconclusive
+                    out.inconclusive = True
+                    continue
+                out.actual, out.actual_error = self._run(
+                    spec, int_args, f64_args, signature.ret)
+                mem_spec = self.image.memory.snapshot()
+                self.image.memory.restore(base)
+                report.conclusive += 1
+                if out.actual_error is not None:
+                    report.reason = (f"specialized code failed on {probe!r}: "
+                                     f"{out.actual_error}")
+                    return report
+                out.diverged_addr = self._mem_diff(mem_orig, mem_spec)
+                if out.diverged_addr is not None:
+                    report.reason = (f"memory divergence at "
+                                     f"{out.diverged_addr:#x} on {probe!r}")
+                    return report
+                if not self._values_agree(out.expected, out.actual,
+                                          signature.ret):
+                    report.reason = (f"return divergence on {probe!r}: "
+                                     f"expected {out.expected!r}, got "
+                                     f"{out.actual!r}")
+                    return report
+                out.agreed = True
+        finally:
+            self.image.memory.restore(base)
+        if report.conclusive < self.options.min_conclusive:
+            report.reason = (f"only {report.conclusive} conclusive probes "
+                             f"(need {self.options.min_conclusive})")
+            return report
+        report.passed = True
+        return report
+
+    def gate(self, original: int | str, specialized: int | str,
+             signature: FunctionSignature,
+             fixes: dict[int, int | float | FixedMemory] | None = None,
+             probes: Sequence[tuple] = (),
+             budget: "Budget | None" = None) -> GateReport:
+        """:meth:`check`, raising :class:`VerificationError` on rejection."""
+        report = self.check(original, specialized, signature, fixes,
+                            probes, budget)
+        if not report.passed:
+            raise VerificationError(
+                report.reason or "differential verification failed",
+                stage="verify", conclusive=report.conclusive,
+            )
+        return report

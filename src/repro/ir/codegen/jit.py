@@ -50,10 +50,14 @@ class JITEngine:
                          extra_symbols: dict[str, int] | None = None) -> int:
         """Compile one function; returns its entry address."""
         if func.is_declaration:
-            raise CodegenError(f"cannot compile declaration @{func.name}")
+            raise CodegenError(f"cannot compile declaration @{func.name}",
+                               stage="codegen", function=func.name)
         if func.module is not None:
             self.place_globals(func.module)
-        tf = lower_function(func)
+        try:
+            tf = lower_function(func)
+        except CodegenError as exc:
+            raise exc.with_context(stage="codegen", function=func.name)
         if self.options.optimize_tac:
             tac_optimize(tf)
         symbols = dict(self.image.symbols)

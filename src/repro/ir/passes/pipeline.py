@@ -78,7 +78,8 @@ class O3Report:
     vectorized: bool = False
 
 
-def run_o3(func: Function, options: O3Options = O3Options()) -> O3Report:
+def run_o3(func: Function, options: O3Options = O3Options(),
+           budget: "object | None" = None) -> O3Report:
     """Optimize one function in place to a fixpoint (bounded).
 
     The sweep loop exits as soon as a full pass sweep reports no change;
@@ -86,13 +87,23 @@ def run_o3(func: Function, options: O3Options = O3Options()) -> O3Report:
     trailing DCE/SimplifyCFG cleanup is skipped too — those passes just ran
     to a fixpoint inside the loop, so re-running them is pure overhead on
     the runtime compile path.
+
+    A ``budget`` (:class:`repro.guard.Budget`) charges ``opt_iterations``
+    fuel per sweep and polls the wall-clock deadline; it is a keyword
+    argument rather than an :class:`O3Options` field because options are
+    hashed into cache keys and a budget never changes the produced IR.
     """
     report = O3Report()
+    if budget is not None:
+        budget.check_deadline("opt")
     simplifycfg.run(func)
     if options.enable_mem2reg:
         mem2reg.run(func)
         simplifycfg.run(func)
     for _ in range(options.max_iterations):
+        if budget is not None:
+            budget.charge("opt_iterations", stage="opt")
+            budget.check_deadline("opt")
         report.iterations += 1
         changed = False
         if options.enable_inline:

@@ -62,12 +62,16 @@ class BinaryTransformer:
     def __init__(self, image: Image, *, lift_options: LiftOptions | None = None,
                  o3_options: O3Options | None = None,
                  jit_options: JITOptions | None = None,
-                 cache: SpecializationCache | None = None) -> None:
+                 cache: SpecializationCache | None = None,
+                 budget: "object | None" = None) -> None:
         self.image = image
         self.lift_options = lift_options or LiftOptions()
         self.o3_options = o3_options or O3Options()
         self.jit_options = jit_options or JITOptions()
         self.cache = cache
+        #: shared :class:`repro.guard.Budget` charged by lift/opt/codegen
+        #: stages (None = unlimited); never part of cache keys
+        self.budget = budget
         #: (image generation, digest) memo for the lifter configuration —
         #: it hashes known-callee bytes, so it must follow image patches
         self._lift_digest: tuple[int, str] | None = None
@@ -92,6 +96,7 @@ class BinaryTransformer:
                     stack_size=self.lift_options.stack_size,
                     name=callee_name,
                     known_functions=known,
+                    budget=self.budget,
                 ),
                 module,
             )
@@ -101,6 +106,7 @@ class BinaryTransformer:
             stack_size=self.lift_options.stack_size,
             name=name,
             known_functions=known,
+            budget=self.budget,
         )
         lifted = lift_function(self.image.memory, entry, signature, opts, module)
         return lifted, time.perf_counter() - t0
@@ -110,8 +116,8 @@ class BinaryTransformer:
         (small) size, then the main function."""
         for f in module.functions.values():
             if f is not main and not f.is_declaration:
-                run_o3(f, self.o3_options)
-        run_o3(main, self.o3_options)
+                run_o3(f, self.o3_options, budget=self.budget)
+        run_o3(main, self.o3_options, budget=self.budget)
 
     # -- cache plumbing ----------------------------------------------------------
 
@@ -132,6 +138,8 @@ class BinaryTransformer:
         )
 
     def _codegen(self, main: Function, out_name: str) -> tuple[int, float]:
+        if self.budget is not None:
+            self.budget.check_deadline("codegen")  # type: ignore[attr-defined]
         t0 = time.perf_counter()
         addr = JITEngine(self.image, self.jit_options).compile_function(
             main, name=out_name

@@ -14,12 +14,16 @@ block terminators here — they lift to IR call instructions mid-block, which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import LiftError
+from repro.errors import DecodeError, LiftError
 from repro.mem.memory import Memory
 from repro.x86 import isa
 from repro.x86.decoder import decode_one
 from repro.x86.instr import Imm, Instruction, Reg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.guard.budget import Budget
 
 
 @dataclass
@@ -72,8 +76,14 @@ class GuestCFG:
         return sum(len(b.instructions) for b in self.blocks.values())
 
 
-def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000) -> GuestCFG:
-    """Decode the function at ``entry`` into basic blocks."""
+def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000,
+             budget: "Budget | None" = None) -> GuestCFG:
+    """Decode the function at ``entry`` into basic blocks.
+
+    A ``budget`` charges ``lift_instructions`` fuel per decoded instruction
+    and ``lift_blocks`` per discovered leader, bounding the time an
+    adversarial input (e.g. a huge self-generated jump net) can spend here.
+    """
     cfg = GuestCFG(entry)
     instr_cache: dict[int, Instruction] = {}
     # first pass: find all instructions and leaders
@@ -90,17 +100,24 @@ def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000) -> 
             ins = instr_cache.get(pc)
             if ins is None:
                 window = memory.read(pc, min(16, _bytes_left(memory, pc)))
-                ins = decode_one(window, 0, pc)
+                try:
+                    ins = decode_one(window, 0, pc)
+                except DecodeError as exc:
+                    raise exc.with_context(stage="lift", addr=pc)
                 instr_cache[pc] = ins
             count += 1
             if count > max_instructions:
-                raise LiftError(f"function at {entry:#x} exceeds decode budget")
+                raise LiftError(f"function at {entry:#x} exceeds decode budget",
+                                stage="lift", addr=pc)
+            if budget is not None:
+                budget.charge("lift_instructions", stage="lift", addr=pc)
             cls = isa.control_class(ins.mnemonic)
             if cls in ("jmp", "jcc"):
                 (t,) = ins.operands
                 if isinstance(t, Reg) or not isinstance(t, Imm):
                     raise LiftError(
-                        f"indirect jump at {pc:#x} is not supported (Sec. III-B)"
+                        f"indirect jump at {pc:#x} is not supported (Sec. III-B)",
+                        stage="lift", addr=pc, instruction=ins.mnemonic,
                     )
                 leaders.add(t.value)
                 worklist.append(t.value)
@@ -113,7 +130,9 @@ def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000) -> 
             if cls == "call":
                 (t,) = ins.operands
                 if not isinstance(t, Imm):
-                    raise LiftError(f"indirect call at {pc:#x} is not supported")
+                    raise LiftError(f"indirect call at {pc:#x} is not supported",
+                                    stage="lift", addr=pc,
+                                    instruction=ins.mnemonic)
             pc = ins.end
 
     # split fall-through: any decoded addr that is a leader terminates the
@@ -122,7 +141,10 @@ def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000) -> 
     # second pass: build blocks
     for leader in sorted(leaders):
         if leader not in visited:
-            raise LiftError(f"branch target {leader:#x} outside decoded function")
+            raise LiftError(f"branch target {leader:#x} outside decoded function",
+                            stage="lift", addr=leader)
+        if budget is not None:
+            budget.charge("lift_blocks", stage="lift", addr=leader)
         blk = GuestBlock(leader)
         pc = leader
         while True:
@@ -144,4 +166,4 @@ def _bytes_left(memory: Memory, addr: int) -> int:
     for start, size in memory.regions():
         if start <= addr < start + size:
             return start + size - addr
-    raise LiftError(f"code address {addr:#x} unmapped")
+    raise LiftError(f"code address {addr:#x} unmapped", stage="lift", addr=addr)

@@ -62,6 +62,10 @@ class LiftOptions:
     known_functions: dict[int, tuple[str, FunctionSignature]] = field(
         default_factory=dict
     )
+    #: resource budget charged during discovery/lifting (None = unlimited);
+    #: excluded from cache keys — a budget changes *whether* a lift
+    #: finishes, never what it produces
+    budget: "object | None" = None
 
 
 class _PhiSet:
@@ -113,7 +117,7 @@ class Lifter:
     # -- driver ------------------------------------------------------------------
 
     def lift(self) -> Function:
-        cfg = discover(self.memory, self.entry)
+        cfg = discover(self.memory, self.entry, budget=self.options.budget)  # type: ignore[arg-type]
         sig = self.signature
         param_types = tuple(I64 if c == "i" else DOUBLE for c in sig.params)
         ret_type: Type = VOID if sig.ret is None else (I64 if sig.ret == "i" else DOUBLE)
@@ -396,7 +400,9 @@ class Lifter:
         if ins.mnemonic in _SSE_BITWISE:
             self._sse_bitwise(ins, _SSE_BITWISE[ins.mnemonic])
             return
-        raise LiftError(f"no lifting rule for {ins!r} at {ins.addr:#x}")
+        raise LiftError(f"no lifting rule for {ins!r} at {ins.addr:#x}",
+                        stage="lift", addr=ins.addr, instruction=ins.mnemonic,
+                        data=ins.raw)
 
     @staticmethod
     def _opsize(ins: Instruction) -> int:
@@ -893,7 +899,8 @@ class Lifter:
         if decl is None:
             raise LiftError(
                 f"call to unknown function {t.value:#x}; declare it via "
-                "LiftOptions.known_functions (Sec. III-B)"
+                "LiftOptions.known_functions (Sec. III-B)",
+                stage="lift", addr=ins.addr, instruction=ins.mnemonic,
             )
         args: list[Value] = []
         int_idx = 0

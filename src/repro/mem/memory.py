@@ -62,6 +62,26 @@ class Memory:
         """Mapped (start, size) pairs, sorted."""
         return [(s, len(b)) for s, b in self._regions]
 
+    def snapshot(self) -> list[tuple[int, bytes]]:
+        """Copy of every region's contents (for differential replay)."""
+        return [(s, bytes(b)) for s, b in self._regions]
+
+    def restore(self, snap: list[tuple[int, bytes]]) -> None:
+        """Write back a snapshot taken from this memory (same mapping).
+
+        Regions mapped *after* the snapshot keep their current contents;
+        regions present in the snapshot must still exist unchanged.
+        """
+        by_start = {s: b for s, b in self._regions}
+        for start, data in snap:
+            buf = by_start.get(start)
+            if buf is None or len(buf) != len(data):
+                raise MemoryAccessError(
+                    f"snapshot region [{start:#x},+{len(data):#x}) no longer "
+                    "matches the mapping"
+                )
+            buf[:] = data
+
     def _find(self, addr: int, size: int) -> tuple[int, bytearray]:
         hit = self._hit
         if hit is not None:

@@ -1,0 +1,5 @@
+"""Test-support utilities (fault injection for the rewrite pipeline)."""
+
+from repro.testing.faults import FaultInjector, FaultSpec, inject_faults
+
+__all__ = ["FaultInjector", "FaultSpec", "inject_faults"]

@@ -50,19 +50,25 @@ class _Cursor:
 
     def u8(self) -> int:
         if self.pos >= len(self.code):
-            raise DecodeError(f"truncated instruction at {self.addr:#x}")
+            raise DecodeError(f"truncated instruction at {self.addr:#x}",
+                              stage="decode", addr=self.addr,
+                              data=bytes(self.code[self.start:self.pos]))
         b = self.code[self.pos]
         self.pos += 1
         return b
 
     def peek(self) -> int:
         if self.pos >= len(self.code):
-            raise DecodeError(f"truncated instruction at {self.addr:#x}")
+            raise DecodeError(f"truncated instruction at {self.addr:#x}",
+                              stage="decode", addr=self.addr,
+                              data=bytes(self.code[self.start:self.pos]))
         return self.code[self.pos]
 
     def imm(self, size: int, signed: bool = True) -> int:
         if self.pos + size > len(self.code):
-            raise DecodeError(f"truncated immediate at {self.addr:#x}")
+            raise DecodeError(f"truncated immediate at {self.addr:#x}",
+                              stage="decode", addr=self.addr,
+                              data=bytes(self.code[self.start:self.pos]))
         raw = self.code[self.pos : self.pos + size]
         self.pos += size
         return int.from_bytes(raw, "little", signed=signed)
@@ -214,8 +220,16 @@ def decode_one(code: bytes, offset: int = 0, addr: int = 0) -> Instruction:
     opc = cur.u8()
     handler = _DISPATCH[opc]
     if handler is None:
-        raise DecodeError(f"unknown opcode {opc:#04x} at {cur.addr:#x}")
-    ins = handler(cur, ctx, opc)
+        raise DecodeError(f"unknown opcode {opc:#04x} at {cur.addr:#x}",
+                          stage="decode", addr=cur.addr,
+                          data=bytes(code[cur.start:cur.pos]))
+    try:
+        ins = handler(cur, ctx, opc)
+    except DecodeError as exc:
+        # handler-internal raises: stamp the uniform context (setdefault
+        # semantics — a more specific context set deeper wins)
+        raise exc.with_context(stage="decode", addr=addr,
+                               data=bytes(code[cur.start:cur.pos]))
     raw = code[cur.start : cur.pos]
     ops = tuple(_finish_riprel(o, cur.end_addr()) for o in ins.operands)
     return Instruction(ins.mnemonic, ops, addr=addr, length=cur.length, raw=raw)
@@ -425,7 +439,9 @@ def _h_0f_escape(cur: _Cursor, ctx: _Ctx, opc: int) -> Instruction:
     opc2 = cur.u8()
     handler = _DISPATCH_0F[opc2]
     if handler is None:
-        raise DecodeError(f"unknown 0F opcode {opc2:#04x} at {cur.addr:#x}")
+        raise DecodeError(f"unknown 0F opcode {opc2:#04x} at {cur.addr:#x}",
+                          stage="decode", addr=cur.addr,
+                          data=bytes(cur.code[cur.start:cur.pos]))
     return handler(cur, ctx, opc2)
 
 

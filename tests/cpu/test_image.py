@@ -66,3 +66,67 @@ def test_next_code_addr_matches_allocation():
     predicted_jit = img.next_code_addr(jit=True)
     got_jit = img.add_function("g", b"\xc3", jit=True)
     assert got_jit == predicted_jit
+
+
+def test_patch_code_bumps_generation_and_fires_hooks():
+    img = Image()
+    addr = img.add_function("f", b"\x90\xc3")
+    fired = []
+    img.add_invalidation_hook(lambda a, s: fired.append((a, s)))
+    img.patch_code(addr, b"\xc3\xc3")
+    assert img.memory.read(addr, 2) == b"\xc3\xc3"
+    assert img.generation == 1
+    assert fired == [(addr, 2)]
+
+
+def test_patch_code_is_atomic_when_a_hook_raises():
+    img = Image()
+    addr = img.add_function("f", b"\x90\xc3")
+
+    def bad_hook(a, s):
+        raise RuntimeError("cache exploded")
+
+    img.add_invalidation_hook(bad_hook)
+    with pytest.raises(RuntimeError, match="cache exploded"):
+        img.patch_code(addr, b"\xc3\xc3")
+    # previous bytes and generation restored: no half-patched image
+    assert img.memory.read(addr, 2) == b"\x90\xc3"
+    assert img.generation == 0
+
+
+def test_patch_code_reinvalidates_over_restored_bytes():
+    img = Image()
+    addr = img.add_function("f", b"\x90\xc3")
+    calls = []
+
+    def flaky_hook(a, s):
+        calls.append((a, s))
+        if len(calls) == 1:
+            raise RuntimeError("first time only")
+
+    img.add_invalidation_hook(flaky_hook)
+    with pytest.raises(RuntimeError):
+        img.patch_code(addr, b"\xc3\xc3")
+    # the hook ran again over the restored content, so a memoizer that
+    # partially observed the new bytes drops them too
+    assert calls == [(addr, 2), (addr, 2)]
+
+
+def test_patch_code_unmapped_range_changes_nothing():
+    img = Image()
+    img.add_function("f", b"\x90\xc3")
+    from repro.errors import MemoryAccessError
+    with pytest.raises(MemoryAccessError):
+        img.patch_code(0x1, b"\x00" * 8)
+    assert img.generation == 0
+
+
+def test_add_function_commits_nothing_on_exhaustion():
+    img = Image(code_size=32)
+    img.add_function("a", b"\xc3" * 24)
+    cursor = img.next_code_addr()
+    with pytest.raises(SimulatorError, match="exhausted"):
+        img.add_function("b", b"\xc3" * 24)
+    assert "b" not in img.symbols
+    assert "b" not in img.func_sizes
+    assert img.next_code_addr() == cursor

@@ -1,0 +1,219 @@
+"""The degradation ladder: rung order, fallback, quarantine, recovery.
+
+Includes the acceptance scenario: a lift forced to fail must return the
+original entry, record the failed rungs in GuardStats, serve the retry from
+the negative cache, and pass the differential gate on rungs that did not
+fail.
+"""
+
+import pytest
+
+from repro.cache import SpecializationCache
+from repro.cc import compile_c
+from repro.cpu import Simulator
+from repro.dbrew import Rewriter, default_error_handler, raising_error_handler
+from repro.errors import RewriteError
+from repro.guard import Budget, GateOptions, GuardedTransformer
+from repro.ir.values import Constant
+from repro.lift import FunctionSignature
+from repro.testing import inject_faults
+
+SIG = FunctionSignature(("i", "i"), "i")
+SRC = "long f(long a, long b) { return a * b + 7; }"
+
+
+def make(src=SRC, **kw):
+    prog = compile_c(src)
+    kw.setdefault("cache", SpecializationCache())
+    kw.setdefault("gate_options", GateOptions(samples=2))
+    return prog.image, GuardedTransformer(prog.image, **kw)
+
+
+def test_top_rung_serves_when_healthy():
+    img, g = make()
+    r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.mode == "dbrew+llvm"
+    assert r.verified and r.gate.passed
+    assert [a.rung for a in r.attempts] == ["dbrew+llvm"]
+    assert Simulator(img).call_int(r.addr, (5, 0)) == 5 * 6 + 7
+    assert g.stats.served_by["dbrew+llvm"] == 1
+
+
+def test_no_fixes_skips_specializing_rungs():
+    img, g = make()
+    r = g.transform("f", SIG)
+    assert r.mode == "llvm"
+    assert [a.rung for a in r.attempts] == ["llvm"]
+
+
+def test_explicit_ladder_is_respected():
+    img, g = make()
+    r = g.transform("f", SIG, {1: 6}, ladder=("llvm-fix",))
+    assert r.mode == "llvm-fix"
+    # the terminal rung is appended even if the caller forgot it (fresh
+    # image: a warm lifted-stage cache would mask the injected fault)
+    img2, g2 = make()
+    with inject_faults("lift", every=True):
+        r2 = g2.transform("f", SIG, {0: 2}, ladder=("llvm-fix",))
+    assert r2.mode == "original"
+
+
+def test_acceptance_lift_failure_degrades_and_quarantines():
+    img, g = make()
+    entry = img.symbol("f")
+
+    # 1. lift forced to fail on every rung -> the original entry is served
+    with inject_faults("lift", every=True):
+        r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.addr == entry and r.mode == "original"
+    assert r.degraded and not r.verified
+
+    # 2. the failed rungs are recorded in GuardStats
+    for rung in ("dbrew+llvm", "llvm-fix", "llvm"):
+        assert g.stats.failures[rung] == 1
+    assert g.stats.fallbacks == 1
+    failed = [a for a in r.attempts if not a.ok]
+    assert all(a.error_type == "LiftError" for a in failed)
+    assert all(a.context.get("stage") == "lift" for a in failed)
+
+    # 3. the retry (fault gone, quarantine fresh) is served negatively:
+    #    no rung is re-attempted, the fallback comes straight back
+    r2 = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r2.addr == entry and r2.mode == "original"
+    assert all(a.quarantined for a in r2.attempts if a.rung != "original")
+    assert g.stats.negative_served == 3
+    assert "quarantined" in " ".join(r2.failure_summary())
+
+    # 4. after the quarantine lifts, the un-failed rung compiles and the
+    #    installed code passes the differential gate
+    g.negative.clear()
+    r3 = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r3.mode == "dbrew+llvm"
+    assert r3.verified and r3.gate.passed
+    assert Simulator(img).call_int(r3.addr, (5, 0)) == 37
+
+
+def test_rewrite_failure_falls_to_llvm_fix():
+    img, g = make()
+    with inject_faults("rewrite", every=True):
+        r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.mode == "llvm-fix"
+    assert r.verified
+    assert [a.rung for a in r.attempts] == ["dbrew+llvm", "llvm-fix"]
+    assert r.attempts[0].error_type == "RewriteError"
+    assert g.stats.failures["dbrew+llvm"] == 1
+
+
+def test_silent_miscompile_is_caught_by_the_gate():
+    img, g = make()
+
+    def skew_constants(report, func, *rest):
+        for blk in func.blocks:
+            for ins in blk.instructions:
+                for i, op in enumerate(list(ins.operands)):
+                    if isinstance(op, Constant) and op.value not in (0, 1):
+                        ins.operands[i] = Constant(op.type, op.value + 1)
+        return report
+
+    with inject_faults("opt", every=True, corrupt=skew_constants):
+        r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.mode == "original"
+    assert g.stats.verification_rejections == 3
+    assert all(a.error_type == "VerificationError"
+               for a in r.attempts if not a.ok)
+    # a wrong specialization must cost a fallback, never a miscompile
+    # (the original fallback still takes b as a live argument):
+    assert Simulator(img).call_int(r.addr, (5, 6)) == 37
+
+
+def test_budget_exhaustion_degrades():
+    img, g = make(budget=Budget(max_lift_instructions=1))
+    r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.mode == "original"
+    assert g.stats.budget_exceeded >= 1
+    assert any(a.error_type == "BudgetExceededError" for a in r.attempts)
+
+
+def test_quarantine_is_per_rung():
+    img, g = make()
+    # only the DBrew rung fails: llvm-fix serves, and only the DBrew rung
+    # is quarantined for the retry
+    with inject_faults("rewrite", every=True):
+        g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.attempts[0].rung == "dbrew+llvm" and r.attempts[0].quarantined
+    assert r.mode == "llvm-fix" and not r.attempts[1].quarantined
+
+
+def test_success_clears_quarantine_after_expiry():
+    class Clock:
+        now = 0.0
+
+    from repro.cache import NegativeCache
+    clk = Clock()
+    nc = NegativeCache(ttl=10.0, clock=lambda: clk.now)
+    img, g = make(negative=nc)
+    with inject_faults("lift", every=True):
+        g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert len(nc) == 3
+    clk.now = 11.0  # TTL lapsed: rungs are retried and now succeed
+    r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.mode == "dbrew+llvm"
+    assert nc.check(f"{g._guard_key(img.symbol('f'), SIG, {1: 6}, ())}"
+                    f":dbrew+llvm") is None  # forgotten on success
+
+
+def test_verify_off_skips_the_gate():
+    img, g = make(verify=False)
+    r = g.transform("f", SIG, {1: 6})
+    assert r.mode == "dbrew+llvm"
+    assert not r.verified and r.gate is None
+
+
+def test_stats_snapshot_shape():
+    img, g = make()
+    g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    snap = g.stats.snapshot()
+    assert snap["transforms"] == 1
+    assert snap["served_by"]["dbrew+llvm"] == 1
+
+
+# -- Rewriter error-handler contract (Sec. II) ------------------------------
+
+
+def test_default_error_handler_returns_original_entry():
+    prog = compile_c(SRC)
+    r = Rewriter(prog.image, "f")
+    r.set_signature(("i", "i"), "i")
+    assert r.error_handler is default_error_handler
+    with inject_faults("rewrite", every=True):
+        addr = r.rewrite(name="f.spec")
+    assert addr == prog.image.symbol("f")
+    assert isinstance(r.last_error, RewriteError)
+
+
+def test_custom_error_handler_is_invoked():
+    prog = compile_c(SRC)
+    r = Rewriter(prog.image, "f")
+    r.set_signature(("i", "i"), "i")
+    seen = []
+
+    def handler(rewriter, exc):
+        seen.append((rewriter, exc))
+        return 0xDEAD
+
+    r.error_handler = handler
+    with inject_faults("rewrite", every=True):
+        assert r.rewrite(name="f.spec") == 0xDEAD
+    assert seen and seen[0][0] is r
+    assert seen[0][1].context.get("injected") is True
+
+
+def test_raising_error_handler_propagates():
+    prog = compile_c(SRC)
+    r = Rewriter(prog.image, "f")
+    r.set_signature(("i", "i"), "i")
+    r.error_handler = raising_error_handler
+    with inject_faults("rewrite", every=True):
+        with pytest.raises(RewriteError):
+            r.rewrite(name="f.spec")
