@@ -5,7 +5,8 @@ ladder's first rung runs exactly the bare transform, plus the guard key,
 the quarantine check and (cold only) the differential gate.  On the *warm*
 path — the steady state of a server specializing the same function
 repeatedly — a machine-stage cache hit skips the gate entirely (the entry
-was gated when installed), so the guard must cost almost nothing: this
+carries the gated bit from its verified install), so the guard must cost
+almost nothing: this
 bench asserts <5% best-of-N overhead over the bare cached pipeline for the
 warm-cache ``llvm-fix`` Jacobi request, and prints the cold-request
 comparison alongside.

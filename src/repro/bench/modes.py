@@ -50,7 +50,7 @@ class ModeResult:
     cache_stage: str | None = None
     #: ladder rung that served a guarded preparation (None = unguarded)
     guard_mode: str | None = None
-    #: the differential gate ran and passed for this kernel
+    #: the differential gate ran *conclusively* and passed for this kernel
     verified: bool = False
 
 
@@ -80,6 +80,23 @@ def _stencil_fix(ws: StencilWorkspace, code: str) -> dict[str, object]:
     raise ValueError(f"unknown code variant {code}")
 
 
+def _kernel_probe(ws: StencilWorkspace, fix: dict[str, object],
+                  fixes: dict[int, object], *, line: bool) -> tuple:
+    """One real argument vector for the differential gate.
+
+    The kernels take pointers (stencil descriptor, both matrices), which
+    the gate's sampled integer probes cannot exercise — the original
+    faults on them and the probe is inconclusive.  Supplying the
+    workspace's actual matrices plus an interior cell/row makes the gate
+    compare real executions; values for fixed parameter slots are dropped
+    (the gate substitutes them itself).
+    """
+    sz = ws.setup.sz
+    full = ((fix["arg"], ws.m1, ws.m2, 1, 1, sz - 1) if line
+            else (fix["arg"], ws.m1, ws.m2, sz + 1))
+    return tuple(v for i, v in enumerate(full) if i not in fixes)
+
+
 def _native_kernel(code: str, line: bool) -> str:
     return (f"line_{code}" if line else f"apply_{code}")
 
@@ -104,8 +121,10 @@ def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
     degradation ladder (restricted to the requested mode's rung, then
     ``original``): the preparation can no longer fail, ``guard_mode``
     reports the rung that served it, and ``verified`` whether the
-    differential gate passed.  ``native`` and plain ``dbrew`` bypass the
-    guard (nothing to transform / no LLVM composition to gate).
+    differential gate passed conclusively — the gate is fed one probe
+    with the workspace's real matrices so it actually executes the
+    kernels (see :func:`_kernel_probe`).  ``native`` and plain ``dbrew``
+    bypass the guard (nothing to transform / no LLVM composition to gate).
     """
     if code not in CODES or mode not in MODES:
         raise ValueError(f"unknown cell ({code}, {mode})")
@@ -126,6 +145,7 @@ def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
             mem_regions=fix["regions"],  # type: ignore[arg-type]
             name=f"k.{tag}", ladder=GUARD_LADDERS[mode],
             dbrew_func=_dbrew_input(code, line),
+            probes=(_kernel_probe(ws, fix, fixes, line=line),),
         )
         return ModeResult(
             res.addr, res.name, res.seconds,

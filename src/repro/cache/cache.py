@@ -102,6 +102,11 @@ class MachineEntry:
     size: int
     function: Function
     module: Module
+    #: the installed code passed a differential verification gate; only
+    #: gated entries may be served by :class:`GuardedTransformer` without
+    #: re-running the gate (entries installed by an unguarded
+    #: BinaryTransformer stay ungated and are verified on first guarded use)
+    gated: bool = False
 
 
 class _ImageState:
@@ -188,6 +193,21 @@ class SpecializationCache:
     def put_machine(self, image: Image, mkey: str, entry: MachineEntry) -> None:
         self.attach_image(image).machine.put(mkey, entry)
         self.stats.stores += 1
+
+    def mark_machine_gated(self, image: Image, mkey: str) -> None:
+        """Record that the installed entry passed the verification gate."""
+        entry = self.attach_image(image).machine.get(mkey)
+        if entry is not None:
+            entry.gated = True
+
+    def evict_machine(self, image: Image, mkey: str) -> None:
+        """Drop one installed entry (e.g. proven divergent by the gate).
+
+        Without this, gate-rejected code would survive in the positive
+        store and be served unverified once its quarantine entry expires.
+        """
+        self.attach_image(image).machine.discard(mkey)
+        self.stats.invalidations += 1
 
     # -- IR stages (module / lifted) -------------------------------------------
 

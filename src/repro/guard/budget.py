@@ -103,7 +103,9 @@ class Budget:
         if self.deadline_seconds is None:
             return
         if self._t0 is None:
-            self.start()
+            # arm only the clock: a budget used without an explicit
+            # start() must keep its already-charged fuel counters
+            self._t0 = self._clock()
         elapsed = self.elapsed_seconds()
         if elapsed > self.deadline_seconds:
             raise BudgetExceededError(

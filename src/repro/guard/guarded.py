@@ -17,7 +17,9 @@ module composes both policies around the whole transform pipeline:
   degrade instead of hanging;
 * a **differential verification gate** — each specialized candidate must
   agree with the original on probe executions before it is served
-  (:mod:`repro.guard.verify`);
+  (:mod:`repro.guard.verify`); a passing candidate's cache entry is marked
+  ``gated``, a rejected candidate is *evicted* from the positive cache so
+  it can never be served unverified later;
 * **failure quarantine** — failed (key, rung) pairs are negative-cached
   with TTL/back-off (:mod:`repro.cache.negative`), so a function that
   cannot specialize is served its fallback instantly on repeat requests.
@@ -220,13 +222,19 @@ class GuardedTransformer:
         ``dbrew_func`` optionally rewrites a different entry on the DBrew
         rung (the paper's line kernels keep a callable element function for
         DBrew to inline).  A rung whose requirements are not met (the
-        specializing rungs without ``fixes``) is skipped silently.
+        specializing rungs without ``fixes``) is skipped silently; an
+        explicit ``ladder`` naming an *unknown* rung is a caller error and
+        raises :class:`ValueError` up front (only pipeline failures walk
+        the ladder).
 
-        Warm-path note: a machine-stage cache hit skips the gate (the
-        entry was gated when installed; ``verified`` is only True when the
-        gate ran on *this* request).  Sharing the cache with an unguarded
-        :class:`BinaryTransformer` weakens that reasoning — give the guard
-        its own cache when every served byte must have been gated.
+        Warm-path note: a machine-stage cache hit skips the gate only when
+        the entry carries the ``gated`` bit — i.e. it passed the gate when
+        this (or another) guard installed it; ``verified`` is only True
+        when the gate ran conclusively on *this* request.  Machine entries
+        installed by an unguarded :class:`BinaryTransformer` sharing the
+        cache are not gated and are verified on first guarded use; entries
+        the gate rejects are evicted, so expired quarantine can never
+        resurrect code proven divergent.
         """
         t_start = time.perf_counter()
         entry = self.image.symbol(func) if isinstance(func, str) else func
@@ -237,6 +245,11 @@ class GuardedTransformer:
             else dbrew_func)
 
         rungs = tuple(ladder) if ladder is not None else LADDER
+        unknown = [r for r in rungs if r not in LADDER]
+        if unknown:
+            raise ValueError(
+                f"unknown ladder rung(s) {unknown!r}: valid rungs are "
+                f"{', '.join(LADDER)}")
         if ladder is None and not fixes and not mem_regions:
             # nothing to specialize: don't waste budget on the fixing rungs
             rungs = tuple(r for r in rungs
@@ -285,18 +298,27 @@ class GuardedTransformer:
                 continue
 
             t0 = time.perf_counter()
+            result: TransformResult | None = None
             try:
                 result = self._attempt(rung, entry, out_name, signature,
                                        fixes, mem_regions, dbrew_entry)
-                # a machine-stage hit is code this cache installed before
-                # (and Image.patch_code invalidation keeps honest), so it
-                # was already gated on install: don't re-pay the probe
-                # executions on the warm path
-                if self.verify and result.cache_stage != "machine":
+                # a machine-stage hit whose entry carries the gated bit
+                # passed the gate when it was installed (and
+                # Image.patch_code invalidation keeps it honest): don't
+                # re-pay the probe executions on the warm path.  Anything
+                # else — fresh compiles and entries installed by an
+                # unguarded BinaryTransformer — must pass the gate now.
+                if self.verify and not result.machine_gated:
                     out.gate = self.gate.gate(
                         entry, result.addr, signature, fixes, probes,
                         self.budget)
-                    attempt.verified = True
+                    # verified = a conclusive comparison happened on this
+                    # request, not merely that the gate had no objection
+                    attempt.verified = not out.gate.vacuous
+                    if self.cache is not None \
+                            and result.machine_key is not None:
+                        self.cache.mark_machine_gated(
+                            self.image, result.machine_key)
             except ReproError as exc:
                 attempt.seconds = time.perf_counter() - t0
                 attempt.error = str(exc)
@@ -305,6 +327,14 @@ class GuardedTransformer:
                 self.stats.failures[rung] += 1
                 if isinstance(exc, VerificationError):
                     self.stats.verification_rejections += 1
+                    # the candidate was installed (and positively cached)
+                    # before the gate ran: evict it, or an expired
+                    # quarantine entry would later serve code proven
+                    # divergent without re-gating it
+                    if self.cache is not None and result is not None \
+                            and result.machine_key is not None:
+                        self.cache.evict_machine(self.image,
+                                                 result.machine_key)
                 if isinstance(exc, BudgetExceededError):
                     self.stats.budget_exceeded += 1
                 self._record_negative(f"{guard_key()}:{rung}", rung, attempt)

@@ -17,7 +17,12 @@ original needs them and the specialized code ignores them.
 
 A probe on which the *original* function itself faults (e.g. a sampled
 integer used as a pointer) is inconclusive and skipped; only probes where
-the original produced a result participate in the verdict.
+the original produced a result participate in the verdict.  By default at
+least one conclusive probe is required for a PASS
+(``GateOptions.min_conclusive``): a gate where every probe was
+inconclusive proved nothing, so it must not report a verified candidate.
+Functions whose free parameters are pointers need user probes carrying
+real addresses — sampled integers cannot exercise them.
 """
 
 from __future__ import annotations
@@ -53,9 +58,11 @@ class GateOptions:
     max_steps: int = 2_000_000
     #: absolute tolerance for f64 return values (0.0 = bit-exact)
     tolerance: float = 0.0
-    #: require at least this many conclusive probes for a PASS verdict;
-    #: 0 = a gate where every probe was inconclusive passes vacuously
-    min_conclusive: int = 0
+    #: require at least this many conclusive probes for a PASS verdict.
+    #: 0 allows a gate where every probe was inconclusive to pass
+    #: *vacuously* (``GateReport.vacuous``) — no comparison ever happened,
+    #: so such a pass is not verification; it is off by default
+    min_conclusive: int = 1
 
 
 @dataclass
@@ -82,6 +89,9 @@ class GateReport:
     conclusive: int = 0
     #: why the gate rejected (None on pass)
     reason: str | None = None
+    #: passed without a single conclusive probe (only possible with
+    #: ``min_conclusive=0``): nothing was actually compared
+    vacuous: bool = False
 
 
 class DifferentialGate:
@@ -245,6 +255,7 @@ class DifferentialGate:
                              f"(need {self.options.min_conclusive})")
             return report
         report.passed = True
+        report.vacuous = report.conclusive == 0
         return report
 
     def gate(self, original: int | str, specialized: int | str,

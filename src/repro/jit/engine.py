@@ -50,6 +50,11 @@ class TransformResult:
     codegen_seconds: float = 0.0
     #: which cache stage served this transform (None = full compile)
     cache_stage: str | None = None
+    #: key of the installed code in the machine cache (None = no cache)
+    machine_key: str | None = None
+    #: the served machine entry had already passed the verification gate
+    #: (only meaningful on a machine-stage hit; see MachineEntry.gated)
+    machine_gated: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -171,7 +176,9 @@ class BinaryTransformer:
                 self.image.func_sizes[out_name] = entry.size
                 cache.note_transform("machine")
                 return TransformResult(entry.addr, out_name, entry.function,
-                                       entry.module, cache_stage="machine")
+                                       entry.module, cache_stage="machine",
+                                       machine_key=xkey,
+                                       machine_gated=entry.gated)
 
             hit = cache.get_module(mkey)
             if hit is not None:
@@ -183,7 +190,8 @@ class BinaryTransformer:
                 cache.note_transform("module")
                 return TransformResult(addr, out_name, main, module,
                                        codegen_seconds=t_cg,
-                                       cache_stage="module")
+                                       cache_stage="module",
+                                       machine_key=xkey)
 
         module = None
         lifted = None
@@ -225,7 +233,8 @@ class BinaryTransformer:
                 addr, out_name, self.image.func_sizes[out_name], main, module))
             cache.note_transform(cache_stage)
         return TransformResult(addr, out_name, main, module,
-                               t_lift, t_opt, t_cg, cache_stage=cache_stage)
+                               t_lift, t_opt, t_cg, cache_stage=cache_stage,
+                               machine_key=xkey)
 
     # -- evaluation modes --------------------------------------------------------
 

@@ -60,6 +60,21 @@ def test_start_rearms_deadline_and_zeroes_counters():
     b.charge("emulated", stage="rewrite", n=3)  # fuel refilled
 
 
+def test_lazy_deadline_arming_keeps_charged_fuel():
+    # a budget used without an explicit start() (standalone transformer)
+    # arms its deadline on the first stride check — that must not discard
+    # the fuel already charged
+    clk = FakeClock()
+    b = Budget(deadline_seconds=5.0, max_emulated=100, clock=clk)
+    from repro.guard.budget import _DEADLINE_STRIDE
+    for _ in range(_DEADLINE_STRIDE):  # the Nth charge polls the deadline
+        b.charge("emulated", stage="rewrite")
+    assert b.spent["emulated"] == _DEADLINE_STRIDE
+    clk.now = 5.1  # the lazily-armed deadline still fires
+    with pytest.raises(BudgetExceededError):
+        b.check_deadline("rewrite")
+
+
 def test_snapshot_reports_spend():
     b = Budget(max_trace_points=10).start()
     b.charge("trace_points", stage="rewrite", n=4)

@@ -69,23 +69,29 @@ def test_gate_restores_memory_after_probes():
     assert img.memory.read_u64(target) == 123  # side effects rolled back
 
 
-def test_faulting_original_is_inconclusive():
-    # sampled small ints are not mapped: the original segfaults on them
+def test_all_probes_inconclusive_rejects_by_default():
+    # sampled small ints are not mapped: the original segfaults on every
+    # probe — nothing was compared, so the gate must not report a pass
     img = _image("long f(long *p) { return p[0]; }")
     sig = FunctionSignature(("i",), "i")
     report = DifferentialGate(img, GateOptions(samples=2)).check("f", "f", sig)
-    assert report.passed  # vacuous pass by default
+    assert not report.passed
+    assert "conclusive" in report.reason
     assert report.conclusive == 0
     assert all(p.inconclusive for p in report.probes)
 
 
-def test_min_conclusive_turns_vacuous_pass_into_reject():
+def test_min_conclusive_zero_passes_vacuously_and_says_so():
     img = _image("long f(long *p) { return p[0]; }")
     sig = FunctionSignature(("i",), "i")
-    gate = DifferentialGate(img, GateOptions(samples=2, min_conclusive=1))
+    gate = DifferentialGate(img, GateOptions(samples=2, min_conclusive=0))
     report = gate.check("f", "f", sig)
-    assert not report.passed
-    assert "conclusive" in report.reason
+    assert report.passed and report.vacuous  # opt-in, and marked as such
+    # a conclusive pass is never marked vacuous
+    img2 = _image("long f(long a) { return a + 1; }")
+    sig2 = FunctionSignature(("i",), "i")
+    report2 = DifferentialGate(img2).check("f", "f", sig2)
+    assert report2.passed and not report2.vacuous
 
 
 def test_specialized_fault_is_divergence():

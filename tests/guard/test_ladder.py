@@ -29,6 +29,16 @@ def make(src=SRC, **kw):
     return prog.image, GuardedTransformer(prog.image, **kw)
 
 
+def skew_constants(report, func, *rest):
+    """Fault-injection corruptor: silently miscompile by nudging constants."""
+    for blk in func.blocks:
+        for ins in blk.instructions:
+            for i, op in enumerate(list(ins.operands)):
+                if isinstance(op, Constant) and op.value not in (0, 1):
+                    ins.operands[i] = Constant(op.type, op.value + 1)
+    return report
+
+
 def test_top_rung_serves_when_healthy():
     img, g = make()
     r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
@@ -106,15 +116,6 @@ def test_rewrite_failure_falls_to_llvm_fix():
 
 def test_silent_miscompile_is_caught_by_the_gate():
     img, g = make()
-
-    def skew_constants(report, func, *rest):
-        for blk in func.blocks:
-            for ins in blk.instructions:
-                for i, op in enumerate(list(ins.operands)):
-                    if isinstance(op, Constant) and op.value not in (0, 1):
-                        ins.operands[i] = Constant(op.type, op.value + 1)
-        return report
-
     with inject_faults("opt", every=True, corrupt=skew_constants):
         r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
     assert r.mode == "original"
@@ -124,6 +125,73 @@ def test_silent_miscompile_is_caught_by_the_gate():
     # a wrong specialization must cost a fallback, never a miscompile
     # (the original fallback still takes b as a live argument):
     assert Simulator(img).call_int(r.addr, (5, 6)) == 37
+
+
+def test_gate_rejected_code_is_evicted_not_resurrected():
+    # The miscompile lands in the positive machine cache *before* the gate
+    # runs.  When the quarantine TTL lapses and the rung is retried, the
+    # divergent code must not come back as an ungated machine hit: the
+    # rejection must have evicted it, so the gate runs (and rejects) again.
+    from repro.cache import NegativeCache
+
+    class Clock:
+        now = 0.0
+
+    clk = Clock()
+    cache = SpecializationCache(
+        negative=NegativeCache(ttl=10.0, clock=lambda: clk.now))
+    img, g = make(cache=cache)
+    with inject_faults("opt", every=True, corrupt=skew_constants):
+        r = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r.mode == "original"
+    assert g.stats.verification_rejections == 3
+
+    clk.now = 11.0  # quarantine lapsed; corrupt modules still cached
+    r2 = g.transform("f", SIG, {1: 6}, probes=[(3,)])
+    assert r2.mode == "original"  # re-gated and rejected, never served
+    assert g.stats.verification_rejections == 6
+    assert not any(a.ok and a.rung != "original" for a in r2.attempts)
+    # the fallback still computes the true result with b live
+    assert Simulator(img).call_int(r2.addr, (5, 6)) == 37
+
+
+def test_unguarded_cache_entries_are_gated_on_first_guarded_use():
+    from repro.jit import BinaryTransformer
+
+    prog = compile_c(SRC)
+    cache = SpecializationCache()
+    BinaryTransformer(prog.image, cache=cache).llvm_fixed(
+        "f", SIG, {1: 6}, name="f.fix")
+    g = GuardedTransformer(prog.image, cache=cache,
+                           gate_options=GateOptions(samples=2))
+    # the shared cache serves the unguarded install at machine stage, but
+    # the entry is not gated: the guard must verify it on this request
+    r = g.transform("f", SIG, {1: 6}, ladder=("llvm-fix",), probes=[(3,)])
+    assert r.result.cache_stage == "machine"
+    assert r.gate is not None and r.verified
+    # now the entry carries the gated bit: the warm path skips the gate
+    r2 = g.transform("f", SIG, {1: 6}, ladder=("llvm-fix",), probes=[(3,)])
+    assert r2.result.cache_stage == "machine"
+    assert r2.gate is None and not r2.verified
+
+
+def test_unknown_ladder_rung_is_a_caller_error():
+    img, g = make()
+    with pytest.raises(ValueError, match="unknown ladder rung"):
+        g.transform("f", SIG, {1: 6}, ladder=("llvm-fxi",))
+    assert g.stats.transforms == 0  # failed fast, before any attempt
+
+
+def test_vacuous_gate_serves_but_is_not_verified():
+    # pointer-taking function, no probes: every sampled probe faults the
+    # original.  With min_conclusive=0 the gate passes vacuously — the
+    # candidate is served, but must not be reported as verified
+    img, g = make(src="long f(long *p, long b) { return p[0] + b; }",
+                  gate_options=GateOptions(samples=2, min_conclusive=0))
+    r = g.transform("f", SIG, {1: 6})
+    assert r.mode != "original"
+    assert r.gate is not None and r.gate.passed and r.gate.vacuous
+    assert not r.verified  # nothing was actually compared on this request
 
 
 def test_budget_exhaustion_degrades():
