@@ -22,6 +22,13 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
 evaluation.
 """
 
+from repro.analysis import (
+    Finding,
+    PassValidator,
+    ValidationOptions,
+    analyze_flags,
+    run_checkers,
+)
 from repro.cc import CompiledProgram, compile_c
 from repro.cpu import CostModel, HASWELL, Image, Simulator
 from repro.dbrew import Rewriter
@@ -38,15 +45,20 @@ __all__ = [
     "BudgetExceededError",
     "CompiledProgram",
     "CostModel",
+    "Finding",
     "FixedMemory",
     "FunctionSignature",
     "GuardedTransformer",
     "HASWELL",
     "Image",
     "LiftOptions",
+    "PassValidator",
     "Rewriter",
     "Simulator",
     "TransformResult",
+    "ValidationOptions",
+    "analyze_flags",
     "compile_c",
     "lift_function",
+    "run_checkers",
 ]

@@ -1,0 +1,107 @@
+"""Static analysis over the lifted IR: dataflow engine, soundness
+checkers, and per-pass translation validation.
+
+The rewriter's trust chain has three layers; this package is the middle
+one.  The IR verifier (:mod:`repro.ir.verifier`) checks *well-formedness*,
+the guard's differential gate (:mod:`repro.guard.verify`) checks *observed
+behavior* — and ``repro.analysis`` checks *provable* properties in between:
+
+* :mod:`~repro.analysis.dataflow` — a small lattice-based engine with a
+  dense block solver (forward/backward worklist) and a sparse SSA value
+  solver (meet over phis, optional widening);
+* :mod:`~repro.analysis.undef` / :mod:`~repro.analysis.memregion` /
+  :mod:`~repro.analysis.strictness` — lifter-soundness checkers built on
+  the engine (undef reaching observable sinks, provably out-of-bounds
+  accesses to fixed memory regions, strict-SSA and Φ-coverage violations);
+* :mod:`~repro.analysis.deadflags` — Fig. 6-style proof of which status
+  flags the optimizer eliminated;
+* :mod:`~repro.analysis.validate` — per-pass translation validation for
+  ``run_o3(..., validate=True)``: clone before each pass, verify after,
+  differentially interpret on seeded probes, roll back and quarantine the
+  offending pass on divergence;
+* :mod:`~repro.analysis.lint` — the CLI regression gate
+  (``python -m repro.analysis.lint``) over the example/stencil corpus.
+"""
+
+from repro.analysis.checkers import (
+    CHECKERS,
+    DEFAULT_PREGATE,
+    run_checkers,
+    run_checkers_module,
+)
+from repro.analysis.clone import (
+    clone_function,
+    functions_structurally_equal,
+    restore_function,
+)
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    BlockProblem,
+    BlockStates,
+    BoolLattice,
+    Lattice,
+    SetLattice,
+    ValueProblem,
+    ValueStates,
+    predecessor_map,
+    reachable_blocks,
+    reverse_postorder,
+    solve_block_problem,
+    solve_value_problem,
+)
+from repro.analysis.deadflags import (
+    FLAG_LETTERS,
+    FlagReport,
+    analyze_flags,
+    analyze_module_flags,
+)
+from repro.analysis.findings import ERROR, WARNING, Finding, errors_only
+from repro.analysis.memregion import check_memory_regions
+from repro.analysis.strictness import check_strict_ssa
+from repro.analysis.undef import check_undef_uses
+from repro.analysis.validate import (
+    PassValidator,
+    PassVerdict,
+    ValidationOptions,
+    ValidatorStats,
+)
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "BlockProblem",
+    "BlockStates",
+    "BoolLattice",
+    "CHECKERS",
+    "DEFAULT_PREGATE",
+    "ERROR",
+    "FLAG_LETTERS",
+    "Finding",
+    "FlagReport",
+    "Lattice",
+    "PassValidator",
+    "PassVerdict",
+    "SetLattice",
+    "ValidationOptions",
+    "ValidatorStats",
+    "ValueProblem",
+    "ValueStates",
+    "WARNING",
+    "analyze_flags",
+    "analyze_module_flags",
+    "check_memory_regions",
+    "check_strict_ssa",
+    "check_undef_uses",
+    "clone_function",
+    "errors_only",
+    "functions_structurally_equal",
+    "predecessor_map",
+    "reachable_blocks",
+    "restore_function",
+    "reverse_postorder",
+    "run_checkers",
+    "run_checkers_module",
+    "solve_block_problem",
+    "solve_value_problem",
+]

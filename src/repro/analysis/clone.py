@@ -1,0 +1,188 @@
+"""Function body cloning for snapshot / rollback / differential replay.
+
+The per-pass validator needs (a) a pre-pass snapshot it can interpret
+against the post-pass function, and (b) the ability to roll the function
+back when a pass is rejected — *in place*, because callers (module tables,
+cache entries, the pipeline driver) hold the Function object itself.
+
+The twin produced by :func:`clone_function` shares the original's
+``Argument`` objects (so the interpreter binds the same formals for both
+bodies) and all external values (constants, globals, called functions);
+only blocks and instructions are duplicated.  It is deliberately *not*
+registered in any module.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Argument, Constant, ConstantFP, ConstantVector, Undef
+
+
+def clone_function(func: Function, name: str | None = None) -> Function:
+    """An unregistered twin of ``func`` sharing args and external values."""
+    twin = Function(name or f"{func.name}.snapshot", func.ftype)
+    twin.args = func.args  # shared formals: bodies are interchangeable
+    twin.module = func.module  # for global placement; not in module.functions
+    twin.always_inline = func.always_inline
+    twin.is_declaration = func.is_declaration
+    twin._name_counter = func._name_counter
+
+    vmap: dict[int, object] = {}
+    bmap: dict[int, BasicBlock] = {}
+    for blk in func.blocks:
+        nb = BasicBlock(blk.name)
+        nb.function = twin
+        bmap[id(blk)] = nb
+        twin.blocks.append(nb)
+        for ins in blk.instructions:
+            c = ins.clone_shallow()
+            c.block = nb
+            vmap[id(ins)] = c
+            nb.instructions.append(c)
+    for blk in func.blocks:
+        nb = bmap[id(blk)]
+        for ins in nb.instructions:
+            ins.operands = [vmap.get(id(op), op) for op in ins.operands]
+            if isinstance(ins, I.Br):
+                ins.targets = [bmap.get(id(t), t) for t in ins.targets]
+            if isinstance(ins, I.Phi):
+                ins.incoming_blocks = [bmap.get(id(b), b)
+                                       for b in ins.incoming_blocks]
+    return twin
+
+
+def restore_function(func: Function, snapshot: Function) -> None:
+    """Replace ``func``'s body with a snapshot's blocks, in place.
+
+    The snapshot must come from :func:`clone_function` on the same
+    function (shared args); after this call the snapshot must not be used
+    again — its blocks now belong to ``func``.
+    """
+    func.blocks = snapshot.blocks
+    for blk in func.blocks:
+        blk.function = func
+    snapshot.blocks = []
+
+
+def _operand_key(op: object, pos: dict[int, tuple[int, int]],
+                 bpos: dict[int, int]) -> object:
+    """Position-based structural key for one operand (shared by equality
+    and fingerprinting; ignores value names)."""
+    if isinstance(op, I.Instruction):
+        return ("ins", pos.get(id(op)))
+    if isinstance(op, Constant):
+        return ("c", id(op.type), op.value)
+    if isinstance(op, ConstantFP):
+        return ("cf", id(op.type), repr(op.value))
+    if isinstance(op, ConstantVector):
+        return ("cv", id(op.type),
+                tuple(_operand_key(e, pos, bpos) for e in op.elements))
+    if isinstance(op, Undef):
+        return ("undef", id(op.type))
+    if isinstance(op, Argument):
+        return ("arg", op.index)
+    # globals, functions: identity (shared between the twins)
+    return ("ext", id(op))
+
+
+def _positions(func: Function) -> tuple[dict[int, tuple[int, int]],
+                                        dict[int, int]]:
+    pos: dict[int, tuple[int, int]] = {}
+    bpos = {id(blk): i for i, blk in enumerate(func.blocks)}
+    for bi, blk in enumerate(func.blocks):
+        for ii, ins in enumerate(blk.instructions):
+            pos[id(ins)] = (bi, ii)
+    return pos, bpos
+
+
+def _instruction_key(ins: I.Instruction, pos: dict[int, tuple[int, int]],
+                     bpos: dict[int, int]) -> tuple:
+    """Everything position-based equality compares about one instruction."""
+    extra: tuple = ()
+    if isinstance(ins, (I.ICmp, I.FCmp)):
+        extra = ("pred", ins.pred)
+    elif isinstance(ins, I.GEP):
+        extra = ("elem", id(ins.elem))
+    elif isinstance(ins, I.ShuffleVector):
+        extra = ("mask", tuple(ins.mask))
+    elif isinstance(ins, I.Alloca):
+        extra = ("alloca", ins.size, ins.align)
+    elif isinstance(ins, (I.Load, I.Store)):
+        extra = ("align", ins.align)
+    elif isinstance(ins, I.Call):
+        extra = ("callee", ins.callee_name)
+    elif isinstance(ins, I.Br):
+        extra = ("targets", tuple(bpos.get(id(t)) for t in ins.targets))
+    if isinstance(ins, I.Phi):
+        extra = ("incoming",
+                 tuple(bpos.get(id(t)) for t in ins.incoming_blocks))
+    return (ins.opcode, id(ins.type),
+            tuple(_operand_key(op, pos, bpos) for op in ins.operands), extra)
+
+
+def function_fingerprint(func: Function) -> tuple:
+    """A hashable structural key: two bodies compare
+    :func:`functions_structurally_equal` iff their fingerprints are equal
+    (within one process — external values key by object identity).
+
+    Cheap (one body walk, no interpretation); the validator uses it to
+    re-validate a memoized baseline before trusting it.
+    """
+    pos, bpos = _positions(func)
+    return tuple(
+        tuple(_instruction_key(ins, pos, bpos) for ins in blk.instructions)
+        for blk in func.blocks)
+
+
+def functions_structurally_equal(a: Function, b: Function) -> bool:
+    """Structural (position-based) equality of two function bodies.
+
+    Used to detect passes that mutate a function while reporting "no
+    change" — a silent miscompile the validator must still examine.
+    Compares block/instruction shape, opcodes, instruction payload and
+    operand identity up to position; ignores value *names*.
+    """
+    if len(a.blocks) != len(b.blocks):
+        return False
+    pos_a, bpos_a = _positions(a)
+    pos_b, bpos_b = _positions(b)
+
+    operand_key = _operand_key
+
+    for blk_a, blk_b in zip(a.blocks, b.blocks):
+        if len(blk_a.instructions) != len(blk_b.instructions):
+            return False
+        for x, y in zip(blk_a.instructions, blk_b.instructions):
+            if x.opcode != y.opcode or x.type is not y.type:
+                return False
+            if len(x.operands) != len(y.operands):
+                return False
+            for ox, oy in zip(x.operands, y.operands):
+                if operand_key(ox, pos_a, bpos_a) != operand_key(oy, pos_b, bpos_b):
+                    return False
+            if isinstance(x, (I.ICmp, I.FCmp)):
+                if x.pred != y.pred:  # type: ignore[union-attr]
+                    return False
+            if isinstance(x, I.GEP) and x.elem is not y.elem:  # type: ignore[union-attr]
+                return False
+            if isinstance(x, I.ShuffleVector) and x.mask != y.mask:  # type: ignore[union-attr]
+                return False
+            if isinstance(x, I.Alloca):
+                if (x.size, x.align) != (y.size, y.align):  # type: ignore[union-attr]
+                    return False
+            if isinstance(x, (I.Load, I.Store)) and x.align != y.align:  # type: ignore[union-attr]
+                return False
+            if isinstance(x, I.Call) and x.callee_name != y.callee_name:  # type: ignore[union-attr]
+                return False
+            if isinstance(x, I.Br):
+                ta = [bpos_a.get(id(t)) for t in x.targets]
+                tb = [bpos_b.get(id(t)) for t in y.targets]  # type: ignore[union-attr]
+                if ta != tb:
+                    return False
+            if isinstance(x, I.Phi):
+                ia = [bpos_a.get(id(t)) for t in x.incoming_blocks]
+                ib = [bpos_b.get(id(t)) for t in y.incoming_blocks]  # type: ignore[union-attr]
+                if ia != ib:
+                    return False
+    return True

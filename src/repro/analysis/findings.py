@@ -1,0 +1,50 @@
+"""Finding: one static-analysis diagnostic.
+
+Checkers return findings instead of raising: a lint run wants *all*
+problems (the verifier's raise-on-first contract is the wrong shape for
+reporting), and the guard's static pre-gate needs to distinguish
+must-reject errors from advisory warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: finding severities, strongest first
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a static checker."""
+
+    checker: str
+    function: str
+    message: str
+    severity: str = ERROR
+    #: block name of the offending instruction ("" when function-level)
+    block: str = ""
+    #: printed form of the offending instruction ("" when block-level)
+    instruction: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def format(self) -> str:
+        where = f"@{self.function}"
+        if self.block:
+            where += f":{self.block}"
+        line = f"{where}: {self.severity}: [{self.checker}] {self.message}"
+        if self.instruction:
+            line += f"  ({self.instruction})"
+        return line
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()
+
+
+def errors_only(findings: list[Finding]) -> list[Finding]:
+    """The subset of findings with error severity."""
+    return [f for f in findings if f.is_error]

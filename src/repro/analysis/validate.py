@@ -1,0 +1,407 @@
+"""Per-pass translation validation for the -O3 pipeline.
+
+PR 2's differential gate runs end-to-end: it can say *that* a specialized
+function diverged, never *which pass* miscompiled it.  This module closes
+that gap.  In validate mode ``run_o3`` hands every pass application to a
+:class:`PassValidator`, which
+
+1. snapshots the function body (:func:`~repro.analysis.clone.clone_function`),
+2. runs the pass,
+3. checks the output **structurally** — the raising verifier plus the
+   strict SSA findings — and **behaviorally**, by interpreting the pre- and
+   post-pass bodies on seeded probe vectors over identical deterministic
+   memories and comparing return values *and* non-stack memory effects,
+4. on rejection rolls the function back in place, records the verdict, and
+   quarantines only the offending pass via a :class:`NegativeCache`
+   (key ``o3pass:<name>``) — the rest of the pipeline keeps running, so a
+   single broken pass degrades optimization quality instead of killing the
+   ladder rung.
+
+A probe on which the *pre-pass* body itself faults (e.g. a sampled integer
+dereferenced as a pointer) is inconclusive and skipped, mirroring the
+dynamic gate's policy: passes may remove traps from dead code, but must
+preserve every well-defined execution.  Comparison of float returns uses a
+small relative tolerance because the default pipeline runs fast-math
+reassociation.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cache.negative import NegativeCache
+from repro.errors import IRError, ReproError
+from repro.ir.interp import Interpreter
+from repro.ir.module import Function
+from repro.ir.verifier import verify
+from repro.mem.memory import Memory
+
+from repro.analysis.clone import (
+    clone_function, function_fingerprint, functions_structurally_equal,
+    restore_function,
+)
+from repro.analysis.findings import Finding, errors_only
+from repro.analysis.strictness import check_strict_ssa
+
+#: deterministic probe samples (mirrors the dynamic gate's tables)
+_F64_SAMPLES = (0.0, 1.0, -1.5, 2.25, 0.5, -3.0, 8.0, -0.125)
+_I64_SAMPLES = (0, 1, 2, 3, 5, 8, 13, 21)
+
+#: scratch memory handed to pointer-ish parameters, one slot per arg
+SCRATCH_BASE = 0x6400_0000
+SCRATCH_SLOT = 0x1000
+SCRATCH_SLOTS = 16
+
+#: the interpreter's stack region — excluded from memory comparison
+#: (dead stack slots legitimately differ after mem2reg/DCE)
+_STACK_LO = 0x7000_0000 - (1 << 20)
+_STACK_HI = 0x7000_0000
+
+
+@dataclass(frozen=True)
+class ValidationOptions:
+    """Per-pass validation configuration."""
+
+    #: probe vectors interpreted per validated pass application
+    probes: int = 4
+    #: sample-rotation seed
+    seed: int = 0
+    #: per-probe interpreter step ceiling
+    max_steps: int = 200_000
+    #: run the raising verifier + strict SSA findings on pass output
+    structural: bool = True
+    #: run differential interpretation of pre vs post bodies
+    behavioral: bool = True
+    #: restore the pre-pass body when a pass is rejected
+    rollback: bool = True
+    #: NegativeCache TTL for quarantined passes (seconds)
+    quarantine_ttl: float = 30.0
+    #: relative tolerance for float return values (fast-math reassociation)
+    tolerance: float = 1e-9
+    #: stop probing after this many inconclusive probes if *none* was
+    #: conclusive yet — further samples from the same tables rarely start
+    #: succeeding, and lifted code whose pointers the scratch slots cannot
+    #: satisfy would otherwise pay full probe cost for zero signal
+    max_inconclusive_scout: int = 2
+
+
+@dataclass
+class PassVerdict:
+    """What per-pass validation concluded about one pass application."""
+
+    pass_name: str
+    ok: bool = True
+    #: the function changed (the pass's own claim, or structural diff)
+    changed: bool = False
+    #: skipped because the pass is currently quarantined
+    quarantined: bool = False
+    #: pre-pass body was restored after rejection
+    rolled_back: bool = False
+    reason: str | None = None
+    findings: list[Finding] = field(default_factory=list)
+    probes_run: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ValidatorStats:
+    """Aggregate counters across one validator's lifetime."""
+
+    validated: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    structural_rejections: int = 0
+    behavioral_rejections: int = 0
+    quarantine_skips: int = 0
+    rollbacks: int = 0
+    probes_run: int = 0
+    #: pre-pass probe runs served from the memoized baseline (the accepted
+    #: output of the previous pass) instead of re-interpretation
+    baseline_reuses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class PassValidator:
+    """Validates pass applications; quarantines passes that miscompile."""
+
+    def __init__(self, options: ValidationOptions = ValidationOptions(),
+                 negative: NegativeCache | None = None) -> None:
+        self.options = options
+        self.negative = negative if negative is not None else NegativeCache(
+            ttl=options.quarantine_ttl)
+        self.stats = ValidatorStats()
+        #: memoized probe results for the *current* body of the last
+        #: validated function: ``(id(func), fingerprint, {probe: result})``.
+        #: Consecutive pass validations of one function re-interpret the
+        #: same pre-pass body the previous validation just measured; the
+        #: fingerprint re-check makes reuse safe against outside mutation.
+        self._baseline: tuple[int, tuple, dict] | None = None
+        #: memoized pre-pass snapshot ``(weakref(func), clone)``: while
+        #: passes keep reporting (truthfully) "no change", the body stays
+        #: identical, so one clone serves every consecutive application
+        #: instead of re-cloning per pass.  Assumes run_pass is the only
+        #: mutator of ``func`` between calls — true for the O3 pipeline;
+        #: external callers that mutate between calls must use a fresh
+        #: validator (or accept a spurious lying-pass rejection).
+        self._snapshot: tuple[weakref.ref, Function] | None = None
+
+    # -- the wrapper the pipeline calls per pass ------------------------------
+
+    def run_pass(self, name: str, thunk: Callable[[], Any], func: Function,
+                 *, changed_of: Callable[[Any], bool] = bool,
+                 ) -> tuple[Any, PassVerdict]:
+        """Run one pass application under validation.
+
+        Returns ``(pass result, verdict)``.  On rejection the pass result
+        is still returned (callers read ``verdict.changed``, which is False
+        after a rollback).  Exceptions from the pass itself propagate — a
+        *raising* pass is the ladder's problem, not a silent miscompile.
+        """
+        key = f"o3pass:{name}"
+        ent = self.negative.check(key)
+        if ent is not None:
+            self.stats.quarantine_skips += 1
+            return None, PassVerdict(
+                pass_name=name, ok=False, quarantined=True,
+                reason=ent.reason)
+
+        t0 = time.perf_counter()
+        snapshot = None
+        if self._snapshot is not None and self._snapshot[0]() is func:
+            snapshot = self._snapshot[1]
+        if snapshot is None:
+            snapshot = clone_function(func)
+            self._snapshot = (weakref.ref(func), snapshot)
+        result = thunk()
+        changed = bool(changed_of(result))
+        if not changed and functions_structurally_equal(func, snapshot):
+            # provably a no-op: nothing to validate; the snapshot stays
+            # valid for the next pass application
+            return result, PassVerdict(pass_name=name, ok=True,
+                                       seconds=time.perf_counter() - t0)
+        # the body changed (or the pass lied): whatever happens next —
+        # acceptance installs a new body, rollback consumes the snapshot's
+        # blocks — this snapshot cannot serve another application
+        self._snapshot = None
+
+        self.stats.validated += 1
+        verdict = PassVerdict(pass_name=name, changed=True)
+        before_results, after_results = self._validate(snapshot, func, verdict)
+        verdict.seconds = time.perf_counter() - t0
+        self.stats.probes_run += verdict.probes_run
+
+        if verdict.ok:
+            self.stats.accepted += 1
+        else:
+            self.stats.rejected += 1
+            if self.options.rollback:
+                restore_function(func, snapshot)
+                verdict.rolled_back = True
+                verdict.changed = False
+                self.stats.rollbacks += 1
+            self.negative.record(key, name, verdict.reason or "rejected",
+                                 {"stage": "validate", "pass": name})
+        # memoize probe results for whatever body the function now holds:
+        # the accepted output (or the restored input) is the next pass's
+        # pre-pass body, so its probes need not be re-interpreted
+        body_results = before_results if verdict.rolled_back else after_results
+        if body_results:
+            self._baseline = (id(func), function_fingerprint(func),
+                              body_results)
+        return result, verdict
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self, before: Function, after: Function,
+                  verdict: PassVerdict) -> tuple[dict | None, dict | None]:
+        """Fill in the verdict; returns the per-probe results of the pre-
+        and post-pass bodies (None when behavioral checking didn't run)."""
+        if self.options.structural:
+            try:
+                verify(after)
+            except IRError as exc:
+                verdict.ok = False
+                verdict.reason = f"verifier: {exc}"
+                self.stats.structural_rejections += 1
+                return None, None
+            findings = errors_only(check_strict_ssa(after))
+            if findings:
+                verdict.ok = False
+                verdict.findings = findings
+                verdict.reason = f"strict-ssa: {findings[0].message}"
+                self.stats.structural_rejections += 1
+                return None, None
+        before_results = after_results = None
+        if self.options.behavioral:
+            cached = None
+            if (self._baseline is not None
+                    and self._baseline[0] == id(after)
+                    and self._baseline[1] == function_fingerprint(before)):
+                cached = self._baseline[2]
+            reason, probes, before_results, after_results = \
+                self._differential(before, after, cached)
+            verdict.probes_run = probes
+            if reason is not None:
+                verdict.ok = False
+                verdict.reason = reason
+                self.stats.behavioral_rejections += 1
+        return before_results, after_results
+
+    def _differential(self, before: Function, after: Function,
+                      cached: dict | None = None,
+                      ) -> tuple[str | None, int, dict, dict]:
+        """Interpret both bodies on probe vectors; first divergence wins.
+
+        ``cached`` maps probe vectors to memoized pre-pass results (the
+        baseline); probes found there skip the ``before`` interpretation.
+        Returns ``(reason, conclusive probes, before results, after
+        results)`` so the caller can seed the next baseline.
+        """
+        module = after.module
+        saved_addrs = {}
+        if module is not None:
+            saved_addrs = {name: g.addr
+                           for name, g in module.globals.items()}
+        conclusive = 0
+        attempted = 0
+        scout = max(1, self.options.max_inconclusive_scout)
+        before_results: dict = {}
+        after_results: dict = {}
+        try:
+            for probe in self._probes(after):
+                if conclusive == 0 and attempted >= scout:
+                    break  # nothing conclusive: stop scouting
+                attempted += 1
+                if cached is not None and probe in cached:
+                    want, err_b, mem_b = cached[probe]
+                    self.stats.baseline_reuses += 1
+                else:
+                    want, err_b, mem_b = self._probe_run(before, probe)
+                before_results[probe] = (want, err_b, mem_b)
+                if err_b is not None:
+                    continue  # the pre-pass body rejects this input
+                got, err_a, mem_a = self._probe_run(after, probe)
+                after_results[probe] = (got, err_a, mem_a)
+                conclusive += 1
+                if err_a is not None:
+                    return (f"probe {probe!r}: pass output failed "
+                            f"({err_a}) where input succeeded"
+                            ), conclusive, before_results, after_results
+                addr = _mem_diff(mem_b, mem_a)
+                if addr is not None:
+                    return (f"probe {probe!r}: memory divergence at "
+                            f"{addr:#x}"), conclusive, before_results, \
+                        after_results
+                if not self._agree(want, got):
+                    return (f"probe {probe!r}: return divergence "
+                            f"(expected {want!r}, got {got!r})"
+                            ), conclusive, before_results, after_results
+        finally:
+            if module is not None:
+                for name, g in module.globals.items():
+                    g.addr = saved_addrs.get(name)
+        return None, conclusive, before_results, after_results
+
+    def _probe_run(self, func: Function, args: tuple,
+                   ) -> tuple[object, str | None, list[tuple[int, bytes]]]:
+        module = func.module
+        if module is not None:
+            for g in module.globals.values():
+                g.addr = None  # force deterministic re-placement per run
+        mem = Memory()
+        mem.map(SCRATCH_BASE, SCRATCH_SLOT * SCRATCH_SLOTS,
+                _scratch_pattern(SCRATCH_SLOT * SCRATCH_SLOTS))
+        interp = Interpreter(module if module is not None else _orphan(func),
+                             mem)
+        interp.max_steps = self.options.max_steps
+        try:
+            rv = interp.run(func, list(args))
+            return rv, None, mem.snapshot()
+        except ReproError as exc:
+            # inconclusive: the snapshot is never compared, don't copy it
+            return None, f"{type(exc).__name__}: {exc}", None
+
+    def _probes(self, func: Function) -> list[tuple]:
+        """Deterministic argument vectors for the function's signature.
+
+        Probes alternate between two classes, scratch-address probes
+        first: even probes substitute per-slot scratch addresses for
+        integer parameters — lifted code routinely receives addresses as
+        i64, and probes that only pass small integers would leave every
+        memory access inconclusive — and odd probes pass small integers.
+        Leading with one probe of each class lets the inconclusive-scout
+        cutoff sample both before giving up.
+        """
+        n = self.options.probes
+        out: list[tuple] = []
+        for k in range(n):
+            use_addr = k % 2 == 0
+            vec: list[object] = []
+            for slot, arg in enumerate(func.args):
+                t = arg.type
+                idx = (k + self.options.seed + slot * 3) % len(_I64_SAMPLES)
+                if t.is_float:
+                    vec.append(_F64_SAMPLES[idx])
+                elif t.is_vector:
+                    vec.append(tuple(
+                        _F64_SAMPLES[idx] if t.elem.is_float else _I64_SAMPLES[idx]
+                        for _ in range(t.count)))  # type: ignore[attr-defined]
+                elif t.is_pointer or use_addr:
+                    vec.append(SCRATCH_BASE
+                               + (slot % SCRATCH_SLOTS) * SCRATCH_SLOT)
+                else:
+                    vec.append(_I64_SAMPLES[idx])
+            out.append(tuple(vec))
+        return out
+
+    def _agree(self, a: object, b: object) -> bool:
+        if a is None and b is None:
+            return True
+        if isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+            return all(self._agree(x, y) for x, y in zip(a, b))
+        if isinstance(a, float) or isinstance(b, float):
+            if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                return False
+            x, y = float(a), float(b)
+            if x != x and y != y:
+                return True  # both NaN
+            tol = self.options.tolerance
+            return abs(x - y) <= tol * max(1.0, abs(x), abs(y))
+        return a == b
+
+
+@functools.lru_cache(maxsize=4)
+def _scratch_pattern(size: int) -> bytes:
+    # (i * 37 + 11) mod 256 has period 256: tile one cycle instead of
+    # generating size bytes through a Python genexpr on every probe run
+    cycle = bytes((i * 37 + 11) & 0xFF for i in range(256))
+    return (cycle * (size // 256 + 1))[:size]
+
+
+def _mem_diff(a: list[tuple[int, bytes]],
+              b: list[tuple[int, bytes]]) -> int | None:
+    """First differing non-stack address between two memory snapshots."""
+    da = {s: d for s, d in a if not (_STACK_LO <= s < _STACK_HI)}
+    db = {s: d for s, d in b if not (_STACK_LO <= s < _STACK_HI)}
+    for s in sorted(set(da) | set(db)):
+        x, y = da.get(s, b""), db.get(s, b"")
+        if x == y:
+            continue
+        for off in range(min(len(x), len(y))):
+            if x[off] != y[off]:
+                return s + off
+        return s + min(len(x), len(y))
+    return None
+
+
+def _orphan(func: Function):
+    """A throwaway module wrapper for validating detached functions."""
+    from repro.ir.module import Module
+    m = Module(f"validate.{func.name}")
+    return m

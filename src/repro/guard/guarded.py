@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.analysis.checkers import DEFAULT_PREGATE, run_checkers
+from repro.analysis.findings import errors_only
 from repro.cache import NegativeCache, NegativeEntry, SpecializationCache
 from repro.cache import keys as cache_keys
 from repro.cpu.image import Image
@@ -76,6 +78,10 @@ class GuardStats:
     failures: dict[str, int] = field(
         default_factory=lambda: {r: 0 for r in LADDER})
     verification_rejections: int = 0
+    #: candidates rejected by the *static* pre-gate (no probe budget spent)
+    static_rejections: int = 0
+    #: static rejections by checker name (the recorded skip reason)
+    static_skip_reasons: dict[str, int] = field(default_factory=dict)
     budget_exceeded: int = 0
     #: rungs skipped because a fresh quarantine entry covered them
     negative_served: int = 0
@@ -88,6 +94,8 @@ class GuardStats:
             "served_by": dict(self.served_by),
             "failures": dict(self.failures),
             "verification_rejections": self.verification_rejections,
+            "static_rejections": self.static_rejections,
+            "static_skip_reasons": dict(self.static_skip_reasons),
             "budget_exceeded": self.budget_exceeded,
             "negative_served": self.negative_served,
             "fallbacks": self.fallbacks,
@@ -129,11 +137,17 @@ class GuardedTransformer:
                  lift_options: LiftOptions | None = None,
                  o3_options: O3Options | None = None,
                  jit_options: JITOptions | None = None,
-                 negative: NegativeCache | None = None) -> None:
+                 negative: NegativeCache | None = None,
+                 static_precheck: bool = True,
+                 validator: "object | None" = None) -> None:
         self.image = image
         self.cache = cache
         self.budget = budget
         self.verify = verify
+        #: run the cheap static checkers (repro.analysis) on each fresh
+        #: candidate's IR before the dynamic gate — a statically-rejected
+        #: candidate never spends probe budget
+        self.static_precheck = static_precheck
         self.gate = DifferentialGate(image, gate_options)
         self.stats = GuardStats()
         #: quarantine: the attached cache's by default, standalone otherwise
@@ -146,6 +160,7 @@ class GuardedTransformer:
         self.tx = BinaryTransformer(
             image, lift_options=lift_options, o3_options=o3_options,
             jit_options=jit_options, cache=cache, budget=budget,
+            validator=validator,
         )
 
     # -- keys ----------------------------------------------------------------
@@ -203,6 +218,26 @@ class GuardedTransformer:
         if rung == "llvm":
             return self.tx.llvm_identity(entry, signature, name=out_name)
         raise ValueError(f"unknown ladder rung {rung!r}")
+
+    def _static_pregate(self, result: TransformResult) -> None:
+        """Reject a candidate on static findings before any probe runs.
+
+        Raises :class:`VerificationError` with ``stage="static-verify"``
+        so the ladder's existing eviction/quarantine/fall-through machinery
+        applies unchanged; the dynamic gate never runs for the candidate.
+        """
+        func = result.function
+        if func is None or func.is_declaration or not func.blocks:
+            return
+        findings = errors_only(run_checkers(func, DEFAULT_PREGATE))
+        if findings:
+            first = findings[0]
+            raise VerificationError(
+                f"static pre-gate: {first.format()}"
+                + (f" (+{len(findings) - 1} more)" if len(findings) > 1 else ""),
+                stage="static-verify", checker=first.checker,
+                findings=len(findings),
+            )
 
     # -- the guarded transform -------------------------------------------------
 
@@ -302,6 +337,13 @@ class GuardedTransformer:
             try:
                 result = self._attempt(rung, entry, out_name, signature,
                                        fixes, mem_regions, dbrew_entry)
+                # static pre-gate: free compared to probe executions, and
+                # it rejects whole bug classes (malformed phis, undef
+                # reaching a sink, provable out-of-region access) with an
+                # instruction-precise reason the dynamic gate cannot give.
+                # Machine-gated cache hits skip it like they skip the gate.
+                if self.static_precheck and not result.machine_gated:
+                    self._static_pregate(result)
                 # a machine-stage hit whose entry carries the gated bit
                 # passed the gate when it was installed (and
                 # Image.patch_code invalidation keeps it honest): don't
@@ -326,7 +368,15 @@ class GuardedTransformer:
                 attempt.context = dict(exc.context)
                 self.stats.failures[rung] += 1
                 if isinstance(exc, VerificationError):
-                    self.stats.verification_rejections += 1
+                    if exc.context.get("stage") == "static-verify":
+                        self.stats.static_rejections += 1
+                        checker = exc.context.get("checker")
+                        if checker:
+                            self.stats.static_skip_reasons[checker] = (
+                                self.stats.static_skip_reasons.get(checker, 0)
+                                + 1)
+                    else:
+                        self.stats.verification_rejections += 1
                     # the candidate was installed (and positively cached)
                     # before the gate ran: evict it, or an expired
                     # quarantine entry would later serve code proven

@@ -28,6 +28,13 @@ def _to_signed(v: int, bits: int) -> int:
     return (v & (sign - 1)) - (v & sign)
 
 
+def _trunc_div(n: int, d: int) -> int:
+    """Exact C-style truncating division (``int(n / d)`` rounds through a
+    float and is wrong for 64-bit magnitudes)."""
+    q = abs(n) // abs(d)
+    return -q if (n < 0) != (d < 0) else q
+
+
 def _zero_of(t: Type) -> object:
     if isinstance(t, IntType):
         return 0
@@ -333,13 +340,13 @@ class Interpreter:
             d = _to_signed(bi, bits)
             if d == 0:
                 raise IRInterpError("sdiv by zero")
-            return int(_to_signed(ai, bits) / d) & t.mask
+            return _trunc_div(_to_signed(ai, bits), d) & t.mask
         if opcode == "srem":
             d = _to_signed(bi, bits)
             if d == 0:
                 raise IRInterpError("srem by zero")
             n = _to_signed(ai, bits)
-            return (n - int(n / d) * d) & t.mask
+            return (n - _trunc_div(n, d) * d) & t.mask
         if opcode == "udiv":
             if bi == 0:
                 raise IRInterpError("udiv by zero")

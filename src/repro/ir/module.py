@@ -84,7 +84,7 @@ class Function(Value):
     """A function: arguments + basic blocks (first block is the entry)."""
 
     __slots__ = ("ftype", "args", "blocks", "module", "always_inline",
-                 "_name_counter", "is_declaration")
+                 "_name_counter", "is_declaration", "__weakref__")
 
     def __init__(self, name: str, ftype: FunctionType) -> None:
         super().__init__(PointerType(ftype), name)  # functions are pointers

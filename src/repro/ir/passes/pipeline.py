@@ -5,13 +5,18 @@ level 3 ... optionally, floating-point optimizations can be enabled").
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
 
+from repro.ir import verifier
 from repro.ir.module import Function
 from repro.ir.passes import (
     constprop, dce, gvn, inline, instcombine, mem2reg, simplifycfg, unroll,
     vectorize,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.validate import PassValidator, PassVerdict
 
 
 @dataclass(frozen=True)
@@ -76,10 +81,34 @@ class O3Report:
     iterations: int = 0
     converged: bool = False
     vectorized: bool = False
+    #: per-pass-application verdicts (only populated in validate mode)
+    pass_log: "list[PassVerdict]" = field(default_factory=list)
+    #: passes rejected (and rolled back) by validation, in rejection order
+    rejected_passes: list[str] = field(default_factory=list)
+    #: this run was executed under per-pass validation
+    validated: bool = False
+
+    @property
+    def miscompiled_pass(self) -> str | None:
+        """The first pass validation caught miscompiling (None = clean)."""
+        return self.rejected_passes[0] if self.rejected_passes else None
+
+
+#: debug flag: run the raising IR verifier after *every* pass application.
+#: Opt-in via :func:`set_verify_after_each_pass` — pass-bisection debugging,
+#: far too slow for the runtime compile path.
+VERIFY_AFTER_EACH_PASS = False
+
+
+def set_verify_after_each_pass(enabled: bool) -> None:
+    """Toggle the verify-after-every-pass debug mode (process-wide)."""
+    global VERIFY_AFTER_EACH_PASS
+    VERIFY_AFTER_EACH_PASS = bool(enabled)
 
 
 def run_o3(func: Function, options: O3Options = O3Options(),
-           budget: "object | None" = None) -> O3Report:
+           budget: "object | None" = None, validate: bool = False,
+           validator: "PassValidator | None" = None) -> O3Report:
     """Optimize one function in place to a fixpoint (bounded).
 
     The sweep loop exits as soon as a full pass sweep reports no change;
@@ -91,15 +120,45 @@ def run_o3(func: Function, options: O3Options = O3Options(),
     A ``budget`` (:class:`repro.guard.Budget`) charges ``opt_iterations``
     fuel per sweep and polls the wall-clock deadline; it is a keyword
     argument rather than an :class:`O3Options` field because options are
-    hashed into cache keys and a budget never changes the produced IR.
+    hashed into cache keys and a budget never changes the produced IR —
+    ``validate``/``validator`` follow the same rule: validation can *reject*
+    a pass application (restoring its input), never produce different code
+    from an accepted one.
+
+    With ``validate=True`` (or an explicit ``validator``) every pass
+    application is checked by a :class:`~repro.analysis.validate.
+    PassValidator`: structural invariants plus differential interpretation
+    of the pass input vs output.  A rejected pass is rolled back and
+    quarantined by name, the verdict appears in ``O3Report.pass_log`` and
+    ``O3Report.rejected_passes``, and the rest of the pipeline continues.
     """
     report = O3Report()
+    if validate and validator is None:
+        from repro.analysis.validate import PassValidator
+        validator = PassValidator()
+    report.validated = validator is not None
+
+    def step(name: str, thunk: Callable[[], Any],
+             changed_of: Callable[[Any], bool] = bool) -> bool:
+        if validator is None:
+            changed = bool(changed_of(thunk()))
+        else:
+            _result, verdict = validator.run_pass(
+                name, thunk, func, changed_of=changed_of)
+            report.pass_log.append(verdict)
+            if not verdict.ok and not verdict.quarantined:
+                report.rejected_passes.append(name)
+            changed = verdict.changed
+        if VERIFY_AFTER_EACH_PASS:
+            verifier.verify(func)
+        return changed
+
     if budget is not None:
         budget.check_deadline("opt")
-    simplifycfg.run(func)
+    step("simplifycfg", lambda: simplifycfg.run(func))
     if options.enable_mem2reg:
-        mem2reg.run(func)
-        simplifycfg.run(func)
+        step("mem2reg", lambda: mem2reg.run(func))
+        step("simplifycfg", lambda: simplifycfg.run(func))
     for _ in range(options.max_iterations):
         if budget is not None:
             budget.charge("opt_iterations", stage="opt")
@@ -107,28 +166,33 @@ def run_o3(func: Function, options: O3Options = O3Options(),
         report.iterations += 1
         changed = False
         if options.enable_inline:
-            changed |= inline.run(func)
-        changed |= constprop.run(func)
+            changed |= step("inline", lambda: inline.run(func))
+        changed |= step("constprop", lambda: constprop.run(func))
         if options.enable_instcombine:
-            changed |= instcombine.run(func, options.fast_math)
+            changed |= step("instcombine",
+                            lambda: instcombine.run(func, options.fast_math))
         if options.enable_gvn:
-            changed |= gvn.run(func)
-        changed |= dce.run(func)
-        changed |= simplifycfg.run(func)
+            changed |= step("gvn", lambda: gvn.run(func))
+        changed |= step("dce", lambda: dce.run(func))
+        changed |= step("simplifycfg", lambda: simplifycfg.run(func))
         if options.enable_mem2reg:
-            changed |= mem2reg.run(func)
+            changed |= step("mem2reg", lambda: mem2reg.run(func))
         if options.enable_unroll:
-            changed |= unroll.run(func)
+            changed |= step("unroll", lambda: unroll.run(func))
         if not changed:
             report.converged = True
             break
-    vec = vectorize.run(func, force_vector_width=options.force_vector_width)
-    report.vectorized = vec.vectorized
-    if vec.vectorized:
-        constprop.run(func)
+    report.vectorized = step(
+        "vectorize",
+        lambda: vectorize.run(func,
+                              force_vector_width=options.force_vector_width),
+        changed_of=lambda v: v.vectorized)
+    if report.vectorized:
+        step("constprop", lambda: constprop.run(func))
         if options.enable_instcombine:
-            instcombine.run(func, options.fast_math)
-    if vec.vectorized or not report.converged:
-        dce.run(func)
-        simplifycfg.run(func)
+            step("instcombine",
+                 lambda: instcombine.run(func, options.fast_math))
+    if report.vectorized or not report.converged:
+        step("dce", lambda: dce.run(func))
+        step("simplifycfg", lambda: simplifycfg.run(func))
     return report

@@ -70,10 +70,31 @@ def verify(func: Function) -> None:
                     f"@{func.name}: branch from {blk.name} to foreign block {succ.name}"
                 )
 
-    # phi incoming blocks must be exactly the predecessors
+    # phi incoming lists must match the predecessor set *exactly*: same
+    # members, no duplicates, no value/block length skew, and never empty
+    # (a zero-incoming phi has no defining edge — classic simplifycfg /
+    # block-removal residue that a set comparison cannot see)
     for blk in func.blocks:
         preds = set(func.predecessors(blk))
         for phi in blk.phis():
+            if len(phi.operands) != len(phi.incoming_blocks):
+                raise IRError(
+                    f"@{func.name}: phi %{phi.name} in {blk.name} has "
+                    f"{len(phi.operands)} value(s) for "
+                    f"{len(phi.incoming_blocks)} incoming block(s)"
+                )
+            if not phi.incoming_blocks:
+                raise IRError(
+                    f"@{func.name}: phi %{phi.name} in {blk.name} has no "
+                    f"incoming edges"
+                )
+            if len({id(b) for b in phi.incoming_blocks}) != len(phi.incoming_blocks):
+                dup = [b.name for b in phi.incoming_blocks
+                       if phi.incoming_blocks.count(b) > 1]
+                raise IRError(
+                    f"@{func.name}: phi %{phi.name} in {blk.name} lists "
+                    f"incoming block(s) {sorted(set(dup))} more than once"
+                )
             inc = set(phi.incoming_blocks)
             if inc != preds:
                 missing = {b.name for b in preds - inc}

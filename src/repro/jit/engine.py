@@ -32,7 +32,7 @@ from repro.cache import keys as cache_keys
 from repro.cpu.image import Image
 from repro.ir.codegen import JITEngine, JITOptions
 from repro.ir.module import Function, Module
-from repro.ir.passes import O3Options, run_o3
+from repro.ir.passes import O3Options, O3Report, run_o3
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory, build_fixation_wrapper
 
@@ -55,6 +55,10 @@ class TransformResult:
     #: the served machine entry had already passed the verification gate
     #: (only meaningful on a machine-stage hit; see MachineEntry.gated)
     machine_gated: bool = False
+    #: the main function's pipeline report (None on machine/module cache
+    #: hits — the optimizer did not run); carries per-pass validation
+    #: verdicts when the transformer runs with a validator attached
+    o3_report: "O3Report | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -68,12 +72,20 @@ class BinaryTransformer:
                  o3_options: O3Options | None = None,
                  jit_options: JITOptions | None = None,
                  cache: SpecializationCache | None = None,
-                 budget: "object | None" = None) -> None:
+                 budget: "object | None" = None,
+                 validator: "object | None" = None) -> None:
         self.image = image
         self.lift_options = lift_options or LiftOptions()
         self.o3_options = o3_options or O3Options()
         self.jit_options = jit_options or JITOptions()
         self.cache = cache
+        #: per-pass translation validator (:class:`repro.analysis.validate.
+        #: PassValidator`) threaded into every ``run_o3`` call; like the
+        #: budget it is never part of cache keys — validation can only
+        #: reject a pass (restoring its input), not change accepted output.
+        #: Warm cache hits skip optimization and therefore validation:
+        #: zero warm-path overhead.
+        self.validator = validator
         #: shared :class:`repro.guard.Budget` charged by lift/opt/codegen
         #: stages (None = unlimited); never part of cache keys
         self.budget = budget
@@ -116,13 +128,15 @@ class BinaryTransformer:
         lifted = lift_function(self.image.memory, entry, signature, opts, module)
         return lifted, time.perf_counter() - t0
 
-    def _optimize_module(self, module: Module, main: Function) -> None:
+    def _optimize_module(self, module: Module, main: Function) -> O3Report:
         """Optimize lifted callees first so the inliner sees their real
         (small) size, then the main function."""
         for f in module.functions.values():
             if f is not main and not f.is_declaration:
-                run_o3(f, self.o3_options, budget=self.budget)
-        run_o3(main, self.o3_options, budget=self.budget)
+                run_o3(f, self.o3_options, budget=self.budget,
+                       validator=self.validator)
+        return run_o3(main, self.o3_options, budget=self.budget,
+                      validator=self.validator)
 
     # -- cache plumbing ----------------------------------------------------------
 
@@ -220,7 +234,7 @@ class BinaryTransformer:
             )
         else:
             main = lifted
-        self._optimize_module(module, main)
+        o3_report = self._optimize_module(module, main)
         t_opt = time.perf_counter() - t0
         if mkey is not None:
             assert cache is not None
@@ -234,7 +248,7 @@ class BinaryTransformer:
             cache.note_transform(cache_stage)
         return TransformResult(addr, out_name, main, module,
                                t_lift, t_opt, t_cg, cache_stage=cache_stage,
-                               machine_key=xkey)
+                               machine_key=xkey, o3_report=o3_report)
 
     # -- evaluation modes --------------------------------------------------------
 

@@ -14,6 +14,13 @@ Stages and their patch points::
     opt      repro.jit.engine.run_o3
     codegen  repro.ir.codegen.jit.JITEngine.compile_function
     rewrite  repro.dbrew.rewriter.Rewriter._rewrite
+    pass:<p> repro.ir.passes.<p>.run — one stage per -O3 pass (constprop,
+             dce, gvn, inline, instcombine, mem2reg, simplifycfg, unroll,
+             vectorize), intercepting *every* application of that pass.
+             The pipeline calls passes through their module objects, so a
+             ``corrupt=`` hook here models a single miscompiling pass —
+             exactly what per-pass translation validation
+             (``run_o3(..., validate=True)``) must attribute and contain.
 
 Patch points live in the *consumer* module namespace where that matters
 (``from x import y`` binds at import time, so patching ``repro.x86.decoder``
@@ -53,6 +60,14 @@ PATCH_POINTS: dict[str, tuple[tuple[str, str], ...]] = {
     "rewrite": (("repro.dbrew.rewriter", "Rewriter._rewrite"),),
 }
 
+#: the -O3 passes the pipeline drives through their module objects
+O3_PASSES = ("constprop", "dce", "gvn", "inline", "instcombine", "mem2reg",
+             "simplifycfg", "unroll", "vectorize")
+
+for _p in O3_PASSES:
+    PATCH_POINTS[f"pass:{_p}"] = ((f"repro.ir.passes.{_p}", "run"),)
+del _p
+
 _DEFAULT_ERRORS: dict[str, tuple[type, str]] = {
     "decode": (DecodeError, "injected decode fault"),
     "lift": (LiftError, "injected lift fault"),
@@ -60,6 +75,10 @@ _DEFAULT_ERRORS: dict[str, tuple[type, str]] = {
     "codegen": (CodegenError, "injected codegen fault"),
     "rewrite": (RewriteError, "injected rewrite fault"),
 }
+
+for _p in O3_PASSES:
+    _DEFAULT_ERRORS[f"pass:{_p}"] = (IRError, f"injected {_p} fault")
+del _p
 
 
 @dataclass

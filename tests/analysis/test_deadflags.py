@@ -1,0 +1,70 @@
+"""Dead-flag analysis: consumed vs dead vs eliminated status flags."""
+
+from repro.ir import I1, I64, Function, FunctionType, IRBuilder, Module
+
+from repro.analysis.deadflags import analyze_flags, flag_letter_of
+
+
+def _flagged_function():
+    """A two-block loop threading z (consumed by the branch) and c (fed
+    only back into the flag network) through ``fl*`` phis."""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(entry)
+    z0 = b.icmp("eq", f.args[0], b.const(I64, 0))
+    c0 = b.icmp("ult", f.args[0], b.const(I64, 4))
+    b.br(header)
+    b.position_at_end(header)
+    flz = b.phi(I1, "flz1")
+    flc = b.phi(I1, "flc1")
+    flc2 = b.phi(I1, "flc2")
+    flz.add_incoming(z0, entry)
+    flz.add_incoming(flz, header)
+    flc.add_incoming(c0, entry)
+    flc.add_incoming(flc2, header)   # c feeds only other flag phis
+    flc2.add_incoming(flc, entry)
+    flc2.add_incoming(flc, header)
+    b.cond_br(flz, header, exit_)    # z is consumed by a real instruction
+    b.position_at_end(exit_)
+    b.ret(f.args[0])
+    return f
+
+
+def test_flag_letter_extraction():
+    f = _flagged_function()
+    header = f.blocks[1]
+    letters = [flag_letter_of(i) for i in header.instructions[:3]]
+    assert letters == ["z", "c", "c"]
+    assert flag_letter_of(header.instructions[3]) is None  # the cond_br
+
+
+def test_consumed_vs_dead_vs_eliminated():
+    report = analyze_flags(_flagged_function())
+    assert report.present == {"z", "c"}
+    assert report.consumed == {"z"}
+    assert report.dead_flags() == ["c"]
+    assert sorted(report.eliminated_flags()) == ["a", "o", "p", "s"]
+    assert report.phi_counts == {"z": 1, "c": 2}
+
+
+def test_summary_format():
+    s = analyze_flags(_flagged_function()).summary()
+    assert "consumed=z" in s
+    assert "dead=c" in s
+    assert "eliminated=osap" in s  # FLAG_LETTERS ("oszapc") order
+
+
+def test_no_flags_at_all():
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(f.args[0])
+    report = analyze_flags(f)
+    assert report.present == set()
+    assert report.dead_flags() == []
+    assert len(report.eliminated_flags()) == 6

@@ -1,0 +1,162 @@
+"""Strict-SSA checker: rules beyond the raising verifier, as findings."""
+
+from repro.ir import I64, Function, FunctionType, IRBuilder, Module
+from repro.ir import instructions as I
+from repro.ir.values import Constant
+
+from repro.analysis.findings import WARNING, errors_only
+from repro.analysis.strictness import check_strict_ssa
+
+
+def _diamond():
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    entry = f.add_block("entry")
+    then = f.add_block("then")
+    els = f.add_block("els")
+    merge = f.add_block("merge")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", f.args[0], b.const(I64, 0))
+    b.cond_br(cond, then, els)
+    b.position_at_end(then)
+    t = b.add(f.args[0], b.const(I64, 1))
+    b.br(merge)
+    b.position_at_end(els)
+    e = b.add(f.args[0], b.const(I64, 2))
+    b.br(merge)
+    b.position_at_end(merge)
+    phi = b.phi(I64)
+    phi.add_incoming(t, then)
+    phi.add_incoming(e, els)
+    b.ret(phi)
+    return f, (entry, then, els, merge), phi, (t, e)
+
+
+def _messages(findings):
+    return [f.message for f in findings]
+
+
+def test_clean_diamond_no_findings():
+    f, *_ = _diamond()
+    assert check_strict_ssa(f) == []
+
+
+def test_duplicate_incoming_block():
+    f, (entry, then, els, merge), phi, (t, e) = _diamond()
+    phi.operands.append(t)
+    phi.incoming_blocks.append(then)  # second entry for the same pred
+    msgs = _messages(check_strict_ssa(f))
+    assert any("more than once" in m for m in msgs)
+
+
+def test_missing_incoming_for_predecessor():
+    f, (entry, then, els, merge), phi, _ = _diamond()
+    phi.remove_incoming(els)
+    msgs = _messages(check_strict_ssa(f))
+    assert any("misses incoming for predecessor els" in m for m in msgs)
+
+
+def test_stale_incoming_for_non_predecessor():
+    f, (entry, then, els, merge), phi, _ = _diamond()
+    phi.add_incoming(Constant(I64, 9), entry)  # entry is not a merge pred
+    msgs = _messages(check_strict_ssa(f))
+    assert any("stale incoming for non-predecessor entry" in m for m in msgs)
+
+
+def test_zero_incoming_phi():
+    f, (entry, then, els, merge), phi, _ = _diamond()
+    phi.remove_incoming(then)
+    phi.remove_incoming(els)
+    msgs = _messages(check_strict_ssa(f))
+    assert any("no incoming edges" in m for m in msgs)
+
+
+def test_operand_incoming_length_skew():
+    f, (entry, then, els, merge), phi, _ = _diamond()
+    phi.incoming_blocks.pop()  # operand without a block
+    msgs = _messages(check_strict_ssa(f))
+    assert any("incoming block" in m and "value" in m for m in msgs)
+
+
+def test_phi_after_non_phi():
+    f, (entry, then, els, merge), phi, (t, e) = _diamond()
+    late = I.Phi(I64, "late")
+    late.add_incoming(t, then)
+    late.add_incoming(e, els)
+    merge.instructions.insert(1, late)  # after the first phi is fine...
+    msgs = _messages(check_strict_ssa(f))
+    assert msgs == []  # consecutive phis are legal
+    merge.instructions.remove(late)
+    merge.instructions.insert(2, late)  # ...but after the ret is not
+    msgs = _messages(check_strict_ssa(f))
+    assert any("phi after a non-phi" in m for m in msgs)
+
+
+def test_missing_terminator():
+    f, (entry, then, els, merge), phi, _ = _diamond()
+    merge.instructions.pop()  # drop the ret
+    msgs = _messages(check_strict_ssa(f))
+    assert any("lacks a terminator" in m for m in msgs)
+
+
+def test_unreachable_block_is_warning_only():
+    f, *_ = _diamond()
+    dead = f.add_block("dead")
+    b = IRBuilder(dead)
+    b.ret(b.const(I64, 0))
+    findings = check_strict_ssa(f)
+    assert len(findings) == 1
+    assert findings[0].severity == WARNING
+    assert errors_only(findings) == []
+
+
+def test_reachable_use_of_unreachable_def():
+    f, (entry, then, els, merge), phi, _ = _diamond()
+    dead = f.add_block("dead")
+    b = IRBuilder(dead)
+    v = b.add(f.args[0], b.const(I64, 5))
+    b.br(merge)  # dead -> merge edge exists, but dead is unreachable
+    # make merge's terminator consume the dead definition
+    merge.instructions[-1] = I.Ret(v)
+    findings = check_strict_ssa(f)
+    msgs = _messages(findings)
+    assert any("defined in unreachable block" in m for m in msgs)
+
+
+def test_use_before_definition_same_block():
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    blk = f.add_block("entry")
+    b = IRBuilder(blk)
+    x = b.add(f.args[0], b.const(I64, 1))
+    y = b.add(x, b.const(I64, 2))
+    b.ret(y)
+    # swap the two adds: y now reads x before x is defined
+    blk.instructions[0], blk.instructions[1] = (
+        blk.instructions[1], blk.instructions[0])
+    msgs = _messages(check_strict_ssa(f))
+    assert any("used before its definition" in m for m in msgs)
+
+
+def test_non_dominating_definition():
+    f, (entry, then, els, merge), phi, (t, e) = _diamond()
+    # replace the phi-consuming ret with a direct use of `t` (defined only
+    # on the then path: els does not dominate merge either way)
+    merge.instructions[-1] = I.Ret(t)
+    msgs = _messages(check_strict_ssa(f))
+    assert any("does not dominate this use" in m for m in msgs)
+
+
+def test_foreign_branch_target():
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    g = Function("g", FunctionType(I64, (I64,)))
+    foreign = g.add_block("foreign")
+    blk = f.add_block("entry")
+    b = IRBuilder(blk)
+    b.br(foreign)
+    msgs = _messages(check_strict_ssa(f))
+    assert any("foreign block" in m for m in msgs)

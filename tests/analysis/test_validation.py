@@ -1,0 +1,188 @@
+"""Per-pass translation validation: attribution, rollback, quarantine."""
+
+import pytest
+
+from repro.cc import compile_c
+from repro.ir import I64, Function, FunctionType, IRBuilder, Interpreter, Module
+from repro.ir import instructions as I
+from repro.ir.passes import run_o3
+from repro.ir.values import Constant, Undef
+from repro.jit import BinaryTransformer
+from repro.lift import FunctionSignature
+from repro.testing.faults import inject_faults
+
+from repro.analysis import (
+    PassValidator,
+    ValidationOptions,
+    clone_function,
+    functions_structurally_equal,
+)
+
+
+def _poly_func(name="f"):
+    """f(a, b) = (a + a) * 3 + b — enough redundancy for gvn/instcombine."""
+    m = Module("t")
+    f = Function(name, FunctionType(I64, (I64, I64)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    s1 = b.add(f.args[0], f.args[0])
+    s2 = b.add(f.args[0], f.args[0])  # gvn fodder
+    prod = b.mul(s1, b.const(I64, 3))
+    dead = b.mul(s2, b.const(I64, 100))  # dce fodder
+    b.ret(b.add(prod, f.args[1]))
+    return m, f
+
+
+def _corrupt_ret(result, func):
+    """Silent miscompile: rewrite the return value to a constant."""
+    for blk in func.blocks:
+        for ins in blk.instructions:
+            if isinstance(ins, I.Ret) and ins.value is not None:
+                ins.operands[0] = Constant(I64, 12345)
+                return None
+    return None
+
+
+def test_clean_run_validates_and_accepts():
+    _m, f = _poly_func()
+    report = run_o3(f, validate=True)
+    assert report.validated
+    assert report.pass_log  # every step produced a verdict
+    assert report.rejected_passes == []
+    assert report.miscompiled_pass is None
+    assert all(v.ok for v in report.pass_log)
+
+
+def test_injected_miscompile_attributed_to_exact_pass():
+    m, f = _poly_func()
+    validator = PassValidator()
+    with inject_faults("pass:gvn", corrupt=_corrupt_ret):
+        report = run_o3(f, validator=validator)
+    assert report.validated
+    assert report.miscompiled_pass == "gvn"
+    assert report.rejected_passes == ["gvn"]
+    bad = [v for v in report.pass_log if not v.ok and not v.quarantined]
+    assert bad and bad[0].pass_name == "gvn"
+    assert bad[0].rolled_back
+    assert "divergence" in (bad[0].reason or "")
+    assert validator.stats.rejected == 1
+    assert validator.stats.rollbacks == 1
+    # the rolled-back function still computes the right answer
+    assert Interpreter(m).run(f, [5, 7]) == (5 + 5) * 3 + 7
+
+
+def test_rejected_pass_is_quarantined_for_later_runs():
+    validator = PassValidator()
+    _m, f = _poly_func()
+    with inject_faults("pass:gvn", corrupt=_corrupt_ret):
+        run_o3(f, validator=validator)
+    _m2, f2 = _poly_func("g")
+    report = run_o3(f2, validator=validator)
+    # gvn is skipped while quarantined: a quarantine verdict, no rejection
+    assert validator.stats.quarantine_skips > 0
+    quarantined = [v for v in report.pass_log if v.quarantined]
+    assert quarantined and all(v.pass_name == "gvn" for v in quarantined)
+    assert report.rejected_passes == []
+
+
+def test_structural_corruption_rejected_by_verifier():
+    def drop_terminator(result, func):
+        func.blocks[-1].instructions.pop()
+        return None
+
+    _m, f = _poly_func()
+    validator = PassValidator()
+    with inject_faults("pass:dce", corrupt=drop_terminator):
+        report = run_o3(f, validator=validator)
+    assert report.miscompiled_pass == "dce"
+    assert validator.stats.structural_rejections >= 1
+    bad = [v for v in report.pass_log if not v.ok and not v.quarantined][0]
+    assert bad.reason.startswith(("verifier:", "strict-ssa:"))
+    # rollback restored a well-formed body: the function still runs
+    assert Interpreter(_m).run(f, [2, 1]) == (2 + 2) * 3 + 1
+
+
+def test_run_pass_noop_shortcut():
+    _m, f = _poly_func()
+    validator = PassValidator()
+    result, verdict = validator.run_pass("nothing", lambda: False, f)
+    assert verdict.ok and not verdict.changed
+    assert validator.stats.validated == 0  # provable no-op: not validated
+
+
+def test_run_pass_detects_lying_pass():
+    # a pass that mutates the function but reports "no change" must still
+    # be validated (structural diff overrides the claim)
+    _m, f = _poly_func()
+    validator = PassValidator()
+
+    def lying_pass():
+        _corrupt_ret(None, f)
+        return False
+
+    _result, verdict = validator.run_pass("liar", lying_pass, f)
+    assert not verdict.ok
+    assert verdict.rolled_back
+
+
+def test_rollback_restores_exact_body():
+    _m, f = _poly_func()
+    snapshot = clone_function(f)
+    validator = PassValidator()
+
+    def corrupting_pass():
+        _corrupt_ret(None, f)
+        return True
+
+    _result, verdict = validator.run_pass("bad", corrupting_pass, f)
+    assert verdict.rolled_back
+    assert functions_structurally_equal(f, snapshot)
+
+
+def test_rollback_disabled_keeps_output():
+    _m, f = _poly_func()
+    validator = PassValidator(ValidationOptions(rollback=False))
+
+    def corrupting_pass():
+        _corrupt_ret(None, f)
+        return True
+
+    _result, verdict = validator.run_pass("bad", corrupting_pass, f)
+    assert not verdict.ok and not verdict.rolled_back
+    assert Interpreter(_m).run(f, [1, 1]) == 12345  # corruption kept
+
+
+def test_float_tolerance_accepts_reassociation():
+    from repro.ir import DOUBLE
+
+    m = Module("t")
+    f = Function("f", FunctionType(DOUBLE, (DOUBLE, DOUBLE)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(b.fadd(b.fadd(f.args[0], b.fconst(DOUBLE, 0.1)), f.args[1]))
+    validator = PassValidator()
+
+    def reassociate():
+        # (a + 0.1) + b  ->  a + (0.1 + b): bit-different, tolerably equal
+        blk = f.blocks[0]
+        inner, outer, _ret = blk.instructions
+        inner.operands[0] = f.args[1]
+        outer.operands[1] = f.args[0]
+        return True
+
+    _result, verdict = validator.run_pass("reassoc", reassociate, f)
+    assert verdict.ok, verdict.reason
+
+
+def test_validated_pipeline_through_transformer():
+    program = compile_c("long f(long a, long b) { return a * b + 3; }")
+    validator = PassValidator()
+    tx = BinaryTransformer(program.image, validator=validator)
+    res = tx.llvm_identity("f", FunctionSignature(("i", "i"), "i"))
+    assert res.o3_report is not None
+    assert res.o3_report.validated
+    assert res.o3_report.rejected_passes == []
+    assert validator.stats.validated > 0
+    from repro.cpu import Simulator
+
+    assert Simulator(program.image).call_int(res.name, (6, 7)) == 45
