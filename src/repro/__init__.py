@@ -36,6 +36,7 @@ from repro.guard import Budget, BudgetExceededError, GuardedTransformer
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory
+from repro.tier import DispatchHandle, TieredEngine, TierPolicy
 
 __version__ = "1.0.0"
 
@@ -45,6 +46,7 @@ __all__ = [
     "BudgetExceededError",
     "CompiledProgram",
     "CostModel",
+    "DispatchHandle",
     "Finding",
     "FixedMemory",
     "FunctionSignature",
@@ -55,6 +57,8 @@ __all__ = [
     "PassValidator",
     "Rewriter",
     "Simulator",
+    "TierPolicy",
+    "TieredEngine",
     "TransformResult",
     "ValidationOptions",
     "analyze_flags",

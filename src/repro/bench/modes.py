@@ -193,6 +193,35 @@ def prepare_kernel(ws: StencilWorkspace, code: str, mode: str, *,
     }, cache_stage=res.cache_stage)
 
 
+def register_tiered(ws: StencilWorkspace, code: str, engine, *,
+                    line: bool, uid: str = ""):
+    """Register one stencil cell with a :class:`~repro.tier.TieredEngine`.
+
+    Returns the :class:`~repro.tier.DispatchHandle`.  The registration
+    carries the same fixation key the eager modes use — the fixed stencil
+    descriptor, its memory regions, the separate DBrew inlining entry for
+    line kernels, and one real-matrix probe for the T2 admission gate — so
+    tiered steady-state code is byte-for-byte what ``dbrew+llvm`` builds.
+    """
+    if code not in CODES:
+        raise ValueError(f"unknown code variant {code}")
+    native = _native_kernel(code, line)
+    sig = _signature(line)
+    fix = _stencil_fix(ws, code)
+    fixes: dict[int, object] = {}
+    if fix["fix_memory"] is not None:
+        fixes[0] = fix["fix_memory"]
+    probe = _kernel_probe(ws, fix, fixes, line=line)
+    return engine.register(
+        native, sig,
+        fixes=fixes or None,  # type: ignore[arg-type]
+        mem_regions=fix["regions"],  # type: ignore[arg-type]
+        probes=(probe,),
+        name=f"t.{code}.{'line' if line else 'elem'}{uid}",
+        dbrew_func=_dbrew_input(code, line),
+    )
+
+
 def _dbrew_rewrite(ws: StencilWorkspace, code: str, line: bool, name: str,
                    cache: SpecializationCache | None = None) -> int:
     fix = _stencil_fix(ws, code)

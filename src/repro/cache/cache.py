@@ -36,11 +36,13 @@ into the in-memory LRU on first use.
 from __future__ import annotations
 
 import copy
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cache import keys as K
+from repro.cache.flight import FlightTable
 from repro.cache.negative import NegativeCache, NegativeEntry
 from repro.cache.store import DiskStore, LRUStore
 from repro.cpu.image import Image
@@ -141,6 +143,12 @@ class SpecializationCache:
     ``capacity`` bounds each in-memory IR stage store (entries, LRU);
     ``machine_capacity`` bounds the per-image installed-code stores;
     ``disk_dir`` enables the on-disk second level for IR stages.
+
+    Thread-safe: the stage stores and the quarantine lock internally (see
+    :mod:`repro.cache.store` / :mod:`repro.cache.negative`), image binding
+    holds the cache's own lock, and :attr:`flights` coalesces concurrent
+    compiles of one key into a single pipeline run.  Stats counters are
+    plain int increments — atomic enough under the GIL for telemetry.
     """
 
     def __init__(self, *, capacity: int = 256, machine_capacity: int = 1024,
@@ -153,21 +161,34 @@ class SpecializationCache:
         self._disk = DiskStore(disk_dir) if disk_dir else None
         self._images: "weakref.WeakKeyDictionary[Image, _ImageState]" = \
             weakref.WeakKeyDictionary()
+        self._attach_lock = threading.Lock()
         #: failure quarantine (see repro.cache.negative); shared with the
         #: guard ladder so a failed specialization is served its fallback
         #: without re-running the pipeline
         self.negative = negative if negative is not None \
             else NegativeCache(capacity=capacity * 4)
+        #: in-flight compile coalescing (see repro.cache.flight); shared by
+        #: every transformer attached to this cache, so N concurrent misses
+        #: on one machine key run one pipeline
+        self.flights = FlightTable()
 
     # -- image binding ---------------------------------------------------------
 
     def attach_image(self, image: Image) -> _ImageState:
-        """Bind to an image: registers the patch-invalidation hook."""
+        """Bind to an image: registers the patch-invalidation hook.
+
+        Locked — two threads racing the first attach must not register two
+        invalidation hooks (the loser's machine store would survive a
+        ``patch_code`` unflushed).
+        """
         state = self._images.get(image)
         if state is None:
-            state = _ImageState(self._machine_capacity, self.stats)
-            image.add_invalidation_hook(state.on_patch)
-            self._images[image] = state
+            with self._attach_lock:
+                state = self._images.get(image)
+                if state is None:
+                    state = _ImageState(self._machine_capacity, self.stats)
+                    image.add_invalidation_hook(state.on_patch)
+                    self._images[image] = state
         return state
 
     def code_digest(self, image: Image, func: str | int) -> str | None:

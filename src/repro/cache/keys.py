@@ -76,8 +76,18 @@ def options_digest(opts: object) -> str:
     return d
 
 
+#: value-keyed memo for frozen FunctionSignature digests — the signature
+#: digest sits on every transform/guard/dispatch key computation, and a
+#: process sees a handful of distinct signatures, not a stream
+_SIG_MEMO: dict[FunctionSignature, str] = {}
+
+
 def signature_digest(sig: FunctionSignature) -> str:
-    return digest_str("sig", ",".join(sig.params), sig.ret or "-")
+    d = _SIG_MEMO.get(sig)
+    if d is None:
+        d = digest_str("sig", ",".join(sig.params), sig.ret or "-")
+        _SIG_MEMO[sig] = d
+    return d
 
 
 def function_extent(image: Image, func: str | int) -> tuple[int, int] | None:

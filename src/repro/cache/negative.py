@@ -20,6 +20,7 @@ Entries carry a TTL and a retry budget:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -53,6 +54,12 @@ class NegativeCache:
     ``ttl`` is the initial quarantine window; each repeated failure doubles
     it up to ``max_ttl``.  After ``max_retries`` failures the entry stops
     expiring.  ``clock`` is injectable for deterministic tests.
+
+    Thread-safe: :meth:`check` mutates served counters and :meth:`record`
+    is a read-modify-write of the TTL back-off state, so both hold one
+    lock — concurrent failures of the same key from background compile
+    workers must not lose failure counts (a lost count under-backs-off
+    and re-runs a provably failing pipeline).
     """
 
     def __init__(self, *, capacity: int = 1024, ttl: float = 30.0,
@@ -63,6 +70,7 @@ class NegativeCache:
         self.max_retries = max_retries
         self._clock = clock
         self._store = LRUStore(capacity)
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.expirations = 0
@@ -73,37 +81,40 @@ class NegativeCache:
         An expired entry stays in the store (its failure count drives the
         back-off when the retry fails again) but is not served.
         """
-        entry: NegativeEntry | None = self._store.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if not entry.fresh(self._clock()):
-            self.expirations += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        entry.served += 1
-        return entry
+        with self._lock:
+            entry: NegativeEntry | None = self._store.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if not entry.fresh(self._clock()):
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            entry.served += 1
+            return entry
 
     def record(self, key: str, rung: str, reason: str,
                context: dict[str, Any] | None = None) -> NegativeEntry:
         """Quarantine (or re-quarantine, with back-off) a failure."""
-        now = self._clock()
-        entry: NegativeEntry | None = self._store.get(key)
-        if entry is None:
-            entry = NegativeEntry(key=key, rung=rung, reason=reason,
-                                  context=dict(context or {}), ttl=self.ttl)
-        else:
-            entry.failures += 1
-            entry.rung = rung
-            entry.reason = reason
-            entry.context = dict(context or {})
-            entry.ttl = min(entry.ttl * 2, self.max_ttl)
-        entry.expiry = now + entry.ttl
-        if entry.failures > self.max_retries:
-            entry.permanent = True
-        self._store.put(key, entry)
-        return entry
+        with self._lock:
+            now = self._clock()
+            entry: NegativeEntry | None = self._store.get(key)
+            if entry is None:
+                entry = NegativeEntry(key=key, rung=rung, reason=reason,
+                                      context=dict(context or {}),
+                                      ttl=self.ttl)
+            else:
+                entry.failures += 1
+                entry.rung = rung
+                entry.reason = reason
+                entry.context = dict(context or {})
+                entry.ttl = min(entry.ttl * 2, self.max_ttl)
+            entry.expiry = now + entry.ttl
+            if entry.failures > self.max_retries:
+                entry.permanent = True
+            self._store.put(key, entry)
+            return entry
 
     def forget(self, key: str) -> None:
         """Drop a quarantine entry (e.g. after a successful retry)."""

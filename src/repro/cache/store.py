@@ -7,6 +7,13 @@ warm).  The disk store is an optional second level for the
 position-independent stages (lifted / post-O3 IR): those survive process
 restarts, so a service that re-specializes the same kernels on every boot
 skips straight past decode+lift+O3.
+
+Both backends are thread-safe: the tiered execution engine compiles in
+background workers that hit the same stores as foreground dispatch, so
+every compound operation (put+evict, check-then-move) holds a lock.  The
+``OrderedDict`` operations underneath are *not* individually atomic —
+``move_to_end`` during ``popitem`` or iteration during ``put`` corrupts or
+raises — which is exactly what tests/tier/test_thread_safety.py hammers.
 """
 
 from __future__ import annotations
@@ -14,12 +21,17 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Any, Iterator
 
 
 class LRUStore:
-    """Ordered-dict LRU with a hard entry capacity."""
+    """Ordered-dict LRU with a hard entry capacity.
+
+    All operations hold an internal lock; ``keys`` returns a snapshot list
+    so callers can iterate while other threads mutate the store.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
@@ -27,35 +39,43 @@ class LRUStore:
         self.capacity = capacity
         self.evictions = 0
         self._data: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: str) -> Any | None:
-        try:
-            self._data.move_to_end(key)
-        except KeyError:
-            return None
-        return self._data[key]
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
 
     def put(self, key: str, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def discard(self, key: str) -> None:
-        self._data.pop(key, None)
+        with self._lock:
+            self._data.pop(key, None)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def keys(self) -> Iterator[str]:
-        return iter(self._data.keys())
+        with self._lock:
+            return iter(list(self._data.keys()))
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
 
 class DiskStore:
@@ -63,8 +83,10 @@ class DiskStore:
 
     Best-effort by design: a corrupt, unreadable or unwritable entry is a
     miss, never an error — the compile pipeline is always available as the
-    slow path.  Writes go through a temp file + rename so a concurrent
-    reader can never observe a torn entry.
+    slow path.  Writes go through a temp file + ``os.replace`` so a
+    concurrent reader (another thread *or* another process sharing the
+    directory) can never observe a torn entry; the rename is atomic on
+    POSIX, so no additional lock is needed for readers.
     """
 
     def __init__(self, root: str) -> None:

@@ -14,6 +14,7 @@ Layout mirrors a small static Linux binary:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.errors import SimulatorError
@@ -53,6 +54,12 @@ class Image:
         self._data_limit = DATA_BASE + data_size
         self._jit_limit = JIT_BASE + jit_size
         self._invalidation_hooks: list[Callable[[int, int], None]] = []
+        #: serializes code *installation* (base-address computation through
+        #: add_function) across threads — the JIT engine computes the base
+        #: before assembling, so two concurrent installs without this lock
+        #: would claim the same address.  Lift/optimize stages stay
+        #: lock-free; only the install tail of each compile serializes.
+        self.codegen_lock = threading.RLock()
         #: bumped once per *successful* patch_code; a failed patch rolls
         #: this back together with the bytes, so observers can use it as a
         #: cheap "did code change" check
@@ -115,7 +122,8 @@ class Image:
 
     def reserve_code(self, size: int, align: int = 16) -> int:
         """Reserve static code space; returns its address."""
-        addr, self._code_cursor = self._bump(self._code_cursor, self._code_limit, size, align)
+        with self.codegen_lock:
+            addr, self._code_cursor = self._bump(self._code_cursor, self._code_limit, size, align)
         return addr
 
     def add_function(self, name: str, code: bytes, *, jit: bool = False) -> int:
@@ -124,17 +132,18 @@ class Image:
         All-or-nothing: the allocation cursor and symbol table only commit
         after the bytes are in place, so a failed install is invisible.
         """
-        if jit:
-            addr, cursor = self._bump(self._jit_cursor, self._jit_limit, len(code), 16)
-        else:
-            addr, cursor = self._bump(self._code_cursor, self._code_limit, len(code), 16)
-        self.memory.write(addr, code)
-        if jit:
-            self._jit_cursor = cursor
-        else:
-            self._code_cursor = cursor
-        self.symbols[name] = addr
-        self.func_sizes[name] = len(code)
+        with self.codegen_lock:
+            if jit:
+                addr, cursor = self._bump(self._jit_cursor, self._jit_limit, len(code), 16)
+            else:
+                addr, cursor = self._bump(self._code_cursor, self._code_limit, len(code), 16)
+            self.memory.write(addr, code)
+            if jit:
+                self._jit_cursor = cursor
+            else:
+                self._code_cursor = cursor
+            self.symbols[name] = addr
+            self.func_sizes[name] = len(code)
         return addr
 
     def next_code_addr(self, *, jit: bool = False, align: int = 16) -> int:
@@ -144,17 +153,19 @@ class Image:
 
     def alloc_rodata(self, data: bytes, align: int = 16) -> int:
         """Place read-only bytes; returns their address."""
-        addr, self._rodata_cursor = self._bump(
-            self._rodata_cursor, self._rodata_limit, len(data), align
-        )
-        self.memory.write(addr, data)
+        with self.codegen_lock:
+            addr, self._rodata_cursor = self._bump(
+                self._rodata_cursor, self._rodata_limit, len(data), align
+            )
+            self.memory.write(addr, data)
         return addr
 
     def alloc_data(self, size: int, align: int = 16, data: bytes | None = None) -> int:
         """Allocate zeroed mutable space (the "heap"); returns its address."""
-        addr, self._data_cursor = self._bump(self._data_cursor, self._data_limit, size, align)
-        if data is not None:
-            self.memory.write(addr, data)
+        with self.codegen_lock:
+            addr, self._data_cursor = self._bump(self._data_cursor, self._data_limit, size, align)
+            if data is not None:
+                self.memory.write(addr, data)
         return addr
 
     # -- symbols ----------------------------------------------------------------

@@ -256,6 +256,10 @@ class Rewriter:
             if self.budget is not None:
                 self.budget.charge("trace_points", stage="rewrite",
                                    addr=point.addr)
+                # trace-point boundaries are the rewriter's cooperative
+                # yield points: state is self-contained in the worklist, so
+                # a background compile can be throttled here indefinitely
+                self.budget.checkpoint("rewrite", addr=point.addr)
             out.append(Label(point.label))
             self._process_point(point, out, worklist)
             if len(out) * 4 > self.code_size_limit:

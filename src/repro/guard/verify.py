@@ -215,7 +215,9 @@ class DifferentialGate:
         try:
             for probe in all_probes:
                 if budget is not None:
-                    budget.check_deadline("verify")
+                    # per-probe cooperative checkpoint: the T2 admission
+                    # gate runs on background workers too
+                    budget.checkpoint("verify")
                 out = ProbeOutcome(args=probe)
                 report.probes.append(out)
                 int_args, f64_args = self._full_args(probe, signature, fixes)

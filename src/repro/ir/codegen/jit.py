@@ -42,9 +42,10 @@ class JITEngine:
 
     def place_globals(self, module: Module) -> None:
         """Copy module globals into the image's rodata."""
-        for g in module.globals.values():
-            if g.addr is None:
-                g.addr = self.image.alloc_rodata(g.initializer, align=16)
+        with self.image.codegen_lock:
+            for g in module.globals.values():
+                if g.addr is None:
+                    g.addr = self.image.alloc_rodata(g.initializer, align=16)
 
     def compile_function(self, func: Function, *, name: str | None = None,
                          extra_symbols: dict[str, int] | None = None) -> int:
@@ -60,25 +61,34 @@ class JITEngine:
             raise exc.with_context(stage="codegen", function=func.name)
         if self.options.optimize_tac:
             tac_optimize(tf)
-        symbols = dict(self.image.symbols)
-        if extra_symbols:
-            symbols.update(extra_symbols)
-        # declared callees must resolve through existing image symbols
-        items: list[Item] = emit_function(
-            tf, self.pool,
-            EmitOptions(mul_style=self.options.mul_style,
-                        const_addressing=self.options.const_addressing),
-            symbols,
-        )
-        base = self.image.next_code_addr(jit=True)
-        code, _placed, labels = assemble_full(items, base)
-        install_name = name or func.name
-        addr = self.image.add_function(install_name, code, jit=True)
+        # the base address is computed before assembling against it, so
+        # emit-through-install must be one critical section per image:
+        # concurrent background compiles (repro.tier) would otherwise
+        # claim the same JIT address
+        with self.image.codegen_lock:
+            symbols = dict(self.image.symbols)
+            if extra_symbols:
+                symbols.update(extra_symbols)
+            # declared callees must resolve through existing image symbols
+            items: list[Item] = emit_function(
+                tf, self.pool,
+                EmitOptions(mul_style=self.options.mul_style,
+                            const_addressing=self.options.const_addressing),
+                symbols,
+            )
+            base = self.image.next_code_addr(jit=True)
+            code, _placed, labels = assemble_full(items, base)
+            install_name = name or func.name
+            addr = self.image.add_function(install_name, code, jit=True)
         assert addr == labels[func.name]
         return addr
 
     def compile_module(self, module: Module) -> dict[str, int]:
         """Compile every defined function; returns name -> address."""
+        with self.image.codegen_lock:
+            return self._compile_module(module)
+
+    def _compile_module(self, module: Module) -> dict[str, int]:
         self.place_globals(module)
         out: dict[str, int] = {}
         # two passes so intra-module calls resolve: declarations first

@@ -154,7 +154,11 @@ def run_o3(func: Function, options: O3Options = O3Options(),
         return changed
 
     if budget is not None:
-        budget.check_deadline("opt")
+        # checkpoint, not bare check_deadline: the -O3 sweep is the longest
+        # uninterruptible span of a background compile, so each sweep
+        # boundary is a cooperative yield point where the tiered engine can
+        # deprioritize the worker (Budget.yield_hook)
+        budget.checkpoint("opt")
     step("simplifycfg", lambda: simplifycfg.run(func))
     if options.enable_mem2reg:
         step("mem2reg", lambda: mem2reg.run(func))
@@ -162,7 +166,7 @@ def run_o3(func: Function, options: O3Options = O3Options(),
     for _ in range(options.max_iterations):
         if budget is not None:
             budget.charge("opt_iterations", stage="opt")
-            budget.check_deadline("opt")
+            budget.checkpoint("opt")
         report.iterations += 1
         changed = False
         if options.enable_inline:

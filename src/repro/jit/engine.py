@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cache import MachineEntry, SpecializationCache
 from repro.cache import keys as cache_keys
@@ -55,6 +56,9 @@ class TransformResult:
     #: the served machine entry had already passed the verification gate
     #: (only meaningful on a machine-stage hit; see MachineEntry.gated)
     machine_gated: bool = False
+    #: this request joined another thread's in-flight compile of the same
+    #: key and was served the leader's installed code (no pipeline ran)
+    coalesced: bool = False
     #: the main function's pipeline report (None on machine/module cache
     #: hits — the optimizer did not run); carries per-pass validation
     #: verdicts when the transformer runs with a validator attached
@@ -89,6 +93,11 @@ class BinaryTransformer:
         #: shared :class:`repro.guard.Budget` charged by lift/opt/codegen
         #: stages (None = unlimited); never part of cache keys
         self.budget = budget
+        #: per-call profiling hook: invoked with every TransformResult this
+        #: engine produces (hits and misses alike).  The tiered engine
+        #: attaches here to collect compile-cost telemetry per tier without
+        #: wrapping every evaluation-mode method.
+        self.on_result: "Callable[[TransformResult], None] | None" = None
         #: (image generation, digest) memo for the lifter configuration —
         #: it hashes known-callee bytes, so it must follow image patches
         self._lift_digest: tuple[int, str] | None = None
@@ -158,7 +167,7 @@ class BinaryTransformer:
 
     def _codegen(self, main: Function, out_name: str) -> tuple[int, float]:
         if self.budget is not None:
-            self.budget.check_deadline("codegen")  # type: ignore[attr-defined]
+            self.budget.checkpoint("codegen")  # type: ignore[attr-defined]
         t0 = time.perf_counter()
         addr = JITEngine(self.image, self.jit_options).compile_function(
             main, name=out_name
@@ -168,7 +177,14 @@ class BinaryTransformer:
     def _transform(self, func: str | int, signature: FunctionSignature,
                    fixes: dict[int, int | float | FixedMemory] | None,
                    out_name: str, mode: str) -> TransformResult:
-        """The shared memoized pipeline behind both LLVM modes."""
+        """The shared memoized pipeline behind both LLVM modes.
+
+        A machine-stage miss is routed through the cache's
+        :class:`~repro.cache.FlightTable`: of N threads missing on the same
+        installed-code key concurrently, one runs the pipeline and the rest
+        block until it installs, then serve the result as a machine-stage
+        hit (``coalesced=True``) — one compile, one installed copy.
+        """
         cache = self.cache
         lkey = mkey = xkey = None
         if cache is not None:
@@ -182,18 +198,54 @@ class BinaryTransformer:
             xkey = cache_keys.machine_key(
                 mkey, cache_keys.options_digest(self.jit_options))
 
-            entry = cache.get_machine(self.image, xkey)
-            if entry is not None:
-                # already installed in this image: alias the requested name
-                # to the existing code, nothing to compile
-                self.image.symbols[out_name] = entry.addr
-                self.image.func_sizes[out_name] = entry.size
-                cache.note_transform("machine")
-                return TransformResult(entry.addr, out_name, entry.function,
-                                       entry.module, cache_stage="machine",
-                                       machine_key=xkey,
-                                       machine_gated=entry.gated)
+            served = self._serve_machine(xkey, out_name)
+            if served is not None:
+                return self._done(served)
 
+            result, leader = cache.flights.run(
+                ("transform", id(self.image), xkey),
+                lambda: self._compile(func, signature, fixes, out_name, mode,
+                                      lkey, mkey, xkey))
+            if leader:
+                return self._done(result)
+            served = self._serve_machine(xkey, out_name, coalesced=True)
+            if served is not None:
+                return self._done(served)
+            # leader's entry already evicted (tiny machine capacity under
+            # churn): fall through to a private compile
+        return self._done(self._compile(func, signature, fixes, out_name,
+                                        mode, lkey, mkey, xkey))
+
+    def _done(self, result: TransformResult) -> TransformResult:
+        if self.on_result is not None:
+            self.on_result(result)
+        return result
+
+    def _serve_machine(self, xkey: str, out_name: str, *,
+                       coalesced: bool = False) -> TransformResult | None:
+        """Alias an installed machine entry under ``out_name``, if cached."""
+        assert self.cache is not None
+        entry = self.cache.get_machine(self.image, xkey)
+        if entry is None:
+            return None
+        # already installed in this image: alias the requested name
+        # to the existing code, nothing to compile
+        self.image.symbols[out_name] = entry.addr
+        self.image.func_sizes[out_name] = entry.size
+        self.cache.note_transform("machine")
+        return TransformResult(entry.addr, out_name, entry.function,
+                               entry.module, cache_stage="machine",
+                               machine_key=xkey, machine_gated=entry.gated,
+                               coalesced=coalesced)
+
+    def _compile(self, func: str | int, signature: FunctionSignature,
+                 fixes: dict[int, int | float | FixedMemory] | None,
+                 out_name: str, mode: str, lkey: str | None,
+                 mkey: str | None, xkey: str | None) -> TransformResult:
+        """The miss path: module-stage lookup, then the full pipeline."""
+        cache = self.cache
+        if mkey is not None:
+            assert cache is not None and xkey is not None
             hit = cache.get_module(mkey)
             if hit is not None:
                 module, main_name = hit

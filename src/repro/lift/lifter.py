@@ -271,6 +271,13 @@ class Lifter:
             assert isinstance(t, Imm)
             taken = ir_blocks[t.value]
             fallthrough = ir_blocks[gb.end]
+            if taken is fallthrough:
+                # degenerate Jcc whose target is its own fall-through: one
+                # CFG edge, or the successor's phis would list this block
+                # twice (phi incoming lists mirror edges, not branches)
+                self.b.br(taken)
+                edges.append((gb.start, gb.end))
+                return
             self.b.cond_br(cond, taken, fallthrough)
             edges.append((gb.start, t.value))
             edges.append((gb.start, gb.end))

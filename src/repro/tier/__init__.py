@@ -1,0 +1,48 @@
+"""Tiered execution engine: hotness-profiled background compilation.
+
+The paper's headline cost is rewriting latency (Fig. 10: tens of
+milliseconds per specialization), which it amortizes by hand — the caller
+decides when rewriting pays off.  BAAR and LeanBin show the runtime-system
+fix: profile hotness, keep callers on the best *ready* code, and move
+LLVM-grade optimization off the hot path into background workers.  This
+package is that architecture for the repro pipeline:
+
+* :class:`TieredEngine` — registers (function, fixation) pairs, owns the
+  background compile pool and the dispatch table;
+* :class:`DispatchHandle` — the per-registration front door: ``address()``
+  returns the best ready tier's entry address in sub-microsecond time and
+  never stalls on a compile;
+* :class:`TierPolicy` / :class:`TierGovernor` — call-count promotion
+  thresholds, measured-cycle demotion with hysteresis, gate-rejection
+  pinning;
+* tiers — **T0** the original code, **T1** a lightweight ``llvm-fix``
+  rewrite (:meth:`O3Options.lightweight`), **T2** the full
+  dbrew+llvm+O3 specialization admitted through the
+  :class:`~repro.guard.GuardedTransformer` ladder and differential gate.
+"""
+
+from repro.tier.engine import TierStats, TieredEngine
+from repro.tier.handle import DispatchHandle, TierCode
+from repro.tier.policy import (
+    NUM_TIERS,
+    T0,
+    T1,
+    T2,
+    TIER_NAMES,
+    TierGovernor,
+    TierPolicy,
+)
+
+__all__ = [
+    "DispatchHandle",
+    "NUM_TIERS",
+    "T0",
+    "T1",
+    "T2",
+    "TIER_NAMES",
+    "TierCode",
+    "TierGovernor",
+    "TierPolicy",
+    "TierStats",
+    "TieredEngine",
+]

@@ -1,0 +1,451 @@
+"""TieredEngine: background compilation behind zero-stall dispatch.
+
+The engine owns a small :class:`~concurrent.futures.ThreadPoolExecutor` of
+compile workers plus the dispatch table of registered
+:class:`~repro.tier.handle.DispatchHandle` objects.  The life of a handle:
+
+1. **register** — the handle starts at T0 (the original code); the first
+   call costs exactly a counter bump and an attribute read.
+2. **promotion** — when the call counter crosses a governor threshold the
+   dispatch slow path *enqueues* a compile job and returns immediately;
+   callers keep running the current tier while the worker compiles.
+3. **install** — the worker installs the result by swapping the handle's
+   immutable :class:`TierCode` record under the handle lock, but only if
+   the job's fixation *epoch* still matches the handle; a ``refix`` racing
+   with a compile supersedes it and the stale result is discarded, never
+   installed.
+4. **demotion** — measured per-call costs reported via
+   :meth:`DispatchHandle.observe` feed the governor's EWMA; a tier that is
+   consistently worse than a lower ready tier is demoted (with back-off,
+   so it does not flap).
+
+Tier meanings (:mod:`repro.tier.policy`):
+
+* **T1** is the cheap rung: :class:`~repro.jit.BinaryTransformer` with
+  :meth:`O3Options.lightweight` — the paper's Sec. VII "small subset of
+  passes" proposal; with fixes it runs ``llvm-fix``, otherwise a plain
+  lift-and-regenerate.
+* **T2** is the full specialization: the
+  :class:`~repro.guard.GuardedTransformer` ladder (``dbrew+llvm`` when
+  there is anything to specialize) with the differential gate as
+  *admission control* — a rejected candidate pins the handle at its
+  current tier instead of ever serving unverified code.
+
+Worker compiles are *cooperative*: each job's
+:class:`~repro.guard.Budget` gets a yield hook that blocks on the
+engine's run gate, so :meth:`pause` throttles in-flight compiles at their
+next trace-point/sweep/stage checkpoint without any stage knowing about
+threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cache import SpecializationCache
+from repro.cpu.image import Image
+from repro.errors import ReproError
+from repro.guard import Budget, GateOptions, GuardedTransformer
+from repro.ir.codegen import JITOptions
+from repro.ir.passes import O3Options
+from repro.jit import BinaryTransformer, TransformResult
+from repro.lift import FunctionSignature, LiftOptions
+from repro.lift.fixation import FixedMemory
+from repro.tier.handle import DispatchHandle, TierCode
+from repro.tier.policy import NUM_TIERS, T1, T2, TierGovernor, TierPolicy
+
+
+@dataclass
+class TierStats:
+    """Aggregate engine counters (read with :meth:`snapshot`)."""
+
+    registered: int = 0
+    #: compile jobs submitted / installed / rejected, by target tier
+    submitted: dict[int, int] = field(
+        default_factory=lambda: {t: 0 for t in range(1, NUM_TIERS)})
+    installs: dict[int, int] = field(
+        default_factory=lambda: {t: 0 for t in range(1, NUM_TIERS)})
+    rejections: dict[int, int] = field(
+        default_factory=lambda: {t: 0 for t in range(1, NUM_TIERS)})
+    #: wall seconds spent inside compile jobs, by target tier
+    compile_seconds: dict[int, float] = field(
+        default_factory=lambda: {t: 0.0 for t in range(1, NUM_TIERS)})
+    #: finished jobs discarded because a refix superseded their epoch
+    stale_discards: int = 0
+    demotions: int = 0
+    refixes: int = 0
+    #: TransformResults observed via the per-call profiling hook
+    pipeline_results: int = 0
+    #: of those, served by joining another thread's in-flight compile
+    coalesced: int = 0
+    #: of those, served from a warm cache stage (stage name -> count)
+    cache_served: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "registered": self.registered,
+            "submitted": dict(self.submitted),
+            "installs": dict(self.installs),
+            "rejections": dict(self.rejections),
+            "compile_seconds": dict(self.compile_seconds),
+            "stale_discards": self.stale_discards,
+            "demotions": self.demotions,
+            "refixes": self.refixes,
+            "pipeline_results": self.pipeline_results,
+            "coalesced": self.coalesced,
+            "cache_served": dict(self.cache_served),
+        }
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One queued background compile."""
+
+    handle: DispatchHandle
+    target: int
+    epoch: int
+    seq: int
+
+
+class TieredEngine:
+    """Hotness-profiled tiered execution over one image."""
+
+    def __init__(self, image: Image, *,
+                 cache: SpecializationCache | None = None,
+                 policy: TierPolicy | None = None,
+                 max_workers: int = 2,
+                 clock: Callable[[], float] = time.monotonic,
+                 gate_options: GateOptions = GateOptions(),
+                 lift_options: LiftOptions | None = None,
+                 jit_options: JITOptions | None = None,
+                 t2_o3_options: O3Options | None = None,
+                 budget_factory: Callable[[], Budget] | None = None,
+                 on_install: "Callable[[DispatchHandle, TierCode], None] | None"
+                 = None) -> None:
+        self.image = image
+        self.cache = cache if cache is not None else SpecializationCache()
+        self.policy = policy if policy is not None else TierPolicy()
+        self.clock = clock
+        self.gate_options = gate_options
+        self.lift_options = lift_options
+        self.jit_options = jit_options
+        self.t2_o3_options = t2_o3_options
+        #: per-job budget source; the engine chains its throttle gate onto
+        #: whatever yield hook the factory's budgets already carry
+        self.budget_factory = budget_factory
+        #: called (outside the handle lock) after every install — the
+        #: stencil driver uses this to invalidate simulator decode caches
+        self.on_install = on_install
+        self.stats = TierStats()
+        self.handles: dict[str, DispatchHandle] = {}
+        self._lock = threading.RLock()
+        self._seq = itertools.count()
+        self._closed = False
+        #: set = run, cleared = throttle workers at their next checkpoint
+        self._run_gate = threading.Event()
+        self._run_gate.set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-tier")
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, func: str | int, signature: FunctionSignature, *,
+                 fixes: dict[int, int | float | FixedMemory] | None = None,
+                 mem_regions: Sequence[tuple[int, int]] = (),
+                 probes: Sequence[tuple] = (),
+                 name: str | None = None,
+                 dbrew_func: str | int | None = None,
+                 policy: TierPolicy | None = None) -> DispatchHandle:
+        """Front a (function, fixation) pair with a dispatch handle.
+
+        ``fixes``/``mem_regions``/``probes``/``dbrew_func`` have the same
+        meaning as in :meth:`GuardedTransformer.transform`; they define the
+        fixation key the upgrade tiers compile for.  The handle starts at
+        T0 and is immediately dispatchable.
+        """
+        if self._closed:
+            raise RuntimeError("TieredEngine is closed")
+        entry = self.image.symbol(func) if isinstance(func, str) else func
+        base = func if isinstance(func, str) else f"f{func:x}"
+        hname = name or f"{base}.tiered"
+        governor = TierGovernor(policy=policy or self.policy,
+                                clock=self.clock)
+        handle = DispatchHandle(self, hname, func, entry, signature, fixes,
+                                mem_regions, probes, dbrew_func, governor)
+        with self._lock:
+            if hname in self.handles:
+                raise ValueError(f"handle {hname!r} already registered")
+            self.handles[hname] = handle
+            self.stats.registered += 1
+        return handle
+
+    def refix(self, handle: DispatchHandle,
+              fixes: dict[int, int | float | FixedMemory] | None = None, *,
+              mem_regions: Sequence[tuple[int, int]] = (),
+              probes: Sequence[tuple] = ()) -> None:
+        """Supersede the handle's fixation key (new parameter values).
+
+        Bumps the compile epoch — in-flight jobs for the old key finish
+        but their results are discarded at install time — drops every
+        upgrade tier, rebases hotness, and falls back to T0 until the new
+        key earns its promotions.
+        """
+        with handle._cv:
+            handle.epoch += 1
+            handle.fixes = dict(fixes) if fixes else None
+            handle.mem_regions = tuple(mem_regions)
+            handle.probes = tuple(probes)
+            handle.governor.rebase(handle.calls)
+            handle._version += 1
+            t0 = TierCode(0, handle.entry, handle.name, handle._version,
+                          handle.epoch, "original")
+            handle.codes = {0: t0}
+            handle._code = t0
+            handle._next_review = handle.governor.next_review(handle.calls, 0)
+            handle._cv.notify_all()
+        with self._lock:
+            self.stats.refixes += 1
+
+    # -- dispatch slow path ------------------------------------------------
+
+    def _review(self, handle: DispatchHandle) -> None:
+        """Counter crossed a threshold: maybe enqueue a compile.
+
+        Non-blocking by construction: if another thread holds the handle
+        lock (an install or a concurrent review), this call just returns —
+        the counter keeps climbing and a later call retries.
+        """
+        if self._closed:
+            return
+        job = None
+        if not handle._cv.acquire(blocking=False):
+            return
+        try:
+            cur = handle._code.tier
+            target = handle.governor.next_target(handle.calls, cur,
+                                                 handle.in_flight)
+            if target is not None:
+                handle.in_flight.add(target)
+                job = _Job(handle, target, handle.epoch, next(self._seq))
+            handle._next_review = handle.governor.next_review(
+                handle.calls, cur)
+        finally:
+            handle._cv.release()
+        if job is not None:
+            with self._lock:
+                self.stats.submitted[job.target] += 1
+            self._pool.submit(self._run_job, job)
+
+    def _observe(self, handle: DispatchHandle, tier: int,
+                 cycles: float) -> None:
+        with handle._cv:
+            demote_to = handle.governor.observe(tier, cycles)
+            if demote_to is None or demote_to not in handle.codes \
+                    or handle._code.tier != tier:
+                return
+            handle.governor.on_demote(tier, handle.calls)
+            handle._code = handle.codes[demote_to]
+            handle._next_review = handle.governor.next_review(
+                handle.calls, demote_to)
+            handle._cv.notify_all()
+        with self._lock:
+            self.stats.demotions += 1
+
+    # -- background compilation --------------------------------------------
+
+    def _job_budget(self) -> Budget:
+        budget = self.budget_factory() if self.budget_factory else Budget()
+        inner = budget.yield_hook
+
+        def hook() -> None:
+            self._run_gate.wait()
+            if inner is not None:
+                inner()
+
+        budget.yield_hook = hook
+        return budget
+
+    def _note_result(self, result: TransformResult) -> None:
+        with self._lock:
+            self.stats.pipeline_results += 1
+            if result.coalesced:
+                self.stats.coalesced += 1
+            if result.cache_stage is not None:
+                self.stats.cache_served[result.cache_stage] = (
+                    self.stats.cache_served.get(result.cache_stage, 0) + 1)
+
+    def _run_job(self, job: _Job) -> None:
+        handle = job.handle
+        self._run_gate.wait()
+        if handle.epoch != job.epoch or self._closed:
+            with handle._cv:
+                handle.in_flight.discard(job.target)
+                handle._cv.notify_all()
+            with self._lock:
+                self.stats.stale_discards += 1
+            return
+
+        t0 = time.perf_counter()
+        addr = mode = reject_reason = None
+        verified = False
+        out_name = f"{handle.name}.t{job.target}.e{job.epoch}.s{job.seq}"
+        try:
+            if job.target == T1:
+                addr, mode = self._compile_t1(handle, out_name)
+            else:
+                addr, mode, verified, reject_reason = self._compile_t2(
+                    handle, out_name)
+        except ReproError as exc:
+            reject_reason = f"{type(exc).__name__}: {exc}"
+        except BaseException as exc:  # pragma: no cover - defensive
+            reject_reason = f"internal error: {exc!r}"
+        seconds = time.perf_counter() - t0
+
+        installed: TierCode | None = None
+        with handle._cv:
+            handle.in_flight.discard(job.target)
+            try:
+                if handle.epoch != job.epoch:
+                    with self._lock:
+                        self.stats.stale_discards += 1
+                elif reject_reason is not None or addr is None:
+                    handle.governor.on_reject(
+                        job.target, reject_reason or "no result")
+                    with self._lock:
+                        self.stats.rejections[job.target] += 1
+                else:
+                    handle._version += 1
+                    installed = TierCode(job.target, addr, out_name,
+                                         handle._version, job.epoch,
+                                         mode or "?", verified)
+                    handle.codes[job.target] = installed
+                    if job.target > handle._code.tier:
+                        handle._code = installed
+                    handle.governor.on_install(job.target)
+                    with self._lock:
+                        self.stats.installs[job.target] += 1
+                handle._next_review = handle.governor.next_review(
+                    handle.calls, handle._code.tier)
+            finally:
+                handle._cv.notify_all()
+        with self._lock:
+            self.stats.compile_seconds[job.target] += seconds
+        if installed is not None and self.on_install is not None:
+            self.on_install(handle, installed)
+
+    def _compile_t1(self, handle: DispatchHandle,
+                    out_name: str) -> tuple[int, str]:
+        """The cheap tier: lightweight pass subset, no gate.
+
+        T1 code is produced by the same lifter/codegen as everything else
+        and carries no fixation when the handle has none, so it is served
+        ungated — the differential gate is T2's admission control, where
+        specialization actually changes semantics-relevant structure.
+        """
+        budget = self._job_budget().start()
+        o3 = O3Options.lightweight()
+        if handle.fixes:
+            # the fixation wrapper calls the lifted original, which only
+            # exists inside the module — the inliner must collapse that
+            # call or codegen has no symbol to resolve it against
+            o3 = o3.replace(enable_inline=True)
+        tx = BinaryTransformer(
+            self.image, o3_options=o3,
+            cache=self.cache, budget=budget,
+            lift_options=self.lift_options, jit_options=self.jit_options)
+        tx.on_result = self._note_result
+        if handle.fixes:
+            res = tx.llvm_fixed(handle.func, handle.signature, handle.fixes,
+                                name=out_name)
+            return res.addr, "llvm-fix"
+        res = tx.llvm_identity(handle.func, handle.signature, name=out_name)
+        return res.addr, "llvm"
+
+    def _compile_t2(self, handle: DispatchHandle, out_name: str,
+                    ) -> tuple[int | None, str | None, bool, str | None]:
+        """The full tier: guarded dbrew+llvm+O3 with gate admission.
+
+        The guard's own ladder is restricted to the strongest applicable
+        rung: T2 is *the* specialization tier, so a failure there must pin
+        the handle (reported as a rejection), not silently install a rung
+        the cheaper tiers already cover.
+        """
+        budget = self._job_budget()
+        guard = GuardedTransformer(
+            self.image, cache=self.cache, budget=budget,
+            gate_options=self.gate_options, lift_options=self.lift_options,
+            o3_options=self.t2_o3_options, jit_options=self.jit_options)
+        guard.tx.on_result = self._note_result
+        specializing = bool(handle.fixes) or bool(handle.mem_regions)
+        ladder = ("dbrew+llvm",) if specializing else ("llvm",)
+        res = guard.transform(
+            handle.func, handle.signature, handle.fixes,
+            mem_regions=handle.mem_regions, name=out_name,
+            probes=handle.probes, ladder=ladder,
+            dbrew_func=handle.dbrew_func)
+        if res.degraded:
+            failures = "; ".join(res.failure_summary()) or "ladder degraded"
+            return None, None, False, failures
+        verified = res.verified or (res.result is not None
+                                    and res.result.machine_gated)
+        return res.addr, res.mode, verified, None
+
+    # -- scheduling controls -----------------------------------------------
+
+    def pause(self) -> None:
+        """Throttle background compiles at their next budget checkpoint."""
+        self._run_gate.clear()
+
+    def resume(self) -> None:
+        self._run_gate.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._run_gate.is_set()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no compile is queued or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in list(self.handles.values()):
+            with handle._cv:
+                remaining = None if deadline is None else \
+                    deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    if handle.in_flight:
+                        return False
+                    continue
+                if not handle._cv.wait_for(lambda: not handle.in_flight,
+                                           remaining):
+                    return False
+        return True
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the pool down.
+
+        The run gate is re-opened first so paused workers can finish (or
+        discard) instead of deadlocking the shutdown.
+        """
+        self._closed = True
+        self.resume()
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "TieredEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "closed": self._closed,
+                "paused": self.paused,
+                "stats": self.stats.snapshot(),
+                "handles": {n: h.snapshot()
+                            for n, h in self.handles.items()},
+            }

@@ -73,6 +73,24 @@ def test_lift_comparisons_and_branches():
     check_int(src, "f", ("i", "i"), [(1, 2), (2, 2), (200, 2), (50, 2)])
 
 
+def test_lift_jcc_to_fallthrough_single_edge():
+    # `a < a` branches compile to a Jcc whose target IS the fall-through
+    # block; the lifter must emit one CFG edge (an unconditional br), or the
+    # successor's phis list the predecessor twice (hypothesis-found)
+    src = """
+    long f(long a, long b) {
+        long x = a;
+        if (a < a) { x = b; } else { if (a < a) { x = x; } }
+        return x;
+    }
+    """
+    img, sim, m, f = lift_c(src, "f", FunctionSignature(("i", "i"), "i"))
+    for blk in f.blocks:
+        preds = list(f.predecessors(blk))
+        assert len(preds) == len(set(preds)), blk.name
+    check_int(src, "f", ("i", "i"), [(0, 0), (5, 9), (-3, 7)])
+
+
 def test_lift_unsigned_compare():
     check_int("long f(unsigned long a, unsigned long b) { return a < b; }",
               "f", ("i", "i"), [(1, 2), (-1, 2), (2, -1)])
