@@ -1,0 +1,163 @@
+"""Observability overhead: disabled tracing must be free, enabled cheap.
+
+The DESIGN §10 cost contract: with tracing disabled every instrumentation
+site is one attribute check, so the two hottest paths in the system —
+the tiered engine's ``DispatchHandle.address()`` (PR 4's zero-stall
+dispatch) and a warm ``GuardedTransformer.transform`` (machine-stage
+cache hit) — must run within 5% of their untraced baselines.  The
+enabled-mode cost is measured alongside for the record (it pays for span
+allocation and a lock per finish, and is expected to be visible).
+
+Also runnable standalone (CI smoke):
+``python bench_obs_overhead.py --quick --json BENCH_obs.json``.
+"""
+
+import argparse
+import json
+import statistics
+import time
+
+from repro.cache import SpecializationCache
+from repro.cc import compile_c
+from repro.cpu import Image
+from repro.guard import GuardedTransformer
+from repro.lift import FunctionSignature
+from repro.obs.trace import TRACER
+from repro.tier import TieredEngine, TierPolicy
+from repro.tier.handle import DispatchHandle
+
+MAX_DISABLED_OVERHEAD = 0.05
+
+_COLD = TierPolicy(promote_calls=(10**9, 10**9))
+
+
+def _median_pair(fn_a, fn_b, rounds: int) -> tuple[float, float]:
+    """Median of interleaved laps per arm (see bench_guard_overhead)."""
+    def lap(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    pairs = [(lap(fn_a), lap(fn_b)) for _ in range(rounds)]
+    return (statistics.median(p[0] for p in pairs),
+            statistics.median(p[1] for p in pairs))
+
+
+def run_dispatch(rounds: int = 40, calls: int = 20_000) -> dict:
+    """p50 of the dispatch hot path: bare class function vs handle call."""
+    assert not TRACER.enabled
+    with TieredEngine(Image(), policy=_COLD) as eng:
+        h = eng.register(0x1000, FunctionSignature(("i",), "i"))
+        plain = DispatchHandle.address
+
+        def bare():
+            for _ in range(calls):
+                plain(h)
+
+        def dispatched():
+            for _ in range(calls):
+                h.address()
+
+        base, off = _median_pair(bare, dispatched, rounds)
+    return {"dispatch_bare_ns": base / calls * 1e9,
+            "dispatch_disabled_ns": off / calls * 1e9,
+            "dispatch_overhead": off / base - 1.0}
+
+
+def run_warm_guard(rounds: int = 60) -> dict:
+    """Warm guarded transform: untraced impl vs wrapper, off and on."""
+    assert not TRACER.enabled
+    prog = compile_c("long f(long a, long b) { return a * b + 3; }")
+    guard = GuardedTransformer(prog.image, cache=SpecializationCache())
+    sig = FunctionSignature(("i", "i"), "i")
+    kwargs = dict(name="f.obs", ladder=("llvm",))
+    out = guard.transform("f", sig, **kwargs)  # cold: warms the cache
+    assert not out.degraded
+    assert guard.transform("f", sig, **kwargs).result.cache_stage is not None
+
+    base, off = _median_pair(
+        lambda: guard._transform_impl("f", sig, None, mem_regions=(),
+                                      probes=(), dbrew_func=None, **kwargs),
+        lambda: guard.transform("f", sig, **kwargs),
+        rounds)
+
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        on = statistics.median(
+            _lap(lambda: guard.transform("f", sig, **kwargs))
+            for _ in range(rounds))
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+    return {"warm_bare_us": base * 1e6,
+            "warm_disabled_us": off * 1e6,
+            "warm_enabled_us": on * 1e6,
+            "warm_overhead": off / base - 1.0,
+            "warm_enabled_overhead": on / base - 1.0}
+
+
+def _lap(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def run_all(rounds_dispatch: int = 40, rounds_warm: int = 60) -> dict:
+    out = run_dispatch(rounds=rounds_dispatch)
+    out.update(run_warm_guard(rounds=rounds_warm))
+    return out
+
+
+def _report_lines(r) -> list[str]:
+    return [
+        f"dispatch  bare {r['dispatch_bare_ns']:7.1f} ns   "
+        f"disabled-trace {r['dispatch_disabled_ns']:7.1f} ns   "
+        f"({r['dispatch_overhead']:+.1%})",
+        f"warm tx   bare {r['warm_bare_us']:7.1f} us   "
+        f"disabled-trace {r['warm_disabled_us']:7.1f} us   "
+        f"({r['warm_overhead']:+.1%})",
+        f"warm tx   enabled-trace {r['warm_enabled_us']:7.1f} us   "
+        f"({r['warm_enabled_overhead']:+.1%}, pays span alloc + lock)",
+    ]
+
+
+def test_disabled_tracing_overhead_within_budget():
+    from conftest import record
+
+    r = run_all()
+    for line in _report_lines(r):
+        record("Observability: disabled-tracing overhead on hot paths", line)
+    assert r["dispatch_overhead"] < MAX_DISABLED_OVERHEAD, r
+    assert r["warm_overhead"] < MAX_DISABLED_OVERHEAD, r
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer rounds (CI smoke)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the measured numbers as JSON")
+    args = ap.parse_args(argv)
+    rd, rw = (15, 20) if args.quick else (40, 60)
+
+    r = run_all(rounds_dispatch=rd, rounds_warm=rw)
+    for line in _report_lines(r):
+        print(line)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(r, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    ok = (r["dispatch_overhead"] < MAX_DISABLED_OVERHEAD
+          and r["warm_overhead"] < MAX_DISABLED_OVERHEAD)
+    if not ok:
+        print(f"FAIL: disabled tracing exceeds "
+              f"{MAX_DISABLED_OVERHEAD:.0%} on a hot path")
+        return 1
+    print(f"OK: disabled-tracing overhead within "
+          f"{MAX_DISABLED_OVERHEAD:.0%} on both hot paths")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Trace the whole rewriting pipeline on the Jacobi kernel.
+
+Enables the global tracer, runs the paper's two transformations of the
+flat Jacobi element kernel — a pure DBrew specialization (decode /
+emulate / encode) and the LLVM-based ``llvm-fix`` pipeline (lift / -O3 /
+JIT) — and writes:
+
+* ``trace.json``   — Chrome trace-event JSON: open in ``chrome://tracing``
+  or https://ui.perfetto.dev to see the span tree on a timeline;
+* ``metrics.json`` — flat metrics snapshot (facet/flag cache counters).
+
+It then prints the same per-stage breakdown the report CLI computes::
+
+    python -m repro.obs.report trace.json --metrics metrics.json
+
+and checks the tentpole's coverage bar: the decode/lift/O3/encode span
+self-times must account for at least 90% of the wall-clock transform
+time (exit code 1 otherwise), i.e. the trace explains where the time
+went instead of leaving it in untraced glue.
+
+Run:  python examples/traced_jacobi.py [--out DIR]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.modes import prepare_kernel
+from repro.obs import TRACER, write_chrome_trace, write_metrics
+from repro.obs.export import trace_to_chrome
+from repro.obs.report import build_breakdown, format_breakdown
+from repro.stencil.jacobi import JacobiSetup, StencilWorkspace
+
+MIN_COVERAGE = 0.90
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=".", help="output directory")
+    args = ap.parse_args(argv)
+    out = Path(args.out)
+
+    ws = StencilWorkspace(JacobiSetup(sz=17, sweeps=1))
+    print("tracing: DBrew specialization + llvm-fix pipeline of apply_flat")
+
+    TRACER.clear()
+    TRACER.enable()
+    t0 = time.perf_counter()
+    dbrew = prepare_kernel(ws, "flat", "dbrew", line=False)
+    fixed = prepare_kernel(ws, "flat", "llvm-fix", line=False)
+    wall = time.perf_counter() - t0
+    TRACER.disable()
+    print(f"  dbrew    -> {dbrew.name} @ {dbrew.kernel_addr:#x}")
+    print(f"  llvm-fix -> {fixed.name} @ {fixed.kernel_addr:#x}")
+    print(f"  {len(TRACER.spans)} spans in {wall * 1e3:.1f} ms\n")
+
+    trace_path = out / "trace.json"
+    metrics_path = out / "metrics.json"
+    write_chrome_trace(trace_path, TRACER)
+    write_metrics(metrics_path)
+    print(f"wrote {trace_path} (chrome://tracing) and {metrics_path}\n")
+
+    b = build_breakdown(trace_to_chrome(TRACER))
+    print(format_breakdown(b))
+    print(f"\nreplay:  python -m repro.obs.report {trace_path} "
+          f"--metrics {metrics_path}")
+
+    if b["coverage"] < MIN_COVERAGE:
+        print(f"FAIL: stage spans cover only {b['coverage']:.1%} of the "
+              f"transform wall clock (need {MIN_COVERAGE:.0%})")
+        return 1
+    print(f"OK: stage spans cover {b['coverage']:.1%} of the transform "
+          f"wall clock")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

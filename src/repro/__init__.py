@@ -36,6 +36,7 @@ from repro.guard import Budget, BudgetExceededError, GuardedTransformer
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory
+from repro.obs import TRACER, Tracer, metrics, trace_to_chrome
 from repro.tier import DispatchHandle, TieredEngine, TierPolicy
 
 __version__ = "1.0.0"
@@ -57,12 +58,16 @@ __all__ = [
     "PassValidator",
     "Rewriter",
     "Simulator",
+    "TRACER",
     "TierPolicy",
     "TieredEngine",
+    "Tracer",
     "TransformResult",
     "ValidationOptions",
     "analyze_flags",
     "compile_c",
     "lift_function",
+    "metrics",
     "run_checkers",
+    "trace_to_chrome",
 ]

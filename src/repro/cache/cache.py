@@ -38,7 +38,7 @@ from __future__ import annotations
 import copy
 import threading
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.cache import keys as K
@@ -47,28 +47,47 @@ from repro.cache.negative import NegativeCache, NegativeEntry
 from repro.cache.store import DiskStore, LRUStore
 from repro.cpu.image import Image
 from repro.ir.module import Function, Module
+from repro.obs.metrics import CounterView, MetricsRegistry
 
 STAGES = ("machine", "module", "lifted", "rewrite")
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss accounting, per stage and per transform."""
+    """Hit/miss accounting, per stage and per transform.
 
-    stage_hits: dict[str, int] = field(
-        default_factory=lambda: {s: 0 for s in STAGES})
-    stage_misses: dict[str, int] = field(
-        default_factory=lambda: {s: 0 for s in STAGES})
-    disk_hits: int = 0
-    stores: int = 0
-    invalidations: int = 0
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry` (private by
+    default, shareable via the ``registry`` argument) so one
+    ``snapshot()``/``reset()`` is authoritative across cache, guard and
+    tier accounting.  The legacy attributes remain thin read/write views
+    over the registry-owned metrics.
+    """
+
+    disk_hits = CounterView("_disk_hits")
+    stores = CounterView("_stores")
+    invalidations = CounterView("_invalidations")
     #: whole-transform outcomes: a transform is a hit if *any* stage hit
-    transforms: int = 0
-    transform_hits: int = 0
+    transforms = CounterView("_transforms")
+    transform_hits = CounterView("_transform_hits")
     #: failure-quarantine traffic (see repro.cache.negative)
-    negative_hits: int = 0
-    negative_misses: int = 0
-    negative_stores: int = 0
+    negative_hits = CounterView("_negative_hits")
+    negative_misses = CounterView("_negative_misses")
+    negative_stores = CounterView("_negative_stores")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.stage_hits = r.family("cache.stage_hits",
+                                   {s: 0 for s in STAGES})
+        self.stage_misses = r.family("cache.stage_misses",
+                                     {s: 0 for s in STAGES})
+        self._disk_hits = r.counter("cache.disk_hits")
+        self._stores = r.counter("cache.stores")
+        self._invalidations = r.counter("cache.invalidations")
+        self._transforms = r.counter("cache.transforms")
+        self._transform_hits = r.counter("cache.transform_hits")
+        self._negative_hits = r.counter("cache.negative.hits")
+        self._negative_misses = r.counter("cache.negative.misses")
+        self._negative_stores = r.counter("cache.negative.stores")
 
     @property
     def hit_rate(self) -> float:
@@ -76,6 +95,10 @@ class CacheStats:
         if self.transforms == 0:
             return 0.0
         return self.transform_hits / self.transforms
+
+    def reset(self) -> None:
+        """Zero every counter (routes through the backing registry)."""
+        self.registry.reset()
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -153,8 +176,13 @@ class SpecializationCache:
 
     def __init__(self, *, capacity: int = 256, machine_capacity: int = 1024,
                  disk_dir: str | None = None,
-                 negative: NegativeCache | None = None) -> None:
-        self.stats = CacheStats()
+                 negative: NegativeCache | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        #: the metrics registry backing all of this cache's accounting —
+        #: stats counters and flight-table counters alike; pass a shared
+        #: registry to aggregate with other subsystems
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = CacheStats(self.registry)
         self._lifted = LRUStore(capacity)
         self._modules = LRUStore(capacity)
         self._machine_capacity = machine_capacity
@@ -169,8 +197,11 @@ class SpecializationCache:
             else NegativeCache(capacity=capacity * 4)
         #: in-flight compile coalescing (see repro.cache.flight); shared by
         #: every transformer attached to this cache, so N concurrent misses
-        #: on one machine key run one pipeline
-        self.flights = FlightTable()
+        #: on one machine key run one pipeline.  Its led/coalesced counters
+        #: live in this cache's registry (unified snapshot/reset).
+        self.flights = FlightTable(
+            led=self.registry.counter("cache.flight.led"),
+            coalesced=self.registry.counter("cache.flight.coalesced"))
 
     # -- image binding ---------------------------------------------------------
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Hashable
 
+from repro.obs.metrics import Counter
+
 
 class _Flight:
     """One in-flight compile: an event the followers park on."""
@@ -43,11 +45,24 @@ class FlightTable:
     runs, ``coalesced`` follower joins, ``in_flight`` current table size.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, led: Counter | None = None,
+                 coalesced: Counter | None = None) -> None:
         self._lock = threading.Lock()
         self._flights: dict[Hashable, _Flight] = {}
-        self.led = 0
-        self.coalesced = 0
+        # counters may be injected by a metrics registry owner (the
+        # specialization cache), unifying flight accounting with the one
+        # authoritative snapshot/reset; standalone tables own private ones
+        self._led = led if led is not None else Counter("flight.led")
+        self._coalesced = coalesced if coalesced is not None \
+            else Counter("flight.coalesced")
+
+    @property
+    def led(self) -> int:
+        return self._led.value
+
+    @property
+    def coalesced(self) -> int:
+        return self._coalesced.value
 
     @property
     def in_flight(self) -> int:
@@ -71,7 +86,7 @@ class FlightTable:
             else:
                 leader = False
                 flight.followers += 1
-                self.coalesced += 1
+                self._coalesced.value += 1
         if leader:
             try:
                 flight.result = thunk()
@@ -81,7 +96,7 @@ class FlightTable:
             finally:
                 with self._lock:
                     self._flights.pop(key, None)
-                    self.led += 1
+                    self._led.value += 1
                 flight.done.set()
             return flight.result, True
         if not flight.done.wait(timeout):
@@ -93,5 +108,5 @@ class FlightTable:
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:
-            return {"led": self.led, "coalesced": self.coalesced,
+            return {"led": self._led.value, "coalesced": self._coalesced.value,
                     "in_flight": len(self._flights)}

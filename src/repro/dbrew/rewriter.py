@@ -30,6 +30,7 @@ from repro.dbrew.metastate import (
 )
 from repro.errors import RewriteError
 from repro.mem.memory import Memory
+from repro.obs.trace import TRACER as _TR
 from repro.x86 import isa
 from repro.x86.asm import Item, Label, LabelRef, assemble_full
 from repro.x86.decoder import decode_one
@@ -175,6 +176,12 @@ class Rewriter:
         identical rewrite (same entry bytes, same ``set_par``/``set_mem``
         configuration) returns the previously emitted code.
         """
+        if not _TR.enabled:
+            return self._rewrite_front(name)
+        with _TR.span("rewrite", {"func": self.func_name}):
+            return self._rewrite_front(name)
+
+    def _rewrite_front(self, name: str | None) -> int:
         rkey = self._cache_key() if self.cache is not None else None
         if rkey is not None:
             assert self.cache is not None
@@ -261,18 +268,28 @@ class Rewriter:
                 # a background compile can be throttled here indefinitely
                 self.budget.checkpoint("rewrite", addr=point.addr)
             out.append(Label(point.label))
-            self._process_point(point, out, worklist)
+            if _TR.enabled:
+                with _TR.span("rewrite.emulate", {"addr": point.addr}):
+                    self._process_point(point, out, worklist)
+            else:
+                self._process_point(point, out, worklist)
             if len(out) * 4 > self.code_size_limit:
                 raise RewriteError("generated code exceeds the buffer limit",
                                    stage="rewrite", addr=point.addr)
 
         from repro.backend.emit import peephole
-        out = peephole(out)
-        base = self.image.next_code_addr(jit=True)
-        code, _placed, _labels = assemble_full(out, base)
-        if len(code) > self.code_size_limit:
-            raise RewriteError("generated code exceeds the buffer limit")
-        addr = self.image.add_function(new_name, code, jit=True)
+        span = _TR.start("rewrite.encode", {"items": len(out)}) \
+            if _TR.enabled else None
+        try:
+            out = peephole(out)
+            base = self.image.next_code_addr(jit=True)
+            code, _placed, _labels = assemble_full(out, base)
+            if len(code) > self.code_size_limit:
+                raise RewriteError("generated code exceeds the buffer limit")
+            addr = self.image.add_function(new_name, code, jit=True)
+        finally:
+            if span is not None:
+                _TR.finish(span)
         return addr
 
     # -- trace points --------------------------------------------------------------
@@ -291,13 +308,19 @@ class Rewriter:
     def _decode(self, pc: int) -> Instruction:
         ins = self._decode_cache.get(pc)
         if ins is None:
-            window = self.image.memory.read(pc, min(16, _readable(self.image.memory, pc)))
+            span = _TR.start("rewrite.decode", {"addr": pc}) \
+                if _TR.enabled else None
             try:
-                ins = decode_one(window, 0, pc)
-            except Exception as exc:  # decoding gap -> internal error (Sec. II)
-                raise RewriteError(f"cannot decode at {pc:#x}: {exc}",
-                                   stage="rewrite", addr=pc,
-                                   data=window) from exc
+                window = self.image.memory.read(pc, min(16, _readable(self.image.memory, pc)))
+                try:
+                    ins = decode_one(window, 0, pc)
+                except Exception as exc:  # decoding gap -> internal error (Sec. II)
+                    raise RewriteError(f"cannot decode at {pc:#x}: {exc}",
+                                       stage="rewrite", addr=pc,
+                                       data=window) from exc
+            finally:
+                if span is not None:
+                    _TR.finish(span)
             self._decode_cache[pc] = ins
             self.stats.decoded += 1
         return ins

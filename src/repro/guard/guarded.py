@@ -45,6 +45,8 @@ from repro.ir.passes import O3Options
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions
 from repro.lift.fixation import FixedMemory
+from repro.obs.metrics import CounterView, MetricsRegistry
+from repro.obs.trace import TRACER as _TR
 
 #: the full degradation ladder, strongest specialization first
 LADDER = ("dbrew+llvm", "llvm-fix", "llvm", "original")
@@ -66,27 +68,46 @@ class RungAttempt:
     verified: bool = False
 
 
-@dataclass
 class GuardStats:
-    """Aggregate ladder counters across one GuardedTransformer's lifetime."""
+    """Aggregate ladder counters across one GuardedTransformer's lifetime.
 
-    transforms: int = 0
-    #: transforms served by each rung
-    served_by: dict[str, int] = field(
-        default_factory=lambda: {r: 0 for r in LADDER})
-    #: rung attempt failures, by rung
-    failures: dict[str, int] = field(
-        default_factory=lambda: {r: 0 for r in LADDER})
-    verification_rejections: int = 0
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry` (private by
+    default; share one to aggregate across transformers — the tiered
+    engine's per-job guards do this).  The legacy attributes stay usable
+    exactly as before: scalars read and write as ints, the dict-valued
+    counters index like dicts.
+    """
+
+    transforms = CounterView("_transforms")
+    verification_rejections = CounterView("_verification_rejections")
     #: candidates rejected by the *static* pre-gate (no probe budget spent)
-    static_rejections: int = 0
-    #: static rejections by checker name (the recorded skip reason)
-    static_skip_reasons: dict[str, int] = field(default_factory=dict)
-    budget_exceeded: int = 0
+    static_rejections = CounterView("_static_rejections")
+    budget_exceeded = CounterView("_budget_exceeded")
     #: rungs skipped because a fresh quarantine entry covered them
-    negative_served: int = 0
+    negative_served = CounterView("_negative_served")
     #: transforms that degraded all the way to the original function
-    fallbacks: int = 0
+    fallbacks = CounterView("_fallbacks")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        #: transforms served by each rung
+        self.served_by = r.family("guard.served_by", {x: 0 for x in LADDER})
+        #: rung attempt failures, by rung
+        self.failures = r.family("guard.failures", {x: 0 for x in LADDER})
+        #: static rejections by checker name (the recorded skip reason)
+        self.static_skip_reasons = r.family("guard.static_skip_reasons")
+        self._transforms = r.counter("guard.transforms")
+        self._verification_rejections = r.counter(
+            "guard.verification_rejections")
+        self._static_rejections = r.counter("guard.static_rejections")
+        self._budget_exceeded = r.counter("guard.budget_exceeded")
+        self._negative_served = r.counter("guard.negative_served")
+        self._fallbacks = r.counter("guard.fallbacks")
+
+    def reset(self) -> None:
+        """Zero every counter (routes through the backing registry)."""
+        self.registry.reset()
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -139,7 +160,8 @@ class GuardedTransformer:
                  jit_options: JITOptions | None = None,
                  negative: NegativeCache | None = None,
                  static_precheck: bool = True,
-                 validator: "object | None" = None) -> None:
+                 validator: "object | None" = None,
+                 registry: MetricsRegistry | None = None) -> None:
         self.image = image
         self.cache = cache
         self.budget = budget
@@ -149,7 +171,14 @@ class GuardedTransformer:
         #: candidate never spends probe budget
         self.static_precheck = static_precheck
         self.gate = DifferentialGate(image, gate_options)
-        self.stats = GuardStats()
+        #: the registry backing this guard's stats and gate verdict
+        #: counters; pass a shared one to aggregate across transformers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = GuardStats(self.registry)
+        #: dynamic-gate verdict counters (one per gated candidate)
+        self._gate_pass = self.registry.counter("guard.gate.pass")
+        self._gate_reject = self.registry.counter("guard.gate.reject")
+        self._gate_vacuous = self.registry.counter("guard.gate.vacuous")
         #: quarantine: the attached cache's by default, standalone otherwise
         if negative is not None:
             self.negative = negative
@@ -271,6 +300,25 @@ class GuardedTransformer:
         the gate rejects are evicted, so expired quarantine can never
         resurrect code proven divergent.
         """
+        if not _TR.enabled:
+            return self._transform_impl(func, signature, fixes,
+                                        mem_regions=mem_regions, name=name,
+                                        probes=probes, ladder=ladder,
+                                        dbrew_func=dbrew_func)
+        label = func if isinstance(func, str) else f"f{func:x}"
+        with _TR.span("guard.transform", {"func": label}):
+            return self._transform_impl(func, signature, fixes,
+                                        mem_regions=mem_regions, name=name,
+                                        probes=probes, ladder=ladder,
+                                        dbrew_func=dbrew_func)
+
+    def _transform_impl(self, func: str | int, signature: FunctionSignature,
+                        fixes: dict[int, int | float | FixedMemory] | None = None,
+                        *, mem_regions: Sequence[tuple[int, int]] = (),
+                        name: str | None = None,
+                        probes: Sequence[tuple] = (),
+                        ladder: Sequence[str] | None = None,
+                        dbrew_func: str | int | None = None) -> GuardResult:
         t_start = time.perf_counter()
         entry = self.image.symbol(func) if isinstance(func, str) else func
         base = func if isinstance(func, str) else f"f{func:x}"
@@ -334,6 +382,8 @@ class GuardedTransformer:
 
             t0 = time.perf_counter()
             result: TransformResult | None = None
+            rspan = _TR.start(f"guard.rung.{rung}", {"name": out_name}) \
+                if _TR.enabled else None
             try:
                 result = self._attempt(rung, entry, out_name, signature,
                                        fixes, mem_regions, dbrew_entry)
@@ -351,12 +401,22 @@ class GuardedTransformer:
                 # else — fresh compiles and entries installed by an
                 # unguarded BinaryTransformer — must pass the gate now.
                 if self.verify and not result.machine_gated:
-                    out.gate = self.gate.gate(
-                        entry, result.addr, signature, fixes, probes,
-                        self.budget)
+                    gspan = _TR.start("guard.gate", {"rung": rung}) \
+                        if _TR.enabled else None
+                    try:
+                        out.gate = self.gate.gate(
+                            entry, result.addr, signature, fixes, probes,
+                            self.budget)
+                    finally:
+                        if gspan is not None:
+                            _TR.finish(gspan)
                     # verified = a conclusive comparison happened on this
                     # request, not merely that the gate had no objection
                     attempt.verified = not out.gate.vacuous
+                    if out.gate.vacuous:
+                        self._gate_vacuous.value += 1
+                    else:
+                        self._gate_pass.value += 1
                     if self.cache is not None \
                             and result.machine_key is not None:
                         self.cache.mark_machine_gated(
@@ -377,6 +437,7 @@ class GuardedTransformer:
                                 + 1)
                     else:
                         self.stats.verification_rejections += 1
+                        self._gate_reject.value += 1
                     # the candidate was installed (and positively cached)
                     # before the gate ran: evict it, or an expired
                     # quarantine entry would later serve code proven
@@ -389,6 +450,9 @@ class GuardedTransformer:
                     self.stats.budget_exceeded += 1
                 self._record_negative(f"{guard_key()}:{rung}", rung, attempt)
                 continue
+            finally:
+                if rspan is not None:
+                    _TR.finish(rspan)
             attempt.seconds = time.perf_counter() - t0
             attempt.ok = True
             out.addr, out.mode = result.addr, rung

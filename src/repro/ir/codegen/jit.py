@@ -20,6 +20,7 @@ from repro.cpu.image import Image
 from repro.errors import CodegenError
 from repro.ir.codegen.lower import lower_function
 from repro.ir.module import Function, Module
+from repro.obs.trace import TRACER as _TR
 from repro.x86.asm import Item, assemble_full
 
 
@@ -50,36 +51,55 @@ class JITEngine:
     def compile_function(self, func: Function, *, name: str | None = None,
                          extra_symbols: dict[str, int] | None = None) -> int:
         """Compile one function; returns its entry address."""
+        if not _TR.enabled:
+            return self._compile_function(func, name, extra_symbols)
+        with _TR.span("jit.compile", {"func": func.name}):
+            return self._compile_function(func, name, extra_symbols)
+
+    def _compile_function(self, func: Function, name: str | None,
+                          extra_symbols: dict[str, int] | None) -> int:
         if func.is_declaration:
             raise CodegenError(f"cannot compile declaration @{func.name}",
                                stage="codegen", function=func.name)
         if func.module is not None:
             self.place_globals(func.module)
+        span = _TR.start("jit.lower", {"func": func.name}) \
+            if _TR.enabled else None
         try:
-            tf = lower_function(func)
-        except CodegenError as exc:
-            raise exc.with_context(stage="codegen", function=func.name)
-        if self.options.optimize_tac:
-            tac_optimize(tf)
+            try:
+                tf = lower_function(func)
+            except CodegenError as exc:
+                raise exc.with_context(stage="codegen", function=func.name)
+            if self.options.optimize_tac:
+                tac_optimize(tf)
+        finally:
+            if span is not None:
+                _TR.finish(span)
         # the base address is computed before assembling against it, so
         # emit-through-install must be one critical section per image:
         # concurrent background compiles (repro.tier) would otherwise
         # claim the same JIT address
-        with self.image.codegen_lock:
-            symbols = dict(self.image.symbols)
-            if extra_symbols:
-                symbols.update(extra_symbols)
-            # declared callees must resolve through existing image symbols
-            items: list[Item] = emit_function(
-                tf, self.pool,
-                EmitOptions(mul_style=self.options.mul_style,
-                            const_addressing=self.options.const_addressing),
-                symbols,
-            )
-            base = self.image.next_code_addr(jit=True)
-            code, _placed, labels = assemble_full(items, base)
-            install_name = name or func.name
-            addr = self.image.add_function(install_name, code, jit=True)
+        span = _TR.start("jit.install", {"func": func.name}) \
+            if _TR.enabled else None
+        try:
+            with self.image.codegen_lock:
+                symbols = dict(self.image.symbols)
+                if extra_symbols:
+                    symbols.update(extra_symbols)
+                # declared callees must resolve through existing image symbols
+                items: list[Item] = emit_function(
+                    tf, self.pool,
+                    EmitOptions(mul_style=self.options.mul_style,
+                                const_addressing=self.options.const_addressing),
+                    symbols,
+                )
+                base = self.image.next_code_addr(jit=True)
+                code, _placed, labels = assemble_full(items, base)
+                install_name = name or func.name
+                addr = self.image.add_function(install_name, code, jit=True)
+        finally:
+            if span is not None:
+                _TR.finish(span)
         assert addr == labels[func.name]
         return addr
 

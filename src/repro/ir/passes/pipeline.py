@@ -10,6 +10,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.ir import verifier
 from repro.ir.module import Function
+from repro.obs.trace import TRACER as _TR
 from repro.ir.passes import (
     constprop, dce, gvn, inline, instcombine, mem2reg, simplifycfg, unroll,
     vectorize,
@@ -140,17 +141,23 @@ def run_o3(func: Function, options: O3Options = O3Options(),
 
     def step(name: str, thunk: Callable[[], Any],
              changed_of: Callable[[Any], bool] = bool) -> bool:
-        if validator is None:
-            changed = bool(changed_of(thunk()))
-        else:
-            _result, verdict = validator.run_pass(
-                name, thunk, func, changed_of=changed_of)
-            report.pass_log.append(verdict)
-            if not verdict.ok and not verdict.quarantined:
-                report.rejected_passes.append(name)
-            changed = verdict.changed
-        if VERIFY_AFTER_EACH_PASS:
-            verifier.verify(func)
+        span = _TR.start(f"o3.pass.{name}", {"func": func.name}) \
+            if _TR.enabled else None
+        try:
+            if validator is None:
+                changed = bool(changed_of(thunk()))
+            else:
+                _result, verdict = validator.run_pass(
+                    name, thunk, func, changed_of=changed_of)
+                report.pass_log.append(verdict)
+                if not verdict.ok and not verdict.quarantined:
+                    report.rejected_passes.append(name)
+                changed = verdict.changed
+            if VERIFY_AFTER_EACH_PASS:
+                verifier.verify(func)
+        finally:
+            if span is not None:
+                _TR.finish(span)
         return changed
 
     if budget is not None:

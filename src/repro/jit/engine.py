@@ -36,6 +36,7 @@ from repro.ir.module import Function, Module
 from repro.ir.passes import O3Options, O3Report, run_o3
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory, build_fixation_wrapper
+from repro.obs.trace import TRACER as _TR
 
 
 @dataclass
@@ -185,6 +186,14 @@ class BinaryTransformer:
         block until it installs, then serve the result as a machine-stage
         hit (``coalesced=True``) — one compile, one installed copy.
         """
+        if not _TR.enabled:
+            return self._transform_impl(func, signature, fixes, out_name, mode)
+        with _TR.span("transform", {"name": out_name, "mode": mode}):
+            return self._transform_impl(func, signature, fixes, out_name, mode)
+
+    def _transform_impl(self, func: str | int, signature: FunctionSignature,
+                        fixes: dict[int, int | float | FixedMemory] | None,
+                        out_name: str, mode: str) -> TransformResult:
         cache = self.cache
         lkey = mkey = xkey = None
         if cache is not None:
@@ -281,12 +290,24 @@ class BinaryTransformer:
 
         t0 = time.perf_counter()
         if mode == "fixed":
-            main = build_fixation_wrapper(
-                module, lifted, fixes or {}, self.image.memory, name=out_name
-            )
+            span = _TR.start("fixation", {"name": out_name}) \
+                if _TR.enabled else None
+            try:
+                main = build_fixation_wrapper(
+                    module, lifted, fixes or {}, self.image.memory,
+                    name=out_name
+                )
+            finally:
+                if span is not None:
+                    _TR.finish(span)
         else:
             main = lifted
-        o3_report = self._optimize_module(module, main)
+        span = _TR.start("opt", {"name": out_name}) if _TR.enabled else None
+        try:
+            o3_report = self._optimize_module(module, main)
+        finally:
+            if span is not None:
+                _TR.finish(span)
         t_opt = time.perf_counter() - t0
         if mkey is not None:
             assert cache is not None

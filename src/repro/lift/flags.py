@@ -15,6 +15,12 @@ from repro.ir.builder import IRBuilder
 from repro.ir.irtypes import I1, I8, IntType
 from repro.ir.values import Constant, Undef, Value
 from repro.lift.regfile import RegFile
+from repro.obs import metrics as _metrics
+
+#: flag-cache effectiveness (Fig. 6): a hit rebuilds a condition as one
+#: icmp over cached cmp operands, a miss reconstructs it from flag bits
+_FLAG_HITS = _metrics.counter("lift.flag_cache.hits")
+_FLAG_MISSES = _metrics.counter("lift.flag_cache.misses")
 
 
 @dataclass
@@ -151,24 +157,35 @@ class FlagModel:
         flag bits (Fig. 6b), which the optimizer cannot reduce.
         """
         if self.use_cache and self.cache is not None:
-            entry = self.cache
-            if entry.kind == "sub" and cc in self._CACHE_SUB_PRED:
-                return self.b.icmp(self._CACHE_SUB_PRED[cc], entry.a, entry.b)
-            if entry.kind == "test" and entry.a is entry.b:
-                t = entry.a.type
-                if cc == "e":
-                    return self.b.icmp("eq", entry.a, Constant(t, 0))
-                if cc == "ne":
-                    return self.b.icmp("ne", entry.a, Constant(t, 0))
-                if cc == "l":  # sf != of, of == 0 -> sf
-                    return self.b.icmp("slt", entry.a, Constant(t, 0))
-                if cc == "ge":
-                    return self.b.icmp("sge", entry.a, Constant(t, 0))
-                if cc == "le":
-                    return self.b.icmp("sle", entry.a, Constant(t, 0))
-                if cc == "g":
-                    return self.b.icmp("sgt", entry.a, Constant(t, 0))
+            v = self._condition_cached(cc)
+            if v is not None:
+                _FLAG_HITS.value += 1
+                return v
+        if self.use_cache:
+            _FLAG_MISSES.value += 1
         return self._condition_from_bits(cc)
+
+    def _condition_cached(self, cc: str) -> Value | None:
+        """Condition from the flag cache, or None if it cannot serve cc."""
+        entry = self.cache
+        assert entry is not None
+        if entry.kind == "sub" and cc in self._CACHE_SUB_PRED:
+            return self.b.icmp(self._CACHE_SUB_PRED[cc], entry.a, entry.b)
+        if entry.kind == "test" and entry.a is entry.b:
+            t = entry.a.type
+            if cc == "e":
+                return self.b.icmp("eq", entry.a, Constant(t, 0))
+            if cc == "ne":
+                return self.b.icmp("ne", entry.a, Constant(t, 0))
+            if cc == "l":  # sf != of, of == 0 -> sf
+                return self.b.icmp("slt", entry.a, Constant(t, 0))
+            if cc == "ge":
+                return self.b.icmp("sge", entry.a, Constant(t, 0))
+            if cc == "le":
+                return self.b.icmp("sle", entry.a, Constant(t, 0))
+            if cc == "g":
+                return self.b.icmp("sgt", entry.a, Constant(t, 0))
+        return None
 
     def _condition_from_bits(self, cc: str) -> Value:
         r = self.regs

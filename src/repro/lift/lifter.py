@@ -29,6 +29,7 @@ from repro.lift.regfile import (
     F_F64, F_PTR, F_V2F64, I8P, RegFile, RegState,
 )
 from repro.mem.memory import Memory
+from repro.obs.trace import TRACER as _TR
 from repro.x86 import isa
 from repro.x86.instr import Imm, Instruction, Mem, Operand, Reg
 from repro.x86.registers import RAX, RBP, RDX, RSP, SYSV_INT_ARGS
@@ -117,7 +118,18 @@ class Lifter:
     # -- driver ------------------------------------------------------------------
 
     def lift(self) -> Function:
-        cfg = discover(self.memory, self.entry, budget=self.options.budget)  # type: ignore[arg-type]
+        if not _TR.enabled:
+            return self._lift_impl()
+        with _TR.span("lift", {"entry": self.entry}):
+            return self._lift_impl()
+
+    def _lift_impl(self) -> Function:
+        if _TR.enabled:
+            with _TR.span("lift.discover", {"entry": self.entry}):
+                cfg = discover(self.memory, self.entry,
+                               budget=self.options.budget)  # type: ignore[arg-type]
+        else:
+            cfg = discover(self.memory, self.entry, budget=self.options.budget)  # type: ignore[arg-type]
         sig = self.signature
         param_types = tuple(I64 if c == "i" else DOUBLE for c in sig.params)
         ret_type: Type = VOID if sig.ret is None else (I64 if sig.ret == "i" else DOUBLE)
@@ -181,13 +193,23 @@ class Lifter:
             state = self._state_from_phis(phis)
             self.regs = RegFile(state, self.b, self.options.facet_cache)
             self.flags = FlagModel(self.regs, self.b, self.options.flag_cache)
-            self._lift_block(gb, ir_blocks, out_states, edges)
+            if _TR.enabled:
+                with _TR.span("lift.block", {"addr": gb.start,
+                                             "n": len(gb.instructions)}):
+                    self._lift_block(gb, ir_blocks, out_states, edges)
+            else:
+                self._lift_block(gb, ir_blocks, out_states, edges)
 
         # connect phis: guest entry receives the prologue state
-        entry_out = self._materialize_out_in_block(entry_ir, entry_state)
-        self._add_incomings(phi_sets[cfg.entry], entry_out, entry_ir)
-        for pred, succ in edges:
-            self._add_incomings(phi_sets[succ], out_states[pred], ir_blocks[pred])
+        span = _TR.start("lift.connect") if _TR.enabled else None
+        try:
+            entry_out = self._materialize_out_in_block(entry_ir, entry_state)
+            self._add_incomings(phi_sets[cfg.entry], entry_out, entry_ir)
+            for pred, succ in edges:
+                self._add_incomings(phi_sets[succ], out_states[pred], ir_blocks[pred])
+        finally:
+            if span is not None:
+                _TR.finish(span)
         return func
 
     def _declare_callees(self) -> None:

@@ -24,6 +24,7 @@ from repro.ir.irtypes import (
     Type, V2F64, V4F32, V2I64, V4I32, ptr,
 )
 from repro.ir.values import Constant, Undef, Value
+from repro.obs import metrics as _metrics
 
 #: GPR facets
 F_I64, F_I32, F_I16, F_I8, F_I8H, F_PTR = "i64", "i32", "i16", "i8", "i8h", "ptr"
@@ -67,6 +68,12 @@ class RegState:
         )
 
 
+#: facet-cache effectiveness (Sec. III-C): a hit reuses an already-built
+#: facet value, a miss materializes a fresh trunc/bitcast/inttoptr
+_FACET_HITS = _metrics.counter("lift.facet_cache.hits")
+_FACET_MISSES = _metrics.counter("lift.facet_cache.misses")
+
+
 class RegFile:
     """Facet-aware access to a RegState through an IRBuilder."""
 
@@ -81,7 +88,12 @@ class RegFile:
     def _gpr_cached(self, index: int, facet: str) -> Value | None:
         if not self.facet_cache:
             return None
-        return self.state.gpr_facets[index].get(facet)
+        v = self.state.gpr_facets[index].get(facet)
+        if v is not None:
+            _FACET_HITS.value += 1
+        else:
+            _FACET_MISSES.value += 1
+        return v
 
     def _gpr_cache(self, index: int, facet: str, value: Value) -> None:
         if self.facet_cache:
@@ -157,7 +169,12 @@ class RegFile:
     def _xmm_cached(self, index: int, facet: str) -> Value | None:
         if not self.facet_cache:
             return None
-        return self.state.xmm_facets[index].get(facet)
+        v = self.state.xmm_facets[index].get(facet)
+        if v is not None:
+            _FACET_HITS.value += 1
+        else:
+            _FACET_MISSES.value += 1
+        return v
 
     def _xmm_cache(self, index: int, facet: str, value: Value) -> None:
         if self.facet_cache:

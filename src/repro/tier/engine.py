@@ -44,7 +44,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cache import SpecializationCache
@@ -56,35 +56,56 @@ from repro.ir.passes import O3Options
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions
 from repro.lift.fixation import FixedMemory
+from repro.obs.metrics import CounterView, MetricsRegistry
+from repro.obs.trace import TRACER as _TR, Span
 from repro.tier.handle import DispatchHandle, TierCode
 from repro.tier.policy import NUM_TIERS, T1, T2, TierGovernor, TierPolicy
 
 
-@dataclass
 class TierStats:
-    """Aggregate engine counters (read with :meth:`snapshot`)."""
+    """Aggregate engine counters (read with :meth:`snapshot`).
 
-    registered: int = 0
-    #: compile jobs submitted / installed / rejected, by target tier
-    submitted: dict[int, int] = field(
-        default_factory=lambda: {t: 0 for t in range(1, NUM_TIERS)})
-    installs: dict[int, int] = field(
-        default_factory=lambda: {t: 0 for t in range(1, NUM_TIERS)})
-    rejections: dict[int, int] = field(
-        default_factory=lambda: {t: 0 for t in range(1, NUM_TIERS)})
-    #: wall seconds spent inside compile jobs, by target tier
-    compile_seconds: dict[int, float] = field(
-        default_factory=lambda: {t: 0.0 for t in range(1, NUM_TIERS)})
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry`: the int
+    attributes are :class:`~repro.obs.metrics.CounterView` thin views and
+    the dict-valued fields are registry-owned
+    :class:`~repro.obs.metrics.CounterFamily` objects, so one
+    ``registry.snapshot()``/``reset()`` is authoritative while the legacy
+    attribute protocol (``stats.refixes += 1``,
+    ``stats.installs[tier] += 1``) keeps working unchanged.
+    """
+
+    registered = CounterView("_registered")
     #: finished jobs discarded because a refix superseded their epoch
-    stale_discards: int = 0
-    demotions: int = 0
-    refixes: int = 0
+    stale_discards = CounterView("_stale_discards")
+    demotions = CounterView("_demotions")
+    refixes = CounterView("_refixes")
     #: TransformResults observed via the per-call profiling hook
-    pipeline_results: int = 0
+    pipeline_results = CounterView("_pipeline_results")
     #: of those, served by joining another thread's in-flight compile
-    coalesced: int = 0
-    #: of those, served from a warm cache stage (stage name -> count)
-    cache_served: dict[str, int] = field(default_factory=dict)
+    coalesced = CounterView("_coalesced")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        r = registry if registry is not None else MetricsRegistry()
+        self.registry = r
+        self._registered = r.counter("tier.registered")
+        self._stale_discards = r.counter("tier.stale_discards")
+        self._demotions = r.counter("tier.demotions")
+        self._refixes = r.counter("tier.refixes")
+        self._pipeline_results = r.counter("tier.pipeline_results")
+        self._coalesced = r.counter("tier.coalesced")
+        upgrade = {t: 0 for t in range(1, NUM_TIERS)}
+        #: compile jobs submitted / installed / rejected, by target tier
+        self.submitted = r.family("tier.submitted", upgrade)
+        self.installs = r.family("tier.installs", upgrade)
+        self.rejections = r.family("tier.rejections", upgrade)
+        #: wall seconds spent inside compile jobs, by target tier
+        self.compile_seconds = r.family(
+            "tier.compile_seconds", {t: 0.0 for t in range(1, NUM_TIERS)})
+        #: pipeline results served from a warm cache stage (stage -> count)
+        self.cache_served = r.family("tier.cache_served")
+
+    def reset(self) -> None:
+        self.registry.reset()
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -110,6 +131,9 @@ class _Job:
     target: int
     epoch: int
     seq: int
+    #: the submitting context's span (None when tracing is off) — the
+    #: worker adopts it so its compile span nests under the dispatch site
+    parent_span: Span | None = None
 
 
 class TieredEngine:
@@ -125,10 +149,16 @@ class TieredEngine:
                  jit_options: JITOptions | None = None,
                  t2_o3_options: O3Options | None = None,
                  budget_factory: Callable[[], Budget] | None = None,
+                 registry: MetricsRegistry | None = None,
                  on_install: "Callable[[DispatchHandle, TierCode], None] | None"
                  = None) -> None:
         self.image = image
-        self.cache = cache if cache is not None else SpecializationCache()
+        #: one registry owns every layer's metrics under this engine: tier
+        #: counters here, cache.* via the default cache, guard.* via the
+        #: per-job T2 GuardedTransformers (get-or-create shares counters)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = cache if cache is not None \
+            else SpecializationCache(registry=self.registry)
         self.policy = policy if policy is not None else TierPolicy()
         self.clock = clock
         self.gate_options = gate_options
@@ -141,7 +171,12 @@ class TieredEngine:
         #: called (outside the handle lock) after every install — the
         #: stencil driver uses this to invalidate simulator decode caches
         self.on_install = on_install
-        self.stats = TierStats()
+        self.stats = TierStats(self.registry)
+        self._queue_depth = self.registry.gauge("tier.queue_depth")
+        self._dispatch_seconds = self.registry.histogram(
+            "tier.dispatch_seconds",
+            (1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 1e-4, 1e-3))
+        self.registry.view("tier.cycles_ewma", self._ewma_view)
         self.handles: dict[str, DispatchHandle] = {}
         self._lock = threading.RLock()
         self._seq = itertools.count()
@@ -151,6 +186,13 @@ class TieredEngine:
         self._run_gate.set()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-tier")
+
+    def _ewma_view(self) -> dict[str, dict[int, float]]:
+        """Registry view: per-handle governor EWMAs (owned by the policy
+        layer, which stays metrics-free; exposed read-only here)."""
+        with self._lock:
+            return {name: dict(h.governor.cycles)
+                    for name, h in self.handles.items()}
 
     # -- registration ------------------------------------------------------
 
@@ -177,6 +219,10 @@ class TieredEngine:
                                 clock=self.clock)
         handle = DispatchHandle(self, hname, func, entry, signature, fixes,
                                 mem_regions, probes, dbrew_func, governor)
+        if _TR.enabled:
+            # instance-level shadow only: DispatchHandle.address() itself
+            # stays the bare three-step hot path when tracing is off
+            handle._enable_dispatch_trace(self._dispatch_seconds)
         with self._lock:
             if hname in self.handles:
                 raise ValueError(f"handle {hname!r} already registered")
@@ -231,7 +277,8 @@ class TieredEngine:
                                                  handle.in_flight)
             if target is not None:
                 handle.in_flight.add(target)
-                job = _Job(handle, target, handle.epoch, next(self._seq))
+                job = _Job(handle, target, handle.epoch, next(self._seq),
+                           _TR.current() if _TR.enabled else None)
             handle._next_review = handle.governor.next_review(
                 handle.calls, cur)
         finally:
@@ -239,6 +286,10 @@ class TieredEngine:
         if job is not None:
             with self._lock:
                 self.stats.submitted[job.target] += 1
+                self._queue_depth.inc()
+            if _TR.enabled:
+                _TR.instant("tier.promote", {"handle": handle.name,
+                                             "target": job.target})
             self._pool.submit(self._run_job, job)
 
     def _observe(self, handle: DispatchHandle, tier: int,
@@ -255,6 +306,9 @@ class TieredEngine:
             handle._cv.notify_all()
         with self._lock:
             self.stats.demotions += 1
+        if _TR.enabled:
+            _TR.instant("tier.demote", {"handle": handle.name,
+                                        "from": tier, "to": demote_to})
 
     # -- background compilation --------------------------------------------
 
@@ -280,6 +334,20 @@ class TieredEngine:
                     self.stats.cache_served.get(result.cache_stage, 0) + 1)
 
     def _run_job(self, job: _Job) -> None:
+        if not _TR.enabled:
+            return self._run_job_impl(job)
+        # worker threads do not inherit the submit-site context: adopt the
+        # captured parent so the compile span nests under the dispatch span
+        token = _TR.adopt(job.parent_span)
+        try:
+            with _TR.span("tier.compile", {"handle": job.handle.name,
+                                           "target": job.target,
+                                           "seq": job.seq}):
+                return self._run_job_impl(job)
+        finally:
+            _TR.release(token)
+
+    def _run_job_impl(self, job: _Job) -> None:
         handle = job.handle
         self._run_gate.wait()
         if handle.epoch != job.epoch or self._closed:
@@ -288,6 +356,7 @@ class TieredEngine:
                 handle._cv.notify_all()
             with self._lock:
                 self.stats.stale_discards += 1
+                self._queue_depth.dec()
             return
 
         t0 = time.perf_counter()
@@ -307,6 +376,7 @@ class TieredEngine:
         seconds = time.perf_counter() - t0
 
         installed: TierCode | None = None
+        outcome = "stale"
         with handle._cv:
             handle.in_flight.discard(job.target)
             try:
@@ -314,11 +384,13 @@ class TieredEngine:
                     with self._lock:
                         self.stats.stale_discards += 1
                 elif reject_reason is not None or addr is None:
+                    outcome = "reject"
                     handle.governor.on_reject(
                         job.target, reject_reason or "no result")
                     with self._lock:
                         self.stats.rejections[job.target] += 1
                 else:
+                    outcome = "install"
                     handle._version += 1
                     installed = TierCode(job.target, addr, out_name,
                                          handle._version, job.epoch,
@@ -335,6 +407,12 @@ class TieredEngine:
                 handle._cv.notify_all()
         with self._lock:
             self.stats.compile_seconds[job.target] += seconds
+            self._queue_depth.dec()
+        if _TR.enabled:
+            _TR.instant(f"tier.{outcome}",
+                        {"handle": handle.name, "target": job.target,
+                         "seconds": seconds,
+                         "reason": reject_reason})
         if installed is not None and self.on_install is not None:
             self.on_install(handle, installed)
 
@@ -379,7 +457,8 @@ class TieredEngine:
         guard = GuardedTransformer(
             self.image, cache=self.cache, budget=budget,
             gate_options=self.gate_options, lift_options=self.lift_options,
-            o3_options=self.t2_o3_options, jit_options=self.jit_options)
+            o3_options=self.t2_o3_options, jit_options=self.jit_options,
+            registry=self.registry)
         guard.tx.on_result = self._note_result
         specializing = bool(handle.fixes) or bool(handle.mem_regions)
         ladder = ("dbrew+llvm",) if specializing else ("llvm",)

@@ -25,6 +25,7 @@ itself exposes only waiting and reporting.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -111,6 +112,26 @@ class DispatchHandle:
         if c >= self._next_review:
             self.engine._review(self)
         return self._code.addr
+
+    def _enable_dispatch_trace(self, histogram) -> None:
+        """Shadow :meth:`address` on *this instance* with a timed variant.
+
+        The class-level hot path is never modified: when tracing is off no
+        handle carries the shadow (``"address" not in handle.__dict__``)
+        and dispatch stays the bare counter-bump-and-read.  The engine
+        calls this at registration time only while the tracer is enabled.
+        """
+        clock = time.perf_counter
+        plain = DispatchHandle.address
+        observe = histogram.observe
+
+        def traced_address() -> int:
+            t0 = clock()
+            addr = plain(self)
+            observe(clock() - t0)
+            return addr
+
+        self.address = traced_address  # type: ignore[method-assign]
 
     @property
     def code(self) -> TierCode:

@@ -1,0 +1,14 @@
+"""Shared hygiene for the obs tests: the current-span context var is
+process-global, so a test that leaves a span open must not poison the
+parent attribution of every test after it."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_span_context():
+    yield
+    trace._CURRENT.set(None)
+    trace.TRACER.disable()

@@ -1,0 +1,172 @@
+"""Metrics registry unit tests + the stats-unification contract.
+
+The second half pins the satellite-4 guarantee: the legacy stats objects
+(``CacheStats``, ``GuardStats``, ``TierStats``) are thin views over
+registry-owned metrics, so one ``registry.snapshot()``/``reset()`` is
+authoritative and a shared registry aggregates across instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache import CacheStats, SpecializationCache
+from repro.guard.guarded import GuardStats
+from repro.obs.metrics import (
+    Counter,
+    CounterFamily,
+    CounterView,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.tier.engine import TierStats
+
+
+# -- primitives -------------------------------------------------------------
+
+
+def test_counter_and_gauge_basics():
+    c = Counter("c")
+    c.inc()
+    c.inc(4)
+    assert int(c) == c.value == 5
+    c.reset()
+    assert c.value == 0
+    g = Gauge("g")
+    g.inc(2.5)
+    g.dec()
+    assert g.value == 1.5
+    g.set(-3.0)
+    assert g.value == -3.0
+
+
+def test_histogram_buckets_quantile_reset():
+    h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+        h.observe(v)
+    # <=1, <=10, <=100, +inf
+    assert h.counts == [2, 1, 1, 1]
+    assert h.total == 5 and h.sum == pytest.approx(556.5)
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(0.5) == 10.0
+    assert h.quantile(1.0) == float("inf")
+    h.reset()
+    assert h.total == 0 and h.counts == [0, 0, 0, 0]
+    with pytest.raises(ValueError):
+        Histogram("empty", bounds=())
+
+
+def test_registry_get_or_create_and_type_mismatch():
+    r = MetricsRegistry()
+    assert r.counter("x") is r.counter("x")
+    with pytest.raises(TypeError):
+        r.gauge("x")
+    h = r.histogram("lat", (1.0,))
+    assert r.histogram("lat", (2.0,)) is h, "bounds fixed at creation"
+
+
+def test_family_is_a_dict_and_resets_in_place():
+    r = MetricsRegistry()
+    fam = r.family("served", {"a": 0, "b": 0})
+    fam["a"] += 2
+    fam.inc("c")
+    assert dict(fam) == {"a": 2, "b": 0, "c": 1}
+    assert isinstance(fam, dict)
+    alias = r.family("served")
+    assert alias is fam, "same registry + name => same family"
+    r.reset()
+    assert dict(fam) == {"a": 0, "b": 0, "c": 0}, "reset zeroes, keeps keys"
+
+
+def test_snapshot_includes_views_reset_spares_them():
+    r = MetricsRegistry()
+    r.counter("n").inc(3)
+    state = {"ewma": 7.5}
+    r.view("derived", lambda: dict(state))
+    snap = r.snapshot()
+    assert snap["n"] == 3 and snap["derived"] == {"ewma": 7.5}
+    r.view("broken", lambda: 1 / 0)
+    assert r.snapshot()["broken"] is None, "a dead view reports None"
+    r.reset()
+    assert r.snapshot()["n"] == 0
+    assert r.snapshot()["derived"] == {"ewma": 7.5}, "views survive reset"
+
+
+def test_counter_view_descriptor_protocol():
+    class S:
+        hits = CounterView("_hits")
+
+        def __init__(self, r):
+            self._hits = r.counter("s.hits")
+
+    r = MetricsRegistry()
+    s = S(r)
+    s.hits += 3
+    assert s.hits == 3
+    assert r.snapshot()["s.hits"] == 3, "attribute writes reach the registry"
+    assert isinstance(S.hits, CounterView)
+
+
+# -- stats unification (satellite 4) ----------------------------------------
+
+
+def test_cache_stats_registry_is_authoritative():
+    stats = CacheStats()
+    stats.disk_hits += 2
+    stats.stage_hits["machine"] += 1
+    snap = stats.registry.snapshot()
+    assert snap["cache.disk_hits"] == 2
+    assert snap["cache.stage_hits"]["machine"] == 1
+    stats.registry.reset()
+    assert stats.disk_hits == 0 and stats.stage_hits["machine"] == 0
+
+
+def test_guard_stats_registry_is_authoritative():
+    stats = GuardStats()
+    stats.transforms += 1
+    stats.served_by["llvm"] += 1
+    snap = stats.registry.snapshot()
+    assert snap["guard.transforms"] == 1
+    assert snap["guard.served_by"]["llvm"] == 1
+    stats.reset()
+    assert stats.transforms == 0 and stats.served_by["llvm"] == 0
+
+
+def test_tier_stats_registry_is_authoritative():
+    stats = TierStats()
+    stats.refixes += 1
+    stats.installs[2] += 1
+    stats.compile_seconds[1] += 0.25
+    snap = stats.registry.snapshot()
+    assert snap["tier.refixes"] == 1
+    assert snap["tier.installs"][2] == 1
+    assert snap["tier.compile_seconds"][1] == 0.25
+    assert stats.snapshot()["installs"] == {1: 0, 2: 1}, "legacy shape intact"
+    stats.reset()
+    assert stats.refixes == 0 and stats.installs[2] == 0
+
+
+def test_shared_registry_aggregates_across_instances():
+    """Two stats objects on one registry share the underlying counters —
+    how a TieredEngine aggregates its per-job GuardedTransformers."""
+    r = MetricsRegistry()
+    a, b = GuardStats(r), GuardStats(r)
+    a.transforms += 1
+    b.transforms += 2
+    assert a.transforms == b.transforms == 3
+    assert r.snapshot()["guard.transforms"] == 3
+
+
+def test_private_registries_stay_isolated():
+    a, b = GuardStats(), GuardStats()
+    a.transforms += 5
+    assert b.transforms == 0
+
+
+def test_specialization_cache_flight_counters_in_registry():
+    cache = SpecializationCache()
+    cache.flights.run("k", lambda: 1)
+    snap = cache.registry.snapshot()
+    assert snap["cache.flight.led"] == 1
+    assert cache.flights.led == 1, "legacy property reads the same counter"

@@ -1,0 +1,142 @@
+"""Trace-overhead regression tests (the DESIGN §10 cost contract).
+
+Disabled tracing must be a single attribute check on every hot path:
+
+* ``DispatchHandle.address()`` — the zero-stall dispatch from PR 4 — is
+  never wrapped when tracing is off (checked structurally *and* by a
+  lap-interleaved timing comparison against the bare class function);
+* a warm ``GuardedTransformer.transform`` (machine-stage cache hit) pays
+  at most 5% over calling its untraced ``_transform_impl`` directly.
+
+With tracing enabled, coverage must be complete where the tentpole
+promises it: every O3 pass application gets a matching span.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.cache import SpecializationCache
+from repro.cc import compile_c
+from repro.cpu import Image
+from repro.guard import GuardedTransformer
+from repro.ir import Module, verify
+from repro.ir.passes import run_o3
+from repro.lift import FunctionSignature, LiftOptions, lift_function
+from repro.obs.trace import TRACER
+from repro.tier import TieredEngine, TierPolicy
+from repro.tier.handle import DispatchHandle
+
+MAX_DISABLED_OVERHEAD = 0.05
+
+#: thresholds no test run can reach: the handle never promotes, so the
+#: timing loop below exercises exactly the dispatch hot path
+_COLD = TierPolicy(promote_calls=(10**9, 10**9))
+
+
+def _median_pair(fn_a, fn_b, rounds: int) -> tuple[float, float]:
+    """Median of interleaved laps per arm (robust to drift/preemption)."""
+    def lap(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    pairs = [(lap(fn_a), lap(fn_b)) for _ in range(rounds)]
+    return (statistics.median(p[0] for p in pairs),
+            statistics.median(p[1] for p in pairs))
+
+
+# -- disabled path: dispatch ------------------------------------------------
+
+
+def test_dispatch_hot_path_structurally_untouched():
+    assert not TRACER.enabled
+    with TieredEngine(Image(), policy=_COLD) as eng:
+        h = eng.register(0x1000, FunctionSignature(("i",), "i"))
+        assert "address" not in h.__dict__, \
+            "disabled tracing must not shadow the dispatch method"
+    # the class-level hot path contains no tracer hooks at all
+    names = DispatchHandle.address.__code__.co_names
+    assert not any("TR" in n or "trace" in n or "obs" in n for n in names), \
+        names
+
+
+def test_dispatch_disabled_overhead_within_budget():
+    assert not TRACER.enabled
+    with TieredEngine(Image(), policy=_COLD) as eng:
+        h = eng.register(0x1000, FunctionSignature(("i",), "i"))
+        plain = DispatchHandle.address
+        n = 20_000
+
+        def bare():
+            for _ in range(n):
+                plain(h)
+
+        def dispatched():
+            for _ in range(n):
+                h.address()
+
+        base, traced_off = _median_pair(bare, dispatched, rounds=40)
+    overhead = traced_off / base - 1.0
+    assert overhead < MAX_DISABLED_OVERHEAD, \
+        f"disabled dispatch costs {overhead:+.1%} over the bare hot path"
+
+
+# -- disabled path: warm guarded transform ----------------------------------
+
+
+def test_warm_guard_transform_disabled_overhead():
+    assert not TRACER.enabled
+    prog = compile_c("long f(long a, long b) { return a * b + 3; }")
+    guard = GuardedTransformer(prog.image, cache=SpecializationCache())
+    sig = FunctionSignature(("i", "i"), "i")
+    kwargs = dict(name="f.obs", ladder=("llvm",))
+    out = guard.transform("f", sig, **kwargs)  # cold: warms the cache
+    assert not out.degraded
+    warm = guard.transform("f", sig, **kwargs)
+    assert warm.result is not None and warm.result.cache_stage is not None, \
+        "the timing loop below must run on the machine-cache hit path"
+
+    base, traced_off = _median_pair(
+        lambda: guard._transform_impl("f", sig, None, mem_regions=(),
+                                      probes=(), dbrew_func=None, **kwargs),
+        lambda: guard.transform("f", sig, **kwargs),
+        rounds=60)
+    overhead = traced_off / base - 1.0
+    assert overhead < MAX_DISABLED_OVERHEAD, \
+        f"disabled-tracing warm transform costs {overhead:+.1%}"
+
+
+# -- enabled path: complete O3 coverage -------------------------------------
+
+
+def test_every_o3_pass_application_has_a_span():
+    prog = compile_c("""
+    long f(long a, long b) {
+        long s = 0;
+        for (long i = 0; i < a; i++) s += i * b;
+        return s;
+    }
+    """)
+    img = prog.image
+    m = Module("t")
+    f = lift_function(img.memory, img.symbol("f"),
+                      FunctionSignature(("i", "i"), "i"),
+                      LiftOptions(name="f.traced"), m)
+    verify(f)
+
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        report = run_o3(f, validate=True)
+    finally:
+        TRACER.disable()
+
+    assert report.pass_log, "validate mode logs every pass application"
+    logged = sorted(f"o3.pass.{v.pass_name}" for v in report.pass_log)
+    spans = sorted(s.name for s in TRACER.spans
+                   if s.name.startswith("o3.pass.")
+                   and (s.attrs or {}).get("func") == "f.traced")
+    assert spans == logged, "span multiset must match the pass log exactly"
+    TRACER.clear()
