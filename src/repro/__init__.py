@@ -32,6 +32,7 @@ from repro.analysis import (
 from repro.cc import CompiledProgram, compile_c
 from repro.cpu import CostModel, HASWELL, Image, Simulator
 from repro.dbrew import Rewriter
+from repro.farm import CompileJob, CompileResult, FarmClient, FarmPool
 from repro.guard import Budget, BudgetExceededError, GuardedTransformer
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions, lift_function
@@ -45,9 +46,13 @@ __all__ = [
     "BinaryTransformer",
     "Budget",
     "BudgetExceededError",
+    "CompileJob",
+    "CompileResult",
     "CompiledProgram",
     "CostModel",
     "DispatchHandle",
+    "FarmClient",
+    "FarmPool",
     "Finding",
     "FixedMemory",
     "FunctionSignature",

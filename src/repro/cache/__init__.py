@@ -5,11 +5,12 @@ See :mod:`repro.cache.cache` for the stage model and
 """
 
 from repro.cache.cache import CacheStats, MachineEntry, SpecializationCache
-from repro.cache.flight import FlightTable
+from repro.cache.flight import FileFlightTable, FlightTable
 from repro.cache.negative import NegativeCache, NegativeEntry
-from repro.cache.store import DiskStore, LRUStore
+from repro.cache.store import DiskStore, LRUStore, advisory_lock
 
 __all__ = [
-    "CacheStats", "DiskStore", "FlightTable", "LRUStore", "MachineEntry",
-    "NegativeCache", "NegativeEntry", "SpecializationCache",
+    "CacheStats", "DiskStore", "FileFlightTable", "FlightTable", "LRUStore",
+    "MachineEntry", "NegativeCache", "NegativeEntry", "SpecializationCache",
+    "advisory_lock",
 ]

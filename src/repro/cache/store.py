@@ -14,16 +14,37 @@ every compound operation (put+evict, check-then-move) holds a lock.  The
 ``OrderedDict`` operations underneath are *not* individually atomic —
 ``move_to_end`` during ``popitem`` or iteration during ``put`` corrupts or
 raises — which is exactly what tests/tier/test_thread_safety.py hammers.
+
+The disk store is additionally *multi-process* safe (the compile farm
+shares one directory across a worker pool): publication is always
+temp-file + atomic ``os.replace``, so a concurrent reader in any process
+sees either the old entry or the new one, never a torn pickle; with
+``durable=True`` the data and the directory entry are fsynced before the
+rename commits, so a machine crash cannot leave a renamed-but-empty file
+behind.  Crashed writers leak only ``.tmp`` files, which every store
+construction sweeps.  ``locked()`` exposes the advisory file lock the
+cross-process single-flight table builds on
+(:class:`repro.cache.flight.FileFlightTable`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Iterator
+
+try:  # POSIX advisory locks; farm coordination degrades gracefully without
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+#: a ``.tmp`` file this old was leaked by a crashed writer, not in-flight
+_STALE_TMP_SECONDS = 300.0
 
 
 class LRUStore:
@@ -78,6 +99,43 @@ class LRUStore:
             return len(self._data)
 
 
+@contextlib.contextmanager
+def advisory_lock(path: str, *, shared: bool = False,
+                  blocking: bool = True) -> Iterator[bool]:
+    """Hold a POSIX advisory lock on ``path`` for the ``with`` body.
+
+    Yields True when the lock is held.  ``blocking=False`` yields False
+    instead of waiting when another process holds it.  The lock file is
+    created if missing and *never unlinked* — unlinking would let a later
+    locker acquire a fresh inode while an earlier one still holds the old
+    file, silently breaking mutual exclusion.  ``flock`` locks die with
+    their holder, so a killed process can never wedge the others.
+
+    On platforms without ``fcntl`` this is a no-op that yields True: the
+    callers (disk store, single-flight) are coordination optimizations
+    layered over atomic-rename publication, never correctness.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield True
+        return
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        flags = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+        if not blocking:
+            flags |= fcntl.LOCK_NB
+        try:
+            fcntl.flock(fd, flags)
+        except OSError:
+            yield False
+            return
+        try:
+            yield True
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
 class DiskStore:
     """One pickle file per cache entry under ``root``.
 
@@ -87,14 +145,54 @@ class DiskStore:
     concurrent reader (another thread *or* another process sharing the
     directory) can never observe a torn entry; the rename is atomic on
     POSIX, so no additional lock is needed for readers.
+
+    ``durable=True`` adds crash durability on top of atomicity: the temp
+    file is fsynced before the rename and the directory after it, so a
+    published entry survives power loss.  The compile farm leaves it off —
+    a lost cache entry after a crash is just a future miss — but a store
+    used as a build-artifact channel can opt in.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, *, durable: bool = False) -> None:
         self.root = root
+        self.durable = durable
         os.makedirs(root, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Reap temp files leaked by crashed writers (best-effort).
+
+        Only files older than :data:`_STALE_TMP_SECONDS` go: a young
+        ``.tmp`` may be another process's in-flight write whose rename has
+        not landed yet.
+        """
+        try:
+            cutoff = time.time() - _STALE_TMP_SECONDS
+            for name in os.listdir(self.root):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(self.root, name)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        os.unlink(path)
+                except OSError:
+                    pass
+        except OSError:  # pragma: no cover - unreadable root
+            pass
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.pkl")
+
+    def locked(self, key: str, *, blocking: bool = True):
+        """Advisory per-key lock (see :func:`advisory_lock`).
+
+        Readers and the normal :meth:`put` path never need it — atomic
+        rename already serializes publication — but multi-process callers
+        doing read-modify-write sequences on one key (or coordinating who
+        compiles, like the farm's single-flight) hold this.
+        """
+        return advisory_lock(os.path.join(self.root, f"{key}.lock"),
+                             blocking=blocking)
 
     def get(self, key: str) -> Any | None:
         try:
@@ -110,13 +208,42 @@ class DiskStore:
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    if self.durable:
+                        fh.flush()
+                        os.fsync(fh.fileno())
                 os.replace(tmp, self._path(key))
+                if self.durable:
+                    self._fsync_dir()
             except BaseException:
                 os.unlink(tmp)
                 raise
             return True
         except (OSError, pickle.PicklingError, TypeError):
             return False
+
+    def _fsync_dir(self) -> None:
+        try:
+            dfd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+
+    def discard(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+    def keys(self) -> list[str]:
+        """Snapshot of every published key (entries only, no locks/tmp)."""
+        try:
+            return [n[:-4] for n in os.listdir(self.root)
+                    if n.endswith(".pkl")]
+        except OSError:
+            return []
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))

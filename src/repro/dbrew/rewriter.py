@@ -221,12 +221,25 @@ class Rewriter:
         st = MetaState()
         st.gpr[RSP] = MetaValue.of(VSP_BASE)
         st.runtime_sp_off = -_FRAME
+        self._pinned_params: list[tuple[int, int]] = []
         int_idx = 0
         f_idx = 0
         for i, cls in enumerate(self.signature):
             if cls == "i":
                 if i in self._fixed:
-                    st.gpr[SYSV_INT_ARGS[int_idx]] = MetaValue.of(self._fixed[i])
+                    value = self._fixed[i] & _MASK64
+                    if is_stack_address(value):
+                        # the fixed value collides with the virtual-stack
+                        # sentinel window: tracked as known, every address
+                        # fold and materialization would misclassify it as
+                        # a rewrite-time stack pointer and emit rsp-relative
+                        # garbage.  Pin the true value into the register at
+                        # entry and track it as unknown — sound, just not
+                        # specialized on.
+                        self._pinned_params.append(
+                            (SYSV_INT_ARGS[int_idx], value))
+                    else:
+                        st.gpr[SYSV_INT_ARGS[int_idx]] = MetaValue.of(value)
                 int_idx += 1
             else:
                 if i in self._fixed:
@@ -251,6 +264,9 @@ class Rewriter:
         worklist: list[_Point] = []
 
         state0 = self._initial_state()
+        for reg_idx, value in self._pinned_params:
+            out.append(make("mov", gp(reg_idx), Imm(_signed64(value), 8)))
+            self.stats.emitted += 1
         entry_label = self._point_label(self.entry, (), state0, worklist)
         out.append(make("jmp", LabelRef(entry_label)))
 

@@ -1,0 +1,48 @@
+"""Compile farm: a multi-process rewrite service over a shared disk cache.
+
+PR 4's :class:`~repro.tier.TieredEngine` moved LLVM-grade optimization off
+the application's critical path into background *threads*; this package
+moves it off the application's *cores* into a pool of worker processes —
+the offload model BAAR argues for, built from four pieces:
+
+* :mod:`repro.farm.protocol` — picklable :class:`CompileJob` /
+  :class:`CompileResult` records plus :class:`ImageSpec`, a content-keyed
+  snapshot of the guest image that workers rebuild bit-identically at the
+  original guest addresses (lifted IR bakes absolute addresses in, so the
+  worker's image must agree with the client's);
+* :mod:`repro.farm.pool` — :class:`FarmPool`: worker lifecycle (spawn,
+  respawn-on-crash, graceful drain), batched job transport over
+  ``multiprocessing`` queues, result collection;
+* :mod:`repro.farm.worker` — the worker process main loop: rebuild the
+  image, run the T1/T2 pipeline under a per-job
+  :class:`~repro.guard.Budget`, publish the position-independent post-O3
+  module to the shared :class:`~repro.cache.DiskStore`, all under the
+  cross-process single-flight of
+  :class:`~repro.cache.FileFlightTable`;
+* :mod:`repro.farm.client` — :class:`FarmClient`: the in-process facade
+  the tiered engine calls; adds thread-level request coalescing and
+  merges worker trace records into the client tracer.
+
+Failure is always soft: a dead pool, a lost job, a timeout or an unkeyed
+function all surface as ``None``/``retryable`` results, and the engine
+falls back to compiling in-process — exactly the degradation ladder the
+rest of the system already follows.
+"""
+
+from repro.farm.client import FarmClient
+from repro.farm.pool import FarmPool
+from repro.farm.protocol import (
+    CompileJob,
+    CompileResult,
+    ImageSpec,
+    MemSegment,
+)
+
+__all__ = [
+    "CompileJob",
+    "CompileResult",
+    "FarmClient",
+    "FarmPool",
+    "ImageSpec",
+    "MemSegment",
+]

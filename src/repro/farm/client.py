@@ -1,0 +1,118 @@
+"""The in-process farm facade the tiered engine talks to.
+
+Thin by design — the pool owns transport and the worker owns compilation —
+but three client-side responsibilities live here:
+
+* **thread-level coalescing**: the engine's tier workers may request the
+  same job key concurrently; a :class:`~repro.cache.FlightTable` keyed on
+  ``(key, epoch)`` collapses them into one queue round-trip before the
+  cross-*process* single-flight even comes into play.
+* **image publication**: the lifted IR a worker produces bakes in absolute
+  guest addresses, so the worker's image must match the client's.
+  :meth:`ensure_image` captures an :class:`ImageSpec` once per image
+  generation, publishes it to the shared store under its content key and
+  memoizes the key — jobs then carry a small string, not megabytes.
+* **observability folding**: worker trace batches merge into the client
+  tracer under the dispatch-site span (one Chrome trace spans the process
+  hop); worker-side counters fold into the client registry under
+  ``farm.worker.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.cache import FlightTable
+from repro.cpu.image import Image
+from repro.farm.pool import FarmPool
+from repro.farm.protocol import CompileJob, CompileResult, ImageSpec, \
+    image_spec_key
+from repro.obs.metrics import MetricsRegistry, REGISTRY
+from repro.obs.trace import TRACER
+
+
+class FarmClient:
+    """Submit jobs, wait for results, fold telemetry back in.
+
+    ``compile`` never raises for farm trouble: timeouts, closed pools and
+    transport loss all come back as ``None`` (caller compiles locally).
+    """
+
+    def __init__(self, pool: FarmPool, *, timeout: float = 60.0,
+                 registry: MetricsRegistry | None = None,
+                 tracer=None) -> None:
+        self.pool = pool
+        self.timeout = timeout
+        self.tracer = tracer if tracer is not None else TRACER
+        r = registry if registry is not None else REGISTRY
+        self._registry = r
+        self._requests = r.counter("farm.client.requests")
+        self._timeouts = r.counter("farm.client.timeouts")
+        self._errors = r.counter("farm.client.errors")
+        self._flights = FlightTable()
+        self._image_keys: dict[tuple[int, int], str] = {}
+        self._image_lock = threading.Lock()
+
+    # -- image publication -------------------------------------------------
+
+    def ensure_image(self, image: Image) -> str:
+        """Publish ``image`` to the shared store; return its spec key.
+
+        Memoized per ``(id(image), generation)``: a patch bumps the
+        generation, forcing a re-capture, while repeated promotions on an
+        unpatched image reuse the published spec.  The store side is
+        content-keyed, so identical images across clients share one entry.
+        """
+        memo = (id(image), image.generation)
+        with self._image_lock:
+            key = self._image_keys.get(memo)
+        if key is not None:
+            return key
+        spec = ImageSpec.capture(image)
+        key = image_spec_key(spec.digest())
+        if self.pool.store.get(key) is None:
+            self.pool.store.put(key, spec)
+        with self._image_lock:
+            self._image_keys[memo] = key
+        return key
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, job: CompileJob,
+                timeout: float | None = None) -> CompileResult | None:
+        """One farm round-trip; None means "compile locally instead"."""
+        self._requests.value += 1
+        wait = self.timeout if timeout is None else timeout
+
+        def thunk() -> CompileResult | None:
+            try:
+                fut = self.pool.submit(job)
+            except RuntimeError:  # pool closed
+                self._errors.value += 1
+                return None
+            try:
+                result = fut.result(timeout=wait)
+            except FutureTimeoutError:
+                self._timeouts.value += 1
+                fut.cancel()
+                return None
+            except (BrokenPipeError, OSError):
+                self._errors.value += 1
+                return None
+            self._absorb(result, job)
+            return result
+
+        result, _led = self._flights.run((job.key, job.epoch), thunk)
+        return result
+
+    # -- telemetry folding -------------------------------------------------
+
+    def _absorb(self, result: CompileResult, job: CompileJob) -> None:
+        for name, value in result.stats:
+            if name.startswith("farm.flight."):
+                continue  # cumulative worker-lifetime gauges, not deltas
+            self._registry.counter(f"farm.worker.{name}").value += int(value)
+        if result.trace_records is not None and self.tracer.enabled:
+            self.tracer.merge_records(result.trace_records,
+                                      root_parent=job.parent_span_id)

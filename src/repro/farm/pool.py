@@ -1,0 +1,277 @@
+"""Worker-pool lifecycle and batched job transport.
+
+:class:`FarmPool` owns the processes and the queues; it knows nothing
+about compilation.  Three moving parts:
+
+* a **dispatcher thread** drains the submit buffer into batch messages.
+  Batching is load-adaptive rather than timer-based: while workers are
+  keeping up, each job ships alone (lowest latency); when submissions
+  outpace the dispatcher — a registration storm promoting hundreds of
+  tiny functions — the buffer grows between wakeups and whole batches of
+  up to ``batch_max`` jobs cross the queue in one pickle, amortizing the
+  per-message transport cost exactly when it matters.
+* a **collector thread** resolves futures from the result queue and, on
+  every poll timeout, reaps dead workers and respawns replacements
+  (``respawn=True``).  Jobs lost inside a crashed worker are *not*
+  replayed — the future times out client-side and the tiered engine
+  compiles in-process; replaying would double-compile on the far more
+  common slow-worker case.
+* the **worker processes** run :func:`repro.farm.worker.worker_main`.
+  Start method comes from ``start_method`` / ``REPRO_FARM_START_METHOD``
+  (default ``fork`` where available — workers inherit nothing mutable of
+  consequence; everything they need arrives via the job or the shared
+  store, which is also what makes ``spawn`` work unchanged).
+
+``close()`` drains gracefully: sentinels in, join with timeout, then
+terminate stragglers.  Unresolved futures get ``BrokenPipeError`` so no
+client waits on a dead pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import tempfile
+import threading
+from concurrent.futures import Future
+
+from repro.cache.store import DiskStore
+from repro.farm.protocol import CompileJob, CompileResult
+from repro.farm.worker import worker_main
+from repro.obs.metrics import MetricsRegistry, REGISTRY
+
+#: environment override for the multiprocessing start method
+START_METHOD_ENV = "REPRO_FARM_START_METHOD"
+
+
+def _pick_start_method(requested: str | None) -> str:
+    method = requested or os.environ.get(START_METHOD_ENV) or ""
+    if method:
+        return method
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class FarmPool:
+    """A pool of compile-worker processes over one shared disk store."""
+
+    def __init__(self, *, workers: int = 2, disk_dir: str | None = None,
+                 start_method: str | None = None,
+                 batch_max: int = 16, respawn: bool = True,
+                 poll_interval: float = 0.05,
+                 flight_timeout: float | None = 120.0,
+                 registry: MetricsRegistry | None = None) -> None:
+        if disk_dir is None:
+            self._own_dir = tempfile.TemporaryDirectory(prefix="repro-farm-")
+            disk_dir = self._own_dir.name
+        else:
+            self._own_dir = None
+        self.disk_dir = disk_dir
+        #: the client-side handle on the shared store (image specs go in
+        #: through this; warm results can be probed without a worker)
+        self.store = DiskStore(disk_dir)
+        self.batch_max = batch_max
+        self.respawn = respawn
+        self.poll_interval = poll_interval
+        self._worker_config = {
+            "disk_dir": disk_dir,
+            "flight_timeout": flight_timeout,
+        }
+
+        r = registry if registry is not None else REGISTRY
+        self._jobs_ctr = r.counter("farm.jobs")
+        self._batches = r.counter("farm.batches")
+        self._batched_jobs = r.counter("farm.batched_jobs")
+        self._results_ctr = r.counter("farm.results")
+        self._respawns = r.counter("farm.respawns")
+        self._lost = r.counter("farm.lost_futures")
+
+        self._ctx = mp.get_context(_pick_start_method(start_method))
+        self._result_q = self._ctx.Queue()
+        #: (process, its private job queue) per slot.  One job queue PER
+        #: WORKER, not one shared: ``mp.Queue.get`` holds the queue's
+        #: reader lock while blocked, so a worker SIGKILLed while idle
+        #: would leave a shared queue poisoned for every successor.  A
+        #: private queue dies with its worker; the respawn gets a fresh
+        #: one and only the jobs trapped in the dead queue are lost
+        #: (their futures time out and the client compiles locally).
+        self._workers: list = []
+        self._next_worker_id = 0
+        self._rr = 0
+        for _ in range(max(1, workers)):
+            self._workers.append(self._spawn())
+
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._pending: list[CompileJob] = []
+        self._futures: dict[int, Future] = {}
+        self._next_seq = 1
+        self._closed = False
+
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="farm-dispatch", daemon=True)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="farm-collect", daemon=True)
+        self._dispatcher.start()
+        self._collector.start()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self):
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        job_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(wid, job_q, self._result_q, self._worker_config),
+            name=f"farm-worker-{wid}", daemon=True)
+        proc.start()
+        return (proc, job_q)
+
+    def _reap(self) -> None:
+        """Replace dead workers (crash, OOM-kill, test-inflicted SIGKILL)."""
+        if self._closed or not self.respawn:
+            return
+        for i, (proc, job_q) in enumerate(self._workers):
+            if not proc.is_alive():
+                proc.join(timeout=0)
+                job_q.close()
+                self._workers[i] = self._spawn()
+                self._respawns.value += 1
+
+    def alive_workers(self) -> int:
+        return sum(1 for p, _q in self._workers if p.is_alive())
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: CompileJob) -> Future:
+        """Queue one job; the Future resolves to its CompileResult."""
+        fut: Future = Future()
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("farm pool is closed")
+            seq = self._next_seq
+            self._next_seq += 1
+            import dataclasses
+            job = dataclasses.replace(job, seq=seq)
+            self._futures[seq] = fut
+            self._pending.append(job)
+            self._jobs_ctr.value += 1
+            self._cv.notify()
+        return fut
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._closed:
+                    self._cv.wait()
+                if self._closed and not self._pending:
+                    return
+                batch = self._pending[:self.batch_max]
+                del self._pending[:len(batch)]
+            self._batches.value += 1
+            if len(batch) > 1:
+                self._batched_jobs.value += len(batch)
+            # round-robin over alive workers; a batch landing on a worker
+            # that dies before draining it is lost (futures time out)
+            targets = [q for p, q in self._workers if p.is_alive()] \
+                or [q for _p, q in self._workers]
+            self._rr = (self._rr + 1) % len(targets)
+            try:
+                targets[self._rr].put(("batch", batch))
+            except (ValueError, OSError):  # queue closed under us
+                return
+
+    # -- collection --------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                msg = self._result_q.get(timeout=self.poll_interval)
+            except queue_mod.Empty:
+                if self._closed and not self._futures:
+                    return
+                self._reap()
+                continue
+            except (EOFError, OSError, ValueError):
+                return
+            if msg is None:
+                return
+            _, result = msg
+            self._results_ctr.value += 1
+            with self._lock:
+                fut = self._futures.pop(result.seq, None)
+            if fut is not None and not fut.done():
+                fut.set_result(result)
+
+    # -- drain / shutdown --------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every submitted job has resolved (or timeout)."""
+        import time
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._futures and not self._pending:
+                    return True
+            time.sleep(0.01)
+        return False
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Graceful drain: sentinels, join, then terminate stragglers."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        for _proc, job_q in self._workers:
+            try:
+                job_q.put(None)
+            except (ValueError, OSError):
+                pass
+        for proc, _job_q in self._workers:
+            proc.join(timeout=timeout)
+        for proc, _job_q in self._workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        # fail any future that will never resolve now
+        with self._lock:
+            leftovers = list(self._futures.values())
+            self._futures.clear()
+            self._pending.clear()
+        for fut in leftovers:
+            if not fut.done():
+                self._lost.value += 1
+                fut.set_exception(BrokenPipeError("farm pool closed"))
+        for _proc, job_q in self._workers:
+            job_q.close()
+        self._result_q.close()
+        self._collector.join(timeout=1.0)
+        self._dispatcher.join(timeout=1.0)
+        if self._own_dir is not None:
+            try:
+                self._own_dir.cleanup()
+            except OSError:  # pragma: no cover - windows file locks etc.
+                pass
+
+    def __enter__(self) -> "FarmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "jobs": self._jobs_ctr.value,
+            "batches": self._batches.value,
+            "batched_jobs": self._batched_jobs.value,
+            "results": self._results_ctr.value,
+            "respawns": self._respawns.value,
+            "lost_futures": self._lost.value,
+            "alive_workers": self.alive_workers(),
+        }

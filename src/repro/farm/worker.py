@@ -1,0 +1,292 @@
+"""The farm worker: one process of the compile service.
+
+``worker_main`` is the process entry point (top-level, so it pickles under
+``spawn``).  The loop is deliberately simple — take a batch off the job
+queue, run each job, push each result — with all the interesting parts in
+``run_job``:
+
+1. **warm path** — the job's result may already be in the shared disk
+   store (published by any worker of any pool, ever): return it without
+   rebuilding anything.  This is the cross-worker shared-cache hit the
+   farm exists for.
+2. **single-flight** — otherwise enter the
+   :class:`~repro.cache.FileFlightTable` for the job key: one process
+   compiles, the rest poll the store.  A killed leader's lock evaporates
+   and a follower takes over (see the flight-table docstring).
+3. **compile** — rebuild the client's image from its :class:`ImageSpec`
+   (fresh per job: gate probes execute candidate code against the image
+   and may mutate data/stack; a pristine rebuild per job keeps jobs
+   independent), run the same T1/T2 pipelines the tiered engine runs
+   locally, then pull the *pristine post-O3 module* back out of the
+   module-stage cache and publish it.  The worker's own codegen output is
+   throwaway — it exists so the T2 differential gate has machine code to
+   execute — because machine code is position-dependent and the client
+   must assemble into its own image.
+
+Failure mapping: :class:`~repro.errors.ReproError` is a content verdict
+(the client would hit the same wall) and comes back ``retryable=False``;
+anything else — missing image spec, unkeyed module, internal errors — is a
+farm deficiency and comes back ``retryable=True`` so the client compiles
+in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.cache import DiskStore, FileFlightTable, SpecializationCache
+from repro.errors import ReproError
+from repro.farm import protocol
+from repro.farm.protocol import CompileJob, CompileResult, ImageSpec
+from repro.guard import Budget, GuardedTransformer
+from repro.ir.passes import O3Options
+from repro.obs import metrics as _metrics
+from repro.obs.trace import TRACER as _TR
+from repro.tier.policy import T1
+
+
+class _RecordingCache(SpecializationCache):
+    """A specialization cache that remembers the last module-stage key it
+    touched.  The pipeline stores the pristine (pre-codegen) module under
+    a key derived from inputs the worker does not always know up front
+    (the dbrew+llvm rung keys on *rewritten* bytes); recording the key at
+    the put/get site lets ``run_job`` retrieve that exact module after the
+    pipeline finishes, without re-deriving key plumbing here."""
+
+    last_module_key: str | None = None
+
+    def put_module(self, mkey: str, module, func_name: str) -> None:
+        super().put_module(mkey, module, func_name)
+        self.last_module_key = mkey
+
+    def get_module(self, mkey: str):
+        out = super().get_module(mkey)
+        if out is not None:
+            self.last_module_key = mkey
+        return out
+
+
+class FarmWorker:
+    """Per-process worker state: shared store, flight table, spec memo."""
+
+    def __init__(self, worker_id: int, disk_dir: str,
+                 poll_interval: float = 0.005,
+                 flight_timeout: float | None = 120.0) -> None:
+        self.worker_id = worker_id
+        self.store = DiskStore(disk_dir)
+        self.flights = FileFlightTable(
+            os.path.join(disk_dir, "flights"), poll_interval=poll_interval)
+        self.flight_timeout = flight_timeout
+        self.cache = _RecordingCache(disk_dir=disk_dir)
+        self._specs: dict[str, ImageSpec] = {}
+        #: previous values of the process-global counters reported per job
+        self._counter_marks: dict[str, int] = {}
+
+    # -- shared state ------------------------------------------------------
+
+    def _spec(self, image_key: str) -> ImageSpec | None:
+        spec = self._specs.get(image_key)
+        if spec is None:
+            spec = self.store.get(image_key)
+            if spec is not None:
+                self._specs[image_key] = spec
+        return spec
+
+    def _counter_deltas(self) -> list[tuple[str, float]]:
+        """Per-job deltas of the lifter memo counters (process-global)."""
+        out = []
+        for name in ("lift.facet_cache.hits", "lift.facet_cache.misses",
+                     "lift.decode_memo.hits", "lift.decode_memo.misses"):
+            value = _metrics.counter(name).value
+            out.append((name, float(value - self._counter_marks.get(name, 0))))
+            self._counter_marks[name] = value
+        return out
+
+    # -- one job -----------------------------------------------------------
+
+    def run_job(self, job: CompileJob) -> CompileResult:
+        t0 = time.perf_counter()
+        if job.trace and not _TR.enabled:
+            _TR.enable()
+        mark = _TR.mark() if job.trace else (0, 0)
+        span = _TR.start("farm.job", {"name": job.name, "tier": job.tier,
+                                      "worker": self.worker_id}) \
+            if job.trace else None
+        try:
+            result = self._run_job_inner(job, t0)
+        finally:
+            if span is not None:
+                _TR.finish(span)
+        if job.trace:
+            result = _replace(result,
+                              trace_records=_TR.export_records(mark))
+        return result
+
+    def _run_job_inner(self, job: CompileJob, t0: float) -> CompileResult:
+        rkey = protocol.result_key(job.key)
+
+        def probe() -> dict | None:
+            return self.store.get(rkey)
+
+        payload = probe()
+        if payload is not None:
+            return self._finish(job, t0, payload, cache_stage="farm")
+
+        spec = self._spec(job.image_key)
+        if spec is None:
+            return self._fail(job, t0, "image spec unavailable",
+                              retryable=True)
+        try:
+            payload, leader = self.flights.run(
+                job.key, lambda: self._compile_and_publish(job, spec, rkey),
+                probe, timeout=self.flight_timeout)
+        except ReproError as exc:
+            return self._fail(job, t0, f"{type(exc).__name__}: {exc}",
+                              retryable=False)
+        except BaseException as exc:  # pragma: no cover - defensive
+            return self._fail(job, t0, f"internal error: {exc!r}",
+                              retryable=True)
+        return self._finish(job, t0, payload,
+                            cache_stage=None if leader else "farm",
+                            coalesced=not leader)
+
+    def _compile_and_publish(self, job: CompileJob, spec: ImageSpec,
+                             rkey: str) -> dict:
+        """The leader path: full pipeline in a fresh image, then publish.
+
+        Returns (and publishes) the shared payload dict; negative verdicts
+        (gate rejection, ladder exhaustion) are published too, so every
+        follower observes the same content-determined outcome without
+        re-running the pipeline — the cross-process analogue of the
+        negative cache.
+        """
+        image = spec.build()
+        budget = protocol.thaw_budget(job.budget) or Budget()
+        lift_options = protocol.thaw_lift_options(job.lift)
+        fixes = job.thawed_fixes()
+        o3 = job.o3 if job.o3 is not None else O3Options()
+        self.cache.last_module_key = None
+
+        if job.tier == T1:
+            from repro.jit import BinaryTransformer
+            budget.start()
+            tx = BinaryTransformer(
+                image, o3_options=o3, cache=self.cache, budget=budget,
+                lift_options=lift_options, jit_options=job.jit)
+            if fixes:
+                res = tx.llvm_fixed(job.func, job.signature, fixes,
+                                    name=job.name)
+                mode: str | None = "llvm-fix"
+            else:
+                res = tx.llvm_identity(job.func, job.signature, name=job.name)
+                mode = "llvm"
+            verified = False
+            reject = None
+        else:
+            guard = GuardedTransformer(
+                image, cache=self.cache, budget=budget,
+                gate_options=job.gate, lift_options=lift_options,
+                o3_options=o3, jit_options=job.jit)
+            gres = guard.transform(
+                job.func, job.signature, fixes,
+                mem_regions=job.mem_regions, name=job.name,
+                probes=job.probes, ladder=job.ladder or None,
+                dbrew_func=job.dbrew_func)
+            if gres.degraded:
+                reject = "; ".join(gres.failure_summary()) or "ladder degraded"
+                payload = {"ok": False, "reject_reason": reject,
+                           "mode": None, "verified": False,
+                           "module": None, "main_name": None}
+                self.store.put(rkey, payload)
+                return payload
+            mode = gres.mode
+            verified = gres.verified or (gres.result is not None
+                                         and gres.result.machine_gated)
+            reject = None
+
+        mkey = self.cache.last_module_key
+        hit = self.cache.get_module(mkey) if mkey is not None else None
+        if hit is None:
+            # unkeyable function (no extent digest): nothing shippable —
+            # the client must compile locally; do not publish a verdict
+            raise _Unshippable("post-O3 module not in the module cache")
+        module, main_name = hit
+        payload = {"ok": True, "reject_reason": reject, "mode": mode,
+                   "verified": verified, "module": module,
+                   "main_name": main_name}
+        self.store.put(rkey, payload)
+        return payload
+
+    # -- result assembly ---------------------------------------------------
+
+    def _finish(self, job: CompileJob, t0: float, payload: dict, *,
+                cache_stage: str | None = None,
+                coalesced: bool = False) -> CompileResult:
+        return CompileResult(
+            key=job.key, name=job.name, tier=job.tier, epoch=job.epoch,
+            seq=job.seq, ok=bool(payload.get("ok")),
+            retryable=False, mode=payload.get("mode"),
+            verified=bool(payload.get("verified")),
+            reject_reason=payload.get("reject_reason"),
+            module=payload.get("module"),
+            main_name=payload.get("main_name"),
+            cache_stage=cache_stage, coalesced=coalesced,
+            stats=tuple(self._job_stats()),
+            worker_pid=os.getpid(), seconds=time.perf_counter() - t0)
+
+    def _fail(self, job: CompileJob, t0: float, reason: str, *,
+              retryable: bool) -> CompileResult:
+        return CompileResult(
+            key=job.key, name=job.name, tier=job.tier, epoch=job.epoch,
+            seq=job.seq, ok=False, retryable=retryable,
+            reject_reason=reason, stats=tuple(self._job_stats()),
+            worker_pid=os.getpid(), seconds=time.perf_counter() - t0)
+
+    def _job_stats(self) -> list[tuple[str, float]]:
+        stats = self._counter_deltas()
+        fl = self.flights.snapshot()
+        stats.extend((f"farm.flight.{k}", float(v)) for k, v in fl.items())
+        return stats
+
+
+class _Unshippable(Exception):
+    """Pipeline succeeded but produced nothing position-independent."""
+
+
+def worker_main(worker_id: int, job_q: Any, result_q: Any,
+                config: dict) -> None:
+    """Process entry point: batches in, results out, None drains."""
+    worker = FarmWorker(
+        worker_id, config["disk_dir"],
+        poll_interval=config.get("poll_interval", 0.005),
+        flight_timeout=config.get("flight_timeout", 120.0))
+    while True:
+        try:
+            msg = job_q.get()
+        except (EOFError, OSError):  # queue torn down under us
+            return
+        if msg is None:
+            return
+        kind, jobs = msg
+        assert kind == "batch"
+        for job in jobs:
+            try:
+                result = worker.run_job(job)
+            except _Unshippable as exc:
+                result = worker._fail(job, time.perf_counter(), str(exc),
+                                      retryable=True)
+            except BaseException as exc:  # pragma: no cover - defensive
+                result = worker._fail(job, time.perf_counter(),
+                                      f"worker error: {exc!r}",
+                                      retryable=True)
+            try:
+                result_q.put(("result", result))
+            except (EOFError, OSError):  # pragma: no cover - shutdown race
+                return
+
+
+def _replace(result: CompileResult, **changes: Any) -> CompileResult:
+    import dataclasses
+    return dataclasses.replace(result, **changes)

@@ -18,12 +18,26 @@ from typing import TYPE_CHECKING
 
 from repro.errors import DecodeError, LiftError
 from repro.mem.memory import Memory
+from repro.obs import metrics as _metrics
 from repro.x86 import isa
 from repro.x86.decoder import decode_one
 from repro.x86.instr import Imm, Instruction, Reg
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.guard.budget import Budget
+
+#: decode memo shared by every discovery in this process, keyed by
+#: (pc, window bytes).  Instructions are immutable (repro.x86.instr), so
+#: sharing decoded objects across lifts is safe; the pc is part of the key
+#: because branch/call operands are decoded to absolute targets.  Repeated
+#: lifts of identical byte sequences — the tiered engine re-lifting per
+#: tier, farm workers churning through registration storms — skip the
+#: decoder entirely.  Content-keyed, so it can never serve stale decodes
+#: after a patch: patched bytes simply key a different entry.
+_DECODE_MEMO: dict[tuple[int, bytes], Instruction] = {}
+_DECODE_MEMO_MAX = 65_536
+_DECODE_HITS = _metrics.counter("lift.decode_memo.hits")
+_DECODE_MISSES = _metrics.counter("lift.decode_memo.misses")
 
 
 @dataclass
@@ -100,10 +114,18 @@ def discover(memory: Memory, entry: int, *, max_instructions: int = 100_000,
             ins = instr_cache.get(pc)
             if ins is None:
                 window = memory.read(pc, min(16, _bytes_left(memory, pc)))
-                try:
-                    ins = decode_one(window, 0, pc)
-                except DecodeError as exc:
-                    raise exc.with_context(stage="lift", addr=pc)
+                ins = _DECODE_MEMO.get((pc, window))
+                if ins is None:
+                    _DECODE_MISSES.value += 1
+                    try:
+                        ins = decode_one(window, 0, pc)
+                    except DecodeError as exc:
+                        raise exc.with_context(stage="lift", addr=pc)
+                    if len(_DECODE_MEMO) >= _DECODE_MEMO_MAX:
+                        _DECODE_MEMO.clear()
+                    _DECODE_MEMO[(pc, window)] = ins
+                else:
+                    _DECODE_HITS.value += 1
                 instr_cache[pc] = ins
             count += 1
             if count > max_instructions:

@@ -407,27 +407,56 @@ class Lifter:
 
     # -- instruction dispatch ----------------------------------------------------------
 
-    def _lift_instruction(self, ins: Instruction) -> None:
-        handler = getattr(self, f"_i_{ins.mnemonic}", None)
+    #: (class, mnemonic) -> (kind, payload) handler-resolution memo.  The
+    #: getattr probe plus the cmov/setcc/SSE-table fallback chain runs per
+    #: *lifted instruction*; a process sees a few dozen distinct mnemonics,
+    #: so resolution is memoized once per mnemonic and dispatch becomes one
+    #: dict hit (keyed by class so a subclass overriding a handler never
+    #: shares the base class's resolution).
+    _DISPATCH_MEMO: dict[tuple[type, str], tuple[str, object]] = {}
+
+    def _resolve_dispatch(self, mnemonic: str) -> tuple[str, object]:
+        handler = getattr(type(self), f"_i_{mnemonic}", None)
         if handler is not None:
-            handler(ins)
-            return
-        cc = isa.cc_of(ins.mnemonic)
+            return "handler", handler
+        cc = isa.cc_of(mnemonic)
         if cc is not None:
-            if ins.mnemonic.startswith("cmov"):
-                self._cmov(ins, cc)
-                return
-            if ins.mnemonic.startswith("set"):
-                self._setcc(ins, cc)
-                return
-        if ins.mnemonic in _SSE_SCALAR_BIN:
-            self._sse_scalar_bin(ins, _SSE_SCALAR_BIN[ins.mnemonic])
+            if mnemonic.startswith("cmov"):
+                return "cmov", cc
+            if mnemonic.startswith("set"):
+                return "setcc", cc
+        if mnemonic in _SSE_SCALAR_BIN:
+            return "sse_scalar", _SSE_SCALAR_BIN[mnemonic]
+        if mnemonic in _SSE_PACKED_BIN:
+            return "sse_packed", _SSE_PACKED_BIN[mnemonic]
+        if mnemonic in _SSE_BITWISE:
+            return "sse_bitwise", _SSE_BITWISE[mnemonic]
+        return "unsupported", None
+
+    def _lift_instruction(self, ins: Instruction) -> None:
+        memo_key = (type(self), ins.mnemonic)
+        entry = Lifter._DISPATCH_MEMO.get(memo_key)
+        if entry is None:
+            entry = self._resolve_dispatch(ins.mnemonic)
+            Lifter._DISPATCH_MEMO[memo_key] = entry
+        kind, payload = entry
+        if kind == "handler":
+            payload(self, ins)  # type: ignore[operator]
             return
-        if ins.mnemonic in _SSE_PACKED_BIN:
-            self._sse_packed_bin(ins, _SSE_PACKED_BIN[ins.mnemonic])
+        if kind == "cmov":
+            self._cmov(ins, payload)
             return
-        if ins.mnemonic in _SSE_BITWISE:
-            self._sse_bitwise(ins, _SSE_BITWISE[ins.mnemonic])
+        if kind == "setcc":
+            self._setcc(ins, payload)
+            return
+        if kind == "sse_scalar":
+            self._sse_scalar_bin(ins, payload)
+            return
+        if kind == "sse_packed":
+            self._sse_packed_bin(ins, payload)
+            return
+        if kind == "sse_bitwise":
+            self._sse_bitwise(ins, payload)
             return
         raise LiftError(f"no lifting rule for {ins!r} at {ins.addr:#x}",
                         stage="lift", addr=ins.addr, instruction=ins.mnemonic,

@@ -83,6 +83,14 @@ class TierStats:
     pipeline_results = CounterView("_pipeline_results")
     #: of those, served by joining another thread's in-flight compile
     coalesced = CounterView("_coalesced")
+    #: compile jobs shipped to the farm (attempted, not necessarily served)
+    farm_jobs = CounterView("_farm_jobs")
+    #: farm requests that fell back to the in-process pipeline
+    farm_fallbacks = CounterView("_farm_fallbacks")
+    #: farm results served from the shared store without compiling
+    farm_cache_hits = CounterView("_farm_cache_hits")
+    #: farm results that joined another process's in-flight compile
+    farm_coalesced = CounterView("_farm_coalesced")
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         r = registry if registry is not None else MetricsRegistry()
@@ -93,6 +101,10 @@ class TierStats:
         self._refixes = r.counter("tier.refixes")
         self._pipeline_results = r.counter("tier.pipeline_results")
         self._coalesced = r.counter("tier.coalesced")
+        self._farm_jobs = r.counter("tier.farm.jobs")
+        self._farm_fallbacks = r.counter("tier.farm.fallbacks")
+        self._farm_cache_hits = r.counter("tier.farm.cache_hits")
+        self._farm_coalesced = r.counter("tier.farm.coalesced")
         upgrade = {t: 0 for t in range(1, NUM_TIERS)}
         #: compile jobs submitted / installed / rejected, by target tier
         self.submitted = r.family("tier.submitted", upgrade)
@@ -120,6 +132,10 @@ class TierStats:
             "pipeline_results": self.pipeline_results,
             "coalesced": self.coalesced,
             "cache_served": dict(self.cache_served),
+            "farm_jobs": self.farm_jobs,
+            "farm_fallbacks": self.farm_fallbacks,
+            "farm_cache_hits": self.farm_cache_hits,
+            "farm_coalesced": self.farm_coalesced,
         }
 
 
@@ -151,7 +167,9 @@ class TieredEngine:
                  budget_factory: Callable[[], Budget] | None = None,
                  registry: MetricsRegistry | None = None,
                  on_install: "Callable[[DispatchHandle, TierCode], None] | None"
-                 = None) -> None:
+                 = None,
+                 farm: "Any | None" = None,
+                 farm_timeout: float = 60.0) -> None:
         self.image = image
         #: one registry owns every layer's metrics under this engine: tier
         #: counters here, cache.* via the default cache, guard.* via the
@@ -171,6 +189,11 @@ class TieredEngine:
         #: called (outside the handle lock) after every install — the
         #: stencil driver uses this to invalidate simulator decode caches
         self.on_install = on_install
+        #: optional :class:`~repro.farm.FarmClient`: when set, compile
+        #: jobs are shipped to the worker-process pool first and the
+        #: in-process pipelines below become the fallback path
+        self.farm = farm
+        self.farm_timeout = farm_timeout
         self.stats = TierStats(self.registry)
         self._queue_depth = self.registry.gauge("tier.queue_depth")
         self._dispatch_seconds = self.registry.histogram(
@@ -220,8 +243,8 @@ class TieredEngine:
         handle = DispatchHandle(self, hname, func, entry, signature, fixes,
                                 mem_regions, probes, dbrew_func, governor)
         if _TR.enabled:
-            # instance-level shadow only: DispatchHandle.address() itself
-            # stays the bare three-step hot path when tracing is off
+            # __class__ swap to a timed subclass: DispatchHandle.address()
+            # itself stays the bare three-step hot path when tracing is off
             handle._enable_dispatch_trace(self._dispatch_seconds)
         with self._lock:
             if hname in self.handles:
@@ -364,7 +387,11 @@ class TieredEngine:
         verified = False
         out_name = f"{handle.name}.t{job.target}.e{job.epoch}.s{job.seq}"
         try:
-            if job.target == T1:
+            farm_out = self._compile_farm(handle, job, out_name) \
+                if self.farm is not None else None
+            if farm_out is not None:
+                addr, mode, verified, reject_reason = farm_out
+            elif job.target == T1:
                 addr, mode = self._compile_t1(handle, out_name)
             else:
                 addr, mode, verified, reject_reason = self._compile_t2(
@@ -415,6 +442,82 @@ class TieredEngine:
                          "reason": reject_reason})
         if installed is not None and self.on_install is not None:
             self.on_install(handle, installed)
+
+    def _farm_pipeline_options(
+            self, handle: DispatchHandle,
+            target: int) -> tuple[O3Options, tuple[str, ...]]:
+        """The exact pipeline configuration the local tiers would use —
+        the farm must key and run the *same* work, or results would not be
+        interchangeable with the in-process fallback."""
+        if target == T1:
+            o3 = O3Options.lightweight()
+            if handle.fixes:
+                o3 = o3.replace(enable_inline=True)
+            return o3, ()
+        specializing = bool(handle.fixes) or bool(handle.mem_regions)
+        o3 = self.t2_o3_options if self.t2_o3_options is not None \
+            else O3Options()
+        return o3, ("dbrew+llvm",) if specializing else ("llvm",)
+
+    def _compile_farm(self, handle: DispatchHandle, job: _Job, out_name: str,
+                      ) -> tuple[int | None, str | None, bool, str | None] | None:
+        """Ship one compile to the farm; None means "compile in-process".
+
+        The worker returns a position-independent post-O3 module; the
+        engine runs the (cheap) code generation here, into its own image —
+        so a farm install costs the client one codegen, never a lift or an
+        O3 pipeline.  Every farm deficiency (unkeyable function, timeout,
+        dead pool, retryable result) falls back to the local tiers; only a
+        content-determined negative verdict is surfaced as a rejection.
+        """
+        from repro.farm import protocol as fp
+        target = job.target
+        o3, ladder = self._farm_pipeline_options(handle, target)
+        dbrew = handle.dbrew_func if target != T1 else None
+        jit = self.jit_options if self.jit_options is not None \
+            else JITOptions()
+        jkey = fp.compute_job_key(
+            self.image, handle.func, handle.signature, handle.fixes,
+            handle.mem_regions, handle.probes, target, ladder, dbrew,
+            self.lift_options, o3, jit, self.gate_options)
+        if jkey is None:
+            with self._lock:
+                self.stats.farm_fallbacks += 1
+            return None
+        with self._lock:
+            self.stats.farm_jobs += 1
+        budget = self.budget_factory() if self.budget_factory else None
+        cur = _TR.current() if _TR.enabled else None
+        cjob = fp.CompileJob(
+            key=jkey, name=out_name, tier=target, func=handle.func,
+            signature=handle.signature, fixes=fp.freeze_fixes(handle.fixes),
+            mem_regions=tuple(handle.mem_regions),
+            probes=tuple(handle.probes), dbrew_func=dbrew, ladder=ladder,
+            image_key=self.farm.ensure_image(self.image),
+            lift=fp.freeze_lift_options(self.lift_options),
+            o3=o3, jit=jit, gate=self.gate_options,
+            budget=fp.freeze_budget(budget),
+            epoch=job.epoch, seq=job.seq, trace=_TR.enabled,
+            parent_span_id=cur.span_id if cur is not None else None)
+        res = self.farm.compile(cjob, timeout=self.farm_timeout)
+        if res is None or (not res.ok and res.retryable):
+            with self._lock:
+                self.stats.farm_fallbacks += 1
+            return None
+        with self._lock:
+            if res.cache_stage == "farm":
+                self.stats.farm_cache_hits += 1
+                self.stats.cache_served["farm"] = (
+                    self.stats.cache_served.get("farm", 0) + 1)
+            if res.coalesced:
+                self.stats.farm_coalesced += 1
+        if not res.ok:
+            return None, None, False, res.reject_reason or "farm rejection"
+        main = res.module.functions[res.main_name]
+        from repro.ir.codegen.jit import JITEngine
+        addr = JITEngine(self.image, jit).compile_function(
+            main, name=out_name)
+        return addr, res.mode, res.verified, None
 
     def _compile_t1(self, handle: DispatchHandle,
                     out_name: str) -> tuple[int, str]:

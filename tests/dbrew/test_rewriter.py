@@ -323,3 +323,36 @@ def test_vector_spill_through_rewrite():
     r.rewrite(name="f_vs")
     sim.invalidate_code()
     assert sim.call_f64("f_vs", (a, b, 0)) == 2 * (1 + 2 + 3 + 4)
+
+
+def test_fixed_value_in_vsp_sentinel_window_stays_a_value():
+    """Regression: a fixed parameter that happens to land inside the
+    virtual-stack sentinel window (|v - VSP_BASE| < VSP_WINDOW) must not
+    be misread as a rewrite-time stack pointer.  The rewriter pins such
+    collisions into the register at entry and tracks them unknown."""
+    img, sim = compile_and_sim(
+        "long f(long a, long b) { return a + b * 2; }")
+    colliding = VSP_BASE + 0x1  # squarely inside the sentinel window
+    assert is_stack_address(colliding)
+    r = Rewriter(img, "f").set_signature(("i", "i")).set_par(0, colliding)
+    addr = r.rewrite(name="f_vsp")
+    assert addr != img.symbol("f")
+    sim.invalidate_code()
+    for b in (0, 7, -3):
+        assert sim.call_int("f_vsp", (0, b)) == \
+            sim.call_int("f", (colliding, b))
+
+
+def test_fixed_value_near_window_edges():
+    """Both edges of the sentinel window and a just-outside value."""
+    img, sim = compile_and_sim("long f(long a, long b) { return a ^ b; }")
+    from repro.dbrew.metastate import VSP_WINDOW
+    cases = [VSP_BASE - VSP_WINDOW + 1,   # inside, low edge
+             VSP_BASE + VSP_WINDOW - 1,   # inside, high edge
+             VSP_BASE + VSP_WINDOW]       # outside: folds as a constant
+    for i, v in enumerate(cases):
+        r = Rewriter(img, "f").set_signature(("i", "i")).set_par(0, v)
+        r.rewrite(name=f"f_edge{i}")
+        sim.invalidate_code()
+        assert sim.call_int(f"f_edge{i}", (0, 5)) == \
+            sim.call_int("f", (v, 5))

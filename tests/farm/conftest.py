@@ -1,0 +1,33 @@
+"""Shared fixtures for the farm suite.
+
+The start method honours ``REPRO_FARM_START_METHOD`` so the CI matrix can
+run the whole directory under both ``fork`` and ``spawn`` without test
+changes; locally it defaults to the platform's cheapest method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro import compile_c
+from repro.farm.pool import _pick_start_method
+
+SRC = ("long f(long a, long b) { long s = 0; "
+       "for (long i = 0; i < a; i++) s += i * b; return s; }")
+
+
+def expected(a, b):
+    return sum(i * b for i in range(a))
+
+
+@pytest.fixture()
+def prog():
+    return compile_c(SRC)
+
+
+@pytest.fixture(scope="session")
+def mp_ctx():
+    """The multiprocessing context the whole suite runs under."""
+    return mp.get_context(_pick_start_method(None))

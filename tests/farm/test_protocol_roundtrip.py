@@ -1,0 +1,205 @@
+"""Wire-protocol properties, mirroring tests/cache/test_keys_properties.py:
+
+* every :class:`CompileJob` / :class:`CompileResult` field survives a
+  pickle round-trip — including through a real child process under the
+  suite's start method (fork and spawn in CI);
+* the job content key is stable across processes and hash seeds, and
+  every key ingredient perturbs it;
+* an :class:`ImageSpec` rebuilds a bit-identical image with a stable
+  content digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cpu import Image, Simulator
+from repro.farm import protocol as fp
+from repro.guard.verify import GateOptions
+from repro.ir.codegen import JITOptions
+from repro.ir.passes import O3Options
+from repro.lift import FunctionSignature, LiftOptions
+from repro.x86 import parse_asm
+from repro.x86.asm import assemble
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_ASM = "mov rax, rdi\nimul rax, rsi\nadd rax, 7\nret"
+
+
+def _fixed_image() -> Image:
+    img = Image()
+    code, _ = assemble(parse_asm(_ASM), base=img.next_code_addr())
+    img.add_function("f", code)
+    return img
+
+
+def _sample_job(**overrides) -> fp.CompileJob:
+    base = dict(
+        key="k" * 32, name="f.t2.e1.s9", tier=2, func="f",
+        signature=FunctionSignature(("i", "i"), "i"),
+        fixes=fp.freeze_fixes({1: 7}), mem_regions=((4096, 64),),
+        probes=((10, 3), (5, 0)), dbrew_func="f", ladder=("dbrew+llvm",),
+        image_key="farmimg-abc",
+        lift=fp.freeze_lift_options(LiftOptions(stack_size=8192)),
+        o3=O3Options.lightweight(), jit=JITOptions(),
+        gate=GateOptions(), budget=fp.freeze_budget(None), epoch=3, seq=17,
+        trace=True, parent_span_id=42,
+    )
+    base.update(overrides)
+    return fp.CompileJob(**base)
+
+
+def _sample_result(**overrides) -> fp.CompileResult:
+    base = dict(
+        key="k" * 32, name="f.t2.e1.s9", tier=2, epoch=3, seq=17, ok=False,
+        retryable=True, mode="dbrew+llvm", verified=True,
+        reject_reason="why", module=None, main_name="f_opt",
+        cache_stage="farm", coalesced=True,
+        stats=(("lift.facet_cache.hits", 3.0),),
+        trace_records={"pid": 1, "anchor_wall": 0.0, "anchor_clock": 0.0,
+                       "spans": [], "events": []},
+        worker_pid=1234, seconds=0.5,
+    )
+    base.update(overrides)
+    return fp.CompileResult(**base)
+
+
+def test_every_job_field_roundtrips():
+    job = _sample_job()
+    back = pickle.loads(pickle.dumps(job))
+    for f in dataclasses.fields(fp.CompileJob):
+        assert getattr(back, f.name) == getattr(job, f.name), f.name
+
+
+def test_every_result_field_roundtrips():
+    res = _sample_result()
+    back = pickle.loads(pickle.dumps(res))
+    for f in dataclasses.fields(fp.CompileResult):
+        assert getattr(back, f.name) == getattr(res, f.name), f.name
+
+
+def test_job_roundtrips_through_child_process(mp_ctx):
+    """A real queue hop under the suite's start method (fork/spawn)."""
+    job = _sample_job()
+    res = _sample_result()
+    q_in, q_out = mp_ctx.Queue(), mp_ctx.Queue()
+    proc = mp_ctx.Process(target=_echo_main, args=(q_in, q_out))
+    proc.start()
+    try:
+        q_in.put((job, res))
+        back_job, back_res = q_out.get(timeout=30)
+    finally:
+        proc.join(timeout=10)
+        if proc.is_alive():
+            proc.terminate()
+    assert back_job == job
+    for f in dataclasses.fields(fp.CompileResult):
+        assert getattr(back_res, f.name) == getattr(res, f.name), f.name
+
+
+def _echo_main(q_in, q_out):  # top-level: must pickle under spawn
+    q_out.put(q_in.get())
+
+
+def test_thaw_helpers_invert_freeze():
+    fixes = {1: 7, 0: 3}
+    assert fp.thaw_fixes(fp.freeze_fixes(fixes)) == fixes
+    assert fp.thaw_fixes(fp.freeze_fixes(None)) is None
+    opts = LiftOptions(stack_size=4096, flag_cache=False,
+                       known_functions={
+                           0x1000: ("g", FunctionSignature(("i",), "i"))})
+    back = fp.thaw_lift_options(fp.freeze_lift_options(opts))
+    assert back.stack_size == opts.stack_size
+    assert back.flag_cache == opts.flag_cache
+    assert back.known_functions == opts.known_functions
+    from repro.guard import Budget
+    budget = fp.thaw_budget(fp.freeze_budget(
+        Budget(deadline_seconds=2.5, max_lift_blocks=99)))
+    assert budget.deadline_seconds == 2.5
+    assert budget.limits["lift_blocks"] == 99
+
+
+# -- image spec --------------------------------------------------------------
+
+
+def test_image_spec_rebuilds_bit_identical():
+    img = _fixed_image()
+    spec = fp.ImageSpec.capture(img)
+    rebuilt = pickle.loads(pickle.dumps(spec)).build()
+    assert rebuilt.memory.snapshot() == img.memory.snapshot()
+    assert rebuilt.symbols == img.symbols
+    assert rebuilt.func_sizes == img.func_sizes
+    assert rebuilt.generation == img.generation
+    # re-capturing the pristine rebuild yields the same content digest
+    assert fp.ImageSpec.capture(rebuilt).digest() == spec.digest()
+    # and the rebuilt image actually runs (mutates its stack, hence last)
+    assert Simulator(rebuilt).call("f", (6, 7)).rax == 49
+
+
+def _key_ingredients():
+    img = _fixed_image()
+    sig = FunctionSignature(("i", "i"), "i")
+    return dict(image=img, func="f", signature=sig, fixes={1: 7},
+                mem_regions=(), probes=((10, 3),), tier=2,
+                ladder=("dbrew+llvm",), dbrew_func="f",
+                lift_options=LiftOptions(), o3=O3Options(),
+                jit=JITOptions(), gate=GateOptions())
+
+
+def _job_key_digest() -> str:
+    kw = _key_ingredients()
+    key = fp.compute_job_key(**kw)
+    assert key is not None
+    return key
+
+
+def test_job_key_stable_across_processes():
+    script = (
+        "import tests.farm.test_protocol_roundtrip as m\n"
+        "print(m._job_key_digest())\n"
+    )
+    local = _job_key_digest()
+    for hashseed in ("0", "12345"):
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            cwd=str(_SRC.parent),
+            env={"PYTHONPATH": str(_SRC), "PYTHONHASHSEED": hashseed,
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.stdout.strip() == local, f"PYTHONHASHSEED={hashseed}"
+
+
+def test_every_ingredient_perturbs_job_key():
+    base = _job_key_digest()
+    perturbations = dict(
+        fixes={1: 8}, mem_regions=((4096, 64),), probes=((11, 3),),
+        tier=1, ladder=("llvm",), dbrew_func=None,
+        lift_options=LiftOptions(stack_size=8192),
+        o3=O3Options.lightweight(), jit=JITOptions(mul_style="shifts"),
+        gate=GateOptions(samples=7),
+    )
+    for field_name, value in perturbations.items():
+        kw = _key_ingredients()
+        kw[field_name] = value
+        key = fp.compute_job_key(**kw)
+        assert key is not None and key != base, field_name
+    # different function bytes perturb too
+    img = Image()
+    code, _ = assemble(parse_asm("mov rax, rdi\nret"),
+                       base=img.next_code_addr())
+    img.add_function("f", code)
+    kw = _key_ingredients()
+    kw["image"] = img
+    assert fp.compute_job_key(**kw) != base
+
+
+def test_unkeyable_function_returns_none():
+    kw = _key_ingredients()
+    kw["func"] = 0xDEAD0000  # no extent known at a raw address
+    assert fp.compute_job_key(**kw) is None
