@@ -60,7 +60,8 @@ class FlightTable:
     """
 
     def __init__(self, *, led: Counter | None = None,
-                 coalesced: Counter | None = None) -> None:
+                 coalesced: Counter | None = None,
+                 timeouts: Counter | None = None) -> None:
         self._lock = threading.Lock()
         self._flights: dict[Hashable, _Flight] = {}
         # counters may be injected by a metrics registry owner (the
@@ -69,6 +70,8 @@ class FlightTable:
         self._led = led if led is not None else Counter("flight.led")
         self._coalesced = coalesced if coalesced is not None \
             else Counter("flight.coalesced")
+        self._timeouts = timeouts if timeouts is not None \
+            else Counter("flight.timeouts")
 
     @property
     def led(self) -> int:
@@ -115,14 +118,20 @@ class FlightTable:
             return flight.result, True
         if not flight.done.wait(timeout):
             # stuck leader: don't hang the caller, compile independently
+            self._timeouts.value += 1
             return thunk(), True
         if flight.error is not None:
             raise flight.error
         return flight.result, False
 
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return {"led": self._led.value, "coalesced": self._coalesced.value,
+                    "timeouts": self._timeouts.value,
                     "in_flight": len(self._flights)}
 
 

@@ -25,18 +25,37 @@ behind.  Crashed writers leak only ``.tmp`` files, which every store
 construction sweeps.  ``locked()`` exposes the advisory file lock the
 cross-process single-flight table builds on
 (:class:`repro.cache.flight.FileFlightTable`).
+
+**Record integrity**: atomic rename protects against *torn* reads, not
+against bytes damaged after publication (a partially synced page after
+power loss, bit rot, an operator truncating a file).  The farm dispatches
+machine code derived from store contents, so a silently corrupt record is
+the one cache failure that could violate the paper's never-diverge
+contract.  Every record therefore carries a 16-byte header — magic, CRC32
+and payload length — verified on every read; a record that fails the check
+is **quarantined** (moved into ``<root>/quarantine/``, counted, and never
+served — a miss, so the pipeline recompiles) rather than deleted, keeping
+the evidence for post-mortems.  Pre-header records (plain pickles from
+older stores) still load via a legacy fallback; unreadable legacy records
+quarantine the same way.  Construction runs a recovery sweep that reaps
+stale ``.tmp`` debris and expires old quarantine evidence.
 """
 
 from __future__ import annotations
 
 import contextlib
+import itertools
 import os
 import pickle
+import struct
 import tempfile
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from typing import Any, Iterator
+
+from repro.obs import metrics as _metrics
 
 try:  # POSIX advisory locks; farm coordination degrades gracefully without
     import fcntl
@@ -45,6 +64,17 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 
 #: a ``.tmp`` file this old was leaked by a crashed writer, not in-flight
 _STALE_TMP_SECONDS = 300.0
+#: quarantined evidence older than this is reaped by the recovery sweep
+_STALE_QUARANTINE_SECONDS = 86400.0
+#: checksummed record header: magic, CRC32 of payload, payload length
+_MAGIC = b"RPS1"
+_HEADER = struct.Struct("<4sIQ")
+#: subdirectory corrupt records are moved into (never served from)
+QUARANTINE_DIR = "quarantine"
+#: unpickle errors that mean "not loadable here", not "not a pickle"
+_UNPICKLE_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError, ValueError, TypeError,
+                    MemoryError)
 
 
 class LRUStore:
@@ -156,8 +186,22 @@ class DiskStore:
     def __init__(self, root: str, *, durable: bool = False) -> None:
         self.root = root
         self.durable = durable
+        #: per-instance integrity accounting (global counters mirror these)
+        self.integrity_failures = 0
+        self.quarantined = 0
+        self._integrity_ctr = _metrics.counter("cache.store.integrity_failures")
+        self._quarantined_ctr = _metrics.counter("cache.store.quarantined")
+        self._qseq = itertools.count()
         os.makedirs(root, exist_ok=True)
+        self._recover()
+
+    # -- startup recovery --------------------------------------------------
+
+    def _recover(self) -> None:
+        """Startup sweep: reap crashed-writer tmp files and old quarantine
+        evidence (both best-effort; a sweep failure is never an error)."""
         self._sweep_stale_tmp()
+        self._sweep_stale_quarantine()
 
     def _sweep_stale_tmp(self) -> None:
         """Reap temp files leaked by crashed writers (best-effort).
@@ -180,6 +224,47 @@ class DiskStore:
         except OSError:  # pragma: no cover - unreadable root
             pass
 
+    def _sweep_stale_quarantine(self) -> None:
+        """Expire quarantine evidence older than a day — long enough for a
+        post-mortem, short enough that a flaky disk does not fill the cache
+        directory with corpses."""
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            cutoff = time.time() - _STALE_QUARANTINE_SECONDS
+            for name in os.listdir(qdir):
+                path = os.path.join(qdir, name)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        os.unlink(path)
+                except OSError:
+                    pass
+        except OSError:  # no quarantine dir yet (the common case)
+            pass
+
+    # -- integrity ---------------------------------------------------------
+
+    def _quarantine(self, path: str) -> None:
+        """Move a checksum-failing record aside so it is never served again.
+
+        The move is an ``os.replace`` into ``<root>/quarantine/`` — atomic,
+        so a concurrent reader sees either the (corrupt) record or a miss,
+        and a racing quarantine from another process simply loses the
+        rename and counts the failure without the move.
+        """
+        self.integrity_failures += 1
+        self._integrity_ctr.value += 1
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        dest = os.path.join(
+            qdir, f"{os.path.basename(path)}.{os.getpid()}."
+                  f"{next(self._qseq)}.corrupt")
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return
+        self.quarantined += 1
+        self._quarantined_ctr.value += 1
+
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.pkl")
 
@@ -195,19 +280,45 @@ class DiskStore:
                              blocking=blocking)
 
     def get(self, key: str) -> Any | None:
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return None
+        if data.startswith(_MAGIC):
+            payload = data[_HEADER.size:]
+            if len(data) >= _HEADER.size:
+                _magic, crc, length = _HEADER.unpack_from(data)
+                if len(payload) == length and zlib.crc32(payload) == crc:
+                    try:
+                        return pickle.loads(payload)
+                    except _UNPICKLE_ERRORS:
+                        # checksum passed: the bytes are exactly what the
+                        # writer published, they just do not load in this
+                        # environment (schema drift) — a miss, not damage
+                        return None
+            self._quarantine(path)
+            return None
+        # legacy pre-header record: a plain pickle from an older store
+        try:
+            return pickle.loads(data)
+        except _UNPICKLE_ERRORS:
+            self._quarantine(path)
             return None
 
     def put(self, key: str, value: Any) -> bool:
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError):
+            return False
+        header = _HEADER.pack(_MAGIC, zlib.crc32(payload), len(payload))
+        try:
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(header)
+                    fh.write(payload)
                     if self.durable:
                         fh.flush()
                         os.fsync(fh.fileno())
@@ -218,7 +329,7 @@ class DiskStore:
                 os.unlink(tmp)
                 raise
             return True
-        except (OSError, pickle.PicklingError, TypeError):
+        except OSError:
             return False
 
     def _fsync_dir(self) -> None:
@@ -245,8 +356,22 @@ class DiskStore:
         except OSError:
             return []
 
-    def __contains__(self, key: str) -> bool:
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe: one ``stat``, no read, no checksum.
+
+        Used where a full :meth:`get` would deserialize megabytes just to
+        learn the record is still published (e.g. the farm client's image
+        memo).  A corrupt record still counts as present here; the
+        checksum verdict belongs to the reader that actually loads it.
+        """
         return os.path.exists(self._path(key))
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
 
     def __len__(self) -> int:
         return sum(1 for n in os.listdir(self.root) if n.endswith(".pkl"))
+
+    def snapshot(self) -> dict[str, int]:
+        return {"integrity_failures": self.integrity_failures,
+                "quarantined": self.quarantined}

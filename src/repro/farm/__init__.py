@@ -26,10 +26,21 @@ the offload model BAAR argues for, built from four pieces:
 Failure is always soft: a dead pool, a lost job, a timeout or an unkeyed
 function all surface as ``None``/``retryable`` results, and the engine
 falls back to compiling in-process — exactly the degradation ladder the
-rest of the system already follows.
+rest of the system already follows.  :mod:`repro.farm.health` holds the
+policy pieces that bound every failure in *time* as well: the per-worker
+heartbeat watchdog (hung vs crashed workers), bounded retry with backoff
+and jitter, poisoned-job quarantine, and the client-side
+:class:`CircuitBreaker` that degrades a sick farm to in-process tiers
+immediately instead of one timeout per request.
 """
 
 from repro.farm.client import FarmClient
+from repro.farm.health import (
+    CircuitBreaker,
+    HealthEvent,
+    RetryPolicy,
+    WorkerWatchdog,
+)
 from repro.farm.pool import FarmPool
 from repro.farm.protocol import (
     CompileJob,
@@ -39,10 +50,14 @@ from repro.farm.protocol import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "CompileJob",
     "CompileResult",
     "FarmClient",
     "FarmPool",
+    "HealthEvent",
     "ImageSpec",
     "MemSegment",
+    "RetryPolicy",
+    "WorkerWatchdog",
 ]

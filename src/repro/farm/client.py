@@ -1,17 +1,33 @@
 """The in-process farm facade the tiered engine talks to.
 
 Thin by design — the pool owns transport and the worker owns compilation —
-but three client-side responsibilities live here:
+but four client-side responsibilities live here:
 
 * **thread-level coalescing**: the engine's tier workers may request the
   same job key concurrently; a :class:`~repro.cache.FlightTable` keyed on
   ``(key, epoch)`` collapses them into one queue round-trip before the
-  cross-*process* single-flight even comes into play.
+  cross-*process* single-flight even comes into play.  Followers wait at
+  most the same timeout as the leader; a timed-out request is *forgotten*
+  pool-side (:meth:`FarmPool.forget`) so nothing retries or crash-accounts
+  a job whose caller already compiled locally.
+* **circuit breaking**: every farm outcome feeds a
+  :class:`~repro.farm.health.CircuitBreaker`.  While the farm answers —
+  any structured :class:`CompileResult`, even a negative verdict — the
+  breaker stays closed.  ``failure_threshold`` consecutive *transport*
+  failures (timeout, broken pipe, closed pool) open it, and every request
+  until the reset timeout degrades to in-process compilation immediately
+  instead of paying ``farm_timeout`` each; a single half-open probe then
+  restores service.  State changes surface as a gauge, counters and a
+  trace instant.
 * **image publication**: the lifted IR a worker produces bakes in absolute
   guest addresses, so the worker's image must match the client's.
   :meth:`ensure_image` captures an :class:`ImageSpec` once per image
   generation, publishes it to the shared store under its content key and
-  memoizes the key — jobs then carry a small string, not megabytes.
+  memoizes the key *and the snapshot* — jobs then carry a small string,
+  not megabytes.  The memo re-verifies the record still exists on every
+  hit; a quarantined or swept spec is republished from the memoized
+  snapshot under the same key, never re-captured (cursors drift within a
+  generation, and in-flight jobs still reference the original key).
 * **observability folding**: worker trace batches merge into the client
   tracer under the dispatch-site span (one Chrome trace spans the process
   hop); worker-side counters fold into the client registry under
@@ -25,6 +41,8 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from repro.cache import FlightTable
 from repro.cpu.image import Image
+from repro.farm.health import BREAKER_STATE_VALUES, CLOSED, CircuitBreaker, \
+    OPEN
 from repro.farm.pool import FarmPool
 from repro.farm.protocol import CompileJob, CompileResult, ImageSpec, \
     image_spec_key
@@ -35,11 +53,15 @@ from repro.obs.trace import TRACER
 class FarmClient:
     """Submit jobs, wait for results, fold telemetry back in.
 
-    ``compile`` never raises for farm trouble: timeouts, closed pools and
-    transport loss all come back as ``None`` (caller compiles locally).
+    ``compile`` never raises for farm trouble: timeouts, closed pools,
+    transport loss and an open breaker all come back as ``None`` (caller
+    compiles locally).
     """
 
     def __init__(self, pool: FarmPool, *, timeout: float = 60.0,
+                 breaker: CircuitBreaker | None = None,
+                 failure_threshold: int = 5,
+                 reset_timeout: float = 5.0,
                  registry: MetricsRegistry | None = None,
                  tracer=None) -> None:
         self.pool = pool
@@ -50,9 +72,42 @@ class FarmClient:
         self._requests = r.counter("farm.client.requests")
         self._timeouts = r.counter("farm.client.timeouts")
         self._errors = r.counter("farm.client.errors")
-        self._flights = FlightTable()
-        self._image_keys: dict[tuple[int, int], str] = {}
+        self._fastfails = r.counter("farm.client.breaker_fastfails")
+        self._opens = r.counter("farm.client.breaker_opens")
+        self._closes = r.counter("farm.client.breaker_closes")
+        self._state_gauge = r.gauge("farm.client.breaker_state")
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=failure_threshold, reset_timeout=reset_timeout)
+        # observe transitions whoever owns the breaker; an injected one may
+        # already carry a hook (chaos harness) — chain rather than replace
+        prior = self.breaker.on_transition
+        def _observe(old: str, new: str) -> None:
+            self._state_gauge.value = BREAKER_STATE_VALUES[new]
+            if new == OPEN:
+                self._opens.value += 1
+            elif new == CLOSED:
+                self._closes.value += 1
+            if self.tracer.enabled:
+                self.tracer.instant("farm.breaker",
+                                    {"from": old, "to": new})
+            if prior is not None:
+                prior(old, new)
+        self.breaker.on_transition = _observe
+        self._flights = FlightTable(
+            timeouts=r.counter("farm.client.flight_timeouts"))
+        self._image_specs: dict[tuple[int, int], tuple[str, ImageSpec]] = {}
         self._image_lock = threading.Lock()
+
+    # -- availability ------------------------------------------------------
+
+    def available(self) -> bool:
+        """Cheap, non-mutating: would the breaker admit a request now?
+
+        The tiered engine checks this before computing job keys and
+        publishing images — while the breaker is open that work would be
+        thrown away anyway.  Never claims the half-open probe.
+        """
+        return self.breaker.would_allow()
 
     # -- image publication -------------------------------------------------
 
@@ -63,19 +118,31 @@ class FarmClient:
         generation, forcing a re-capture, while repeated promotions on an
         unpatched image reuse the published spec.  The store side is
         content-keyed, so identical images across clients share one entry.
+        A memo hit still confirms the record exists — integrity quarantine
+        or an external sweep may have removed it — and republishes the
+        *memoized* snapshot under the *same* key.  Re-capturing here would
+        be unsound: JIT installs advance allocator cursors without bumping
+        the generation, so a fresh capture mid-generation yields a
+        different snapshot (and key) while in-flight jobs and cached
+        results still reference the old one.
         """
         memo = (id(image), image.generation)
         with self._image_lock:
-            key = self._image_keys.get(memo)
-        if key is not None:
+            known = self._image_specs.get(memo)
+        if known is not None:
+            key, spec = known
+            if not self.pool.store.contains(key):
+                self.pool.store.put(key, spec)
             return key
         spec = ImageSpec.capture(image)
         key = image_spec_key(spec.digest())
         if self.pool.store.get(key) is None:
             self.pool.store.put(key, spec)
         with self._image_lock:
-            self._image_keys[memo] = key
-        return key
+            # lost a capture race? keep the first snapshot — in-flight jobs
+            # already carry its key
+            known = self._image_specs.setdefault(memo, (key, spec))
+        return known[0]
 
     # -- compilation -------------------------------------------------------
 
@@ -83,6 +150,9 @@ class FarmClient:
                 timeout: float | None = None) -> CompileResult | None:
         """One farm round-trip; None means "compile locally instead"."""
         self._requests.value += 1
+        if not self.breaker.allow():
+            self._fastfails.value += 1
+            return None
         wait = self.timeout if timeout is None else timeout
 
         def thunk() -> CompileResult | None:
@@ -90,20 +160,30 @@ class FarmClient:
                 fut = self.pool.submit(job)
             except RuntimeError:  # pool closed
                 self._errors.value += 1
+                self.breaker.record_failure()
                 return None
             try:
                 result = fut.result(timeout=wait)
             except FutureTimeoutError:
                 self._timeouts.value += 1
                 fut.cancel()
+                # stop the pool from retrying / crash-accounting a job
+                # nobody is waiting for any more
+                self.pool.forget(fut)
+                self.breaker.record_failure()
                 return None
             except (BrokenPipeError, OSError):
                 self._errors.value += 1
+                self.breaker.record_failure()
                 return None
+            # any structured result — even a negative verdict — proves the
+            # farm transport alive
+            self.breaker.record_success()
             self._absorb(result, job)
             return result
 
-        result, _led = self._flights.run((job.key, job.epoch), thunk)
+        result, _led = self._flights.run((job.key, job.epoch), thunk,
+                                         timeout=wait)
         return result
 
     # -- telemetry folding -------------------------------------------------
@@ -116,3 +196,12 @@ class FarmClient:
         if result.trace_records is not None and self.tracer.enabled:
             self.tracer.merge_records(result.trace_records,
                                       root_parent=job.parent_span_id)
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self._requests.value,
+            "timeouts": self._timeouts.value,
+            "errors": self._errors.value,
+            "breaker": self.breaker.snapshot(),
+            "flights": self._flights.snapshot(),
+        }

@@ -220,6 +220,9 @@ class CompileJob:
     budget: tuple | None = None
     epoch: int = 0
     seq: int = 0
+    #: dispatch count stamped by the pool (1 = first try); lets workers
+    #: and results attribute retries after worker death
+    attempt: int = 0
     #: tracing requested: the worker records spans and returns them
     trace: bool = False
     #: client-side span id the merged worker spans re-root under
@@ -246,6 +249,8 @@ class CompileResult:
     tier: int
     epoch: int = 0
     seq: int = 0
+    #: dispatches the job took (mirrors CompileJob.attempt)
+    attempt: int = 0
     ok: bool = False
     retryable: bool = False
     mode: str | None = None
@@ -276,7 +281,8 @@ def compute_job_key(image: Image, func: str | int,
                     dbrew_func: str | int | None,
                     lift_options: LiftOptions | None,
                     o3: O3Options, jit: JITOptions,
-                    gate: GateOptions) -> str | None:
+                    gate: GateOptions,
+                    image_key: str | None = None) -> str | None:
     """Content identity of one farm job, or None when unkeyable.
 
     Built from the same ingredients as the staged cache keys (function
@@ -284,6 +290,14 @@ def compute_job_key(image: Image, func: str | int,
     level coordinates the staged keys do not see: tier, guard ladder,
     probe vectors and gate configuration — two jobs that would gate
     differently must never collapse into one single-flight.
+
+    ``image_key`` folds the published :class:`ImageSpec`'s content key in
+    when given.  Shipped modules are position-dependent on the snapshot
+    the worker rebuilds (allocator cursors decide where worker-side
+    allocations land), so results computed against *different* snapshots
+    must never be served interchangeably under one key.  Identical images
+    produce identical spec keys, so legitimate cross-client sharing is
+    unaffected.
 
     None (unknown function extent, unreadable fixed memory) means the farm
     cannot prove two requests identical, so the caller compiles locally.
@@ -312,6 +326,7 @@ def compute_job_key(image: Image, func: str | int,
         cache_keys.lift_options_digest(lift_options or LiftOptions(), image),
         cache_keys.options_digest(o3), cache_keys.options_digest(jit),
         cache_keys.options_digest(gate),
+        image_key or "-",
     )
 
 

@@ -2,8 +2,9 @@
 
 ``worker_main`` is the process entry point (top-level, so it pickles under
 ``spawn``).  The loop is deliberately simple — take a batch off the job
-queue, run each job, push each result — with all the interesting parts in
-``run_job``:
+queue, announce each job (``("start", wid, seq)`` on the result queue, so
+the pool can attribute an in-progress job if this process dies), run it,
+push the result — with all the interesting parts in ``run_job``:
 
 1. **warm path** — the job's result may already be in the shared disk
    store (published by any worker of any pool, ever): return it without
@@ -27,17 +28,32 @@ Failure mapping: :class:`~repro.errors.ReproError` is a content verdict
 (the client would hit the same wall) and comes back ``retryable=False``;
 anything else — missing image spec, unkeyed module, internal errors — is a
 farm deficiency and comes back ``retryable=True`` so the client compiles
-in-process.
+in-process.  One deliberate exception: a T2 degradation whose failures
+include a budget exhaustion is **not** published as a negative verdict.
+The budget is not part of the job key (two clients with different budgets
+share one key), so a verdict produced under a starved budget would poison
+the shared store for every well-budgeted client; it comes back retryable
+instead.
+
+Liveness: the worker runs a beat thread stamping a shared-memory heartbeat
+cell every ``heartbeat_interval``; the pool's watchdog reads it to tell a
+*hung* worker (alive, silent) from a crashed one.  ``config["chaos"]``
+optionally arms scripted faults (die/hang on job-name prefix, dropped or
+delayed results) interpreted here — the chaos harness and the resilience
+tests drive every failure path above through real processes.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import signal
+import threading
 import time
 from typing import Any
 
 from repro.cache import DiskStore, FileFlightTable, SpecializationCache
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError
 from repro.farm import protocol
 from repro.farm.protocol import CompileJob, CompileResult, ImageSpec
 from repro.guard import Budget, GuardedTransformer
@@ -66,6 +82,43 @@ class _RecordingCache(SpecializationCache):
         if out is not None:
             self.last_module_key = mkey
         return out
+
+
+class _WorkerChaos:
+    """Scripted per-worker faults, armed from ``config["chaos"]``.
+
+    All decisions draw from a private ``random.Random`` seeded with
+    ``seed ^ worker_id`` so a chaos scenario replays bit-identically.
+    Recognized keys: ``die_on_name_prefix`` (SIGKILL self before running a
+    matching job), ``hang_on_name_prefix`` (stop heartbeating and sleep —
+    alive-but-silent, the watchdog's HUNG case), ``drop_result_rate``
+    (complete the job, never report it), ``slow_job_s``/``slow_rate``
+    (sleep before running), ``seed``.
+    """
+
+    def __init__(self, spec: dict, worker_id: int,
+                 stop_beating: threading.Event) -> None:
+        self.spec = spec
+        self.rng = random.Random(int(spec.get("seed", 0)) ^ worker_id)
+        self.stop_beating = stop_beating
+
+    def before_job(self, job: CompileJob) -> None:
+        die = self.spec.get("die_on_name_prefix")
+        if die is not None and job.name.startswith(die):
+            os.kill(os.getpid(), signal.SIGKILL)
+        hang = self.spec.get("hang_on_name_prefix")
+        if hang is not None and job.name.startswith(hang):
+            self.stop_beating.set()
+            while True:  # pragma: no cover - killed by the watchdog
+                time.sleep(3600.0)
+        slow = float(self.spec.get("slow_job_s", 0.0))
+        if slow > 0.0 and self.rng.random() < float(
+                self.spec.get("slow_rate", 1.0)):
+            time.sleep(slow)
+
+    def drop_result(self) -> bool:
+        rate = float(self.spec.get("drop_result_rate", 0.0))
+        return rate > 0.0 and self.rng.random() < rate
 
 
 class FarmWorker:
@@ -142,6 +195,13 @@ class FarmWorker:
             payload, leader = self.flights.run(
                 job.key, lambda: self._compile_and_publish(job, spec, rkey),
                 probe, timeout=self.flight_timeout)
+        except _BudgetStarved as exc:
+            return self._fail(job, t0, str(exc), retryable=True)
+        except BudgetExceededError as exc:
+            # T1 analogue of _BudgetStarved: the budget is this job's, not
+            # the content's — let the client retry with its own budget
+            return self._fail(job, t0, f"budget exhausted worker-side: "
+                                       f"{exc}", retryable=True)
         except ReproError as exc:
             return self._fail(job, t0, f"{type(exc).__name__}: {exc}",
                               retryable=False)
@@ -196,6 +256,13 @@ class FarmWorker:
                 dbrew_func=job.dbrew_func)
             if gres.degraded:
                 reject = "; ".join(gres.failure_summary()) or "ladder degraded"
+                if any(a.error_type == "BudgetExceededError"
+                       for a in gres.attempts):
+                    # the budget is not part of the job key: a verdict
+                    # produced under a starved budget must not be published
+                    # for every well-budgeted client sharing this key
+                    raise _BudgetStarved(f"budget-starved degradation "
+                                         f"not published: {reject}")
                 payload = {"ok": False, "reject_reason": reject,
                            "mode": None, "verified": False,
                            "module": None, "main_name": None}
@@ -226,7 +293,7 @@ class FarmWorker:
                 coalesced: bool = False) -> CompileResult:
         return CompileResult(
             key=job.key, name=job.name, tier=job.tier, epoch=job.epoch,
-            seq=job.seq, ok=bool(payload.get("ok")),
+            seq=job.seq, attempt=job.attempt, ok=bool(payload.get("ok")),
             retryable=False, mode=payload.get("mode"),
             verified=bool(payload.get("verified")),
             reject_reason=payload.get("reject_reason"),
@@ -240,7 +307,7 @@ class FarmWorker:
               retryable: bool) -> CompileResult:
         return CompileResult(
             key=job.key, name=job.name, tier=job.tier, epoch=job.epoch,
-            seq=job.seq, ok=False, retryable=retryable,
+            seq=job.seq, attempt=job.attempt, ok=False, retryable=retryable,
             reject_reason=reason, stats=tuple(self._job_stats()),
             worker_pid=os.getpid(), seconds=time.perf_counter() - t0)
 
@@ -255,9 +322,33 @@ class _Unshippable(Exception):
     """Pipeline succeeded but produced nothing position-independent."""
 
 
+class _BudgetStarved(Exception):
+    """T2 degraded only because the budget ran out; verdict not publishable."""
+
+
+def _beat_loop(cell: Any, interval: float, stop: threading.Event) -> None:
+    """Stamp the shared heartbeat cell until told to stop.
+
+    ``time.monotonic`` is system-wide on Linux, so the pool-side watchdog
+    can compare the stamp against its own clock directly.
+    """
+    cell.value = time.monotonic()
+    while not stop.wait(interval):
+        cell.value = time.monotonic()
+
+
 def worker_main(worker_id: int, job_q: Any, result_q: Any,
-                config: dict) -> None:
+                config: dict, heartbeat: Any = None) -> None:
     """Process entry point: batches in, results out, None drains."""
+    stop_beating = threading.Event()
+    if heartbeat is not None:
+        threading.Thread(
+            target=_beat_loop,
+            args=(heartbeat, config.get("heartbeat_interval", 0.5),
+                  stop_beating),
+            name="farm-beat", daemon=True).start()
+    chaos = _WorkerChaos(config["chaos"], worker_id, stop_beating) \
+        if config.get("chaos") else None
     worker = FarmWorker(
         worker_id, config["disk_dir"],
         poll_interval=config.get("poll_interval", 0.005),
@@ -273,6 +364,14 @@ def worker_main(worker_id: int, job_q: Any, result_q: Any,
         assert kind == "batch"
         for job in jobs:
             try:
+                # announced before any work so the pool can attribute the
+                # in-progress job if this process dies mid-compile
+                result_q.put(("start", worker_id, job.seq))
+            except (EOFError, OSError):  # pragma: no cover - shutdown race
+                return
+            if chaos is not None:
+                chaos.before_job(job)
+            try:
                 result = worker.run_job(job)
             except _Unshippable as exc:
                 result = worker._fail(job, time.perf_counter(), str(exc),
@@ -281,6 +380,8 @@ def worker_main(worker_id: int, job_q: Any, result_q: Any,
                 result = worker._fail(job, time.perf_counter(),
                                       f"worker error: {exc!r}",
                                       retryable=True)
+            if chaos is not None and chaos.drop_result():
+                continue
             try:
                 result_q.put(("result", result))
             except (EOFError, OSError):  # pragma: no cover - shutdown race

@@ -150,10 +150,32 @@ class DifferentialGate:
 
     # -- execution ----------------------------------------------------------
 
-    def _run(self, addr: int, int_args: tuple[int, ...],
+    def _shadow_image(self, base: list[tuple[int, bytes]]) -> Image:
+        """A private image seeded from ``base`` for probe execution.
+
+        The gate must never mutate the engine's live image: it runs on a
+        shared, concurrently-served :class:`Image`, and the old
+        snapshot/execute/restore-in-place scheme had a destructive race —
+        a restore would revert JIT code another thread installed while
+        the probes were running (the installed function kept serving its
+        now-zeroed address).  Probes therefore execute on this shadow:
+        same symbols, same bytes at the same guest addresses, separate
+        backing store.  The live image is only ever *read* (one snapshot
+        at gate start).
+        """
+        img = Image.__new__(Image)
+        from repro.mem.memory import Memory
+        img.memory = Memory()
+        for start, data in base:
+            img.memory.map(start, len(data), data)
+        img.symbols = self.image.symbols
+        img.func_sizes = self.image.func_sizes
+        return img
+
+    def _run(self, image: Image, addr: int, int_args: tuple[int, ...],
              f64_args: tuple[float, ...], ret: str | None):
         """(result, error string) of one simulated call."""
-        sim = Simulator(self.image)
+        sim = Simulator(image)
         try:
             res = sim.call(addr, int_args, f64_args,
                            max_steps=self.options.max_steps)
@@ -211,47 +233,48 @@ class DifferentialGate:
         spec = self.image.symbol(specialized) if isinstance(specialized, str) else specialized
         report = GateReport()
         all_probes = list(probes) + self._sampled_probes(signature, fixes)
+        # one read of the live image; every probe runs on a private shadow
+        # (see _shadow_image — restoring the live memory in place would
+        # race with concurrent installs into the same image)
         base = self.image.memory.snapshot()
-        try:
-            for probe in all_probes:
-                if budget is not None:
-                    # per-probe cooperative checkpoint: the T2 admission
-                    # gate runs on background workers too
-                    budget.checkpoint("verify")
-                out = ProbeOutcome(args=probe)
-                report.probes.append(out)
-                int_args, f64_args = self._full_args(probe, signature, fixes)
-                out.expected, out.expected_error = self._run(
-                    orig, int_args, f64_args, signature.ret)
-                mem_orig = self.image.memory.snapshot()
-                self.image.memory.restore(base)
-                if out.expected_error is not None:
-                    # the original itself rejects this input: inconclusive
-                    out.inconclusive = True
-                    continue
-                out.actual, out.actual_error = self._run(
-                    spec, int_args, f64_args, signature.ret)
-                mem_spec = self.image.memory.snapshot()
-                self.image.memory.restore(base)
-                report.conclusive += 1
-                if out.actual_error is not None:
-                    report.reason = (f"specialized code failed on {probe!r}: "
-                                     f"{out.actual_error}")
-                    return report
-                out.diverged_addr = self._mem_diff(mem_orig, mem_spec)
-                if out.diverged_addr is not None:
-                    report.reason = (f"memory divergence at "
-                                     f"{out.diverged_addr:#x} on {probe!r}")
-                    return report
-                if not self._values_agree(out.expected, out.actual,
-                                          signature.ret):
-                    report.reason = (f"return divergence on {probe!r}: "
-                                     f"expected {out.expected!r}, got "
-                                     f"{out.actual!r}")
-                    return report
-                out.agreed = True
-        finally:
-            self.image.memory.restore(base)
+        shadow = self._shadow_image(base)
+        for probe in all_probes:
+            if budget is not None:
+                # per-probe cooperative checkpoint: the T2 admission
+                # gate runs on background workers too
+                budget.checkpoint("verify")
+            out = ProbeOutcome(args=probe)
+            report.probes.append(out)
+            int_args, f64_args = self._full_args(probe, signature, fixes)
+            out.expected, out.expected_error = self._run(
+                shadow, orig, int_args, f64_args, signature.ret)
+            mem_orig = shadow.memory.snapshot()
+            shadow.memory.restore(base)
+            if out.expected_error is not None:
+                # the original itself rejects this input: inconclusive
+                out.inconclusive = True
+                continue
+            out.actual, out.actual_error = self._run(
+                shadow, spec, int_args, f64_args, signature.ret)
+            mem_spec = shadow.memory.snapshot()
+            shadow.memory.restore(base)
+            report.conclusive += 1
+            if out.actual_error is not None:
+                report.reason = (f"specialized code failed on {probe!r}: "
+                                 f"{out.actual_error}")
+                return report
+            out.diverged_addr = self._mem_diff(mem_orig, mem_spec)
+            if out.diverged_addr is not None:
+                report.reason = (f"memory divergence at "
+                                 f"{out.diverged_addr:#x} on {probe!r}")
+                return report
+            if not self._values_agree(out.expected, out.actual,
+                                      signature.ret):
+                report.reason = (f"return divergence on {probe!r}: "
+                                 f"expected {out.expected!r}, got "
+                                 f"{out.actual!r}")
+                return report
+            out.agreed = True
         if report.conclusive < self.options.min_conclusive:
             report.reason = (f"only {report.conclusive} conclusive probes "
                              f"(need {self.options.min_conclusive})")

@@ -1,5 +1,10 @@
-"""Test-support utilities (fault injection for the rewrite pipeline)."""
+"""Test-support utilities: in-process fault injection for the rewrite
+pipeline (:mod:`repro.testing.faults`) and the seeded chaos orchestrator
+that attacks the whole farm service (:mod:`repro.testing.chaos`)."""
 
+from repro.testing.chaos import (ChaosEvent, ChaosOptions, ScenarioReport,
+                                 run_scenario, run_suite)
 from repro.testing.faults import FaultInjector, FaultSpec, inject_faults
 
-__all__ = ["FaultInjector", "FaultSpec", "inject_faults"]
+__all__ = ["ChaosEvent", "ChaosOptions", "FaultInjector", "FaultSpec",
+           "ScenarioReport", "inject_faults", "run_scenario", "run_suite"]

@@ -467,19 +467,34 @@ class TieredEngine:
         engine runs the (cheap) code generation here, into its own image —
         so a farm install costs the client one codegen, never a lift or an
         O3 pipeline.  Every farm deficiency (unkeyable function, timeout,
-        dead pool, retryable result) falls back to the local tiers; only a
-        content-determined negative verdict is surfaced as a rejection.
+        dead pool, retryable result, open circuit breaker) falls back to
+        the local tiers; only a content-determined negative verdict is
+        surfaced as a rejection.
         """
         from repro.farm import protocol as fp
+        # breaker fast-skip: while the client's circuit is open, job-key
+        # hashing and image publication would be thrown away — degrade to
+        # the in-process tiers before doing any of it.  getattr keeps
+        # duck-typed farm stubs (tests) working without the method.
+        avail = getattr(self.farm, "available", None)
+        if avail is not None and not avail():
+            with self._lock:
+                self.stats.farm_fallbacks += 1
+            return None
         target = job.target
         o3, ladder = self._farm_pipeline_options(handle, target)
         dbrew = handle.dbrew_func if target != T1 else None
         jit = self.jit_options if self.jit_options is not None \
             else JITOptions()
+        # publish (or re-verify) the image snapshot *before* keying: the
+        # job key folds the spec key in, so results computed against
+        # different snapshots can never be served interchangeably
+        image_key = self.farm.ensure_image(self.image)
         jkey = fp.compute_job_key(
             self.image, handle.func, handle.signature, handle.fixes,
             handle.mem_regions, handle.probes, target, ladder, dbrew,
-            self.lift_options, o3, jit, self.gate_options)
+            self.lift_options, o3, jit, self.gate_options,
+            image_key=image_key)
         if jkey is None:
             with self._lock:
                 self.stats.farm_fallbacks += 1
@@ -493,7 +508,7 @@ class TieredEngine:
             signature=handle.signature, fixes=fp.freeze_fixes(handle.fixes),
             mem_regions=tuple(handle.mem_regions),
             probes=tuple(handle.probes), dbrew_func=dbrew, ladder=ladder,
-            image_key=self.farm.ensure_image(self.image),
+            image_key=image_key,
             lift=fp.freeze_lift_options(self.lift_options),
             o3=o3, jit=jit, gate=self.gate_options,
             budget=fp.freeze_budget(budget),

@@ -97,7 +97,7 @@ def test_dead_worker_respawns(prog, tmp_path):
     client = FarmClient(pool)
     try:
         assert pool.alive_workers() == 1
-        pool._workers[0][0].kill()  # simulate a crash
+        pool._slots[0].proc.kill()  # simulate a crash
         deadline = time.monotonic() + 30
         while pool.snapshot()["respawns"] == 0:
             assert time.monotonic() < deadline, "no respawn"
