@@ -19,6 +19,10 @@ behavior* — and ``repro.analysis`` checks *provable* properties in between:
   ``run_o3(..., validate=True)``: clone before each pass, verify after,
   differentially interpret on seeded probes, roll back and quarantine the
   offending pass on divergence;
+* :mod:`~repro.analysis.machine` — machine-level translation validation:
+  decode the bytes the backend just emitted, reconstruct the machine CFG,
+  symbolically execute it and prove it equivalent to the source IR
+  block-by-block (register allocation, stack discipline, memory effects);
 * :mod:`~repro.analysis.lint` — the CLI regression gate
   (``python -m repro.analysis.lint``) over the example/stencil corpus.
 """
@@ -57,6 +61,15 @@ from repro.analysis.deadflags import (
     analyze_module_flags,
 )
 from repro.analysis.findings import ERROR, WARNING, Finding, errors_only
+from repro.analysis.machine import (
+    CodeWitness,
+    MachineVerifier,
+    VerifyOptions,
+    VerifyResult,
+    build_mcfg,
+    build_witness,
+    verify_witness,
+)
 from repro.analysis.memregion import check_memory_regions
 from repro.analysis.strictness import check_strict_ssa
 from repro.analysis.undef import check_undef_uses
@@ -74,12 +87,14 @@ __all__ = [
     "BlockStates",
     "BoolLattice",
     "CHECKERS",
+    "CodeWitness",
     "DEFAULT_PREGATE",
     "ERROR",
     "FLAG_LETTERS",
     "Finding",
     "FlagReport",
     "Lattice",
+    "MachineVerifier",
     "PassValidator",
     "PassVerdict",
     "SetLattice",
@@ -87,9 +102,13 @@ __all__ = [
     "ValidatorStats",
     "ValueProblem",
     "ValueStates",
+    "VerifyOptions",
+    "VerifyResult",
     "WARNING",
     "analyze_flags",
     "analyze_module_flags",
+    "build_mcfg",
+    "build_witness",
     "check_memory_regions",
     "check_strict_ssa",
     "check_undef_uses",
@@ -104,4 +123,5 @@ __all__ = [
     "run_checkers_module",
     "solve_block_problem",
     "solve_value_problem",
+    "verify_witness",
 ]

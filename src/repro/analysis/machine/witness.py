@@ -1,0 +1,136 @@
+"""Compilation witness: everything the machine verifier needs to relate
+emitted bytes back to the source IR.
+
+The backend produces a :class:`CodeWitness` as a cheap side product of every
+``JITEngine.compile_function`` (dict building only — no verification work).
+The witness is deliberately *descriptive*, not trusted: the verifier uses it
+to know where to look (value homes, block addresses, frame layout) and then
+proves the properties independently from the decoded bytes.  A corrupted
+witness makes the proof fail or go inconclusive; it cannot make wrong code
+verify, because both symbolic executors read locations through the same
+witness and the machine side executes only the actual bytes.
+
+This module is backend-neutral: nothing in it is x86-specific except the
+meaning of the integers inside location tuples, which only the ISA executor
+interprets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.module import Function
+
+#: location forms: ("reg", gp_index) | ("xmm", xmm_index) | ("spill", rbp_off)
+Location = tuple
+
+
+@dataclass
+class CodeWitness:
+    """Maps one compiled function's IR onto its emitted machine code."""
+
+    func: Function                      #: IR function as lowered (edges split)
+    name: str                           #: install name in the image
+    code: bytes                         #: emitted bytes
+    base: int                           #: load address of ``code``
+    entry: int                          #: function entry address
+    block_addrs: dict[str, int]         #: IR block name -> machine address
+    value_locs: dict[int, Location]     #: id(Value) -> home location
+    value_cls: dict[int, str]           #: id(Value) -> 'i' | 'f' | 'v'
+    alloca_offsets: dict[int, int]      #: id(Alloca) -> rbp-relative offset
+    frame_slots: tuple[tuple[int, int], ...]  #: (rbp_off, size) per slot
+    used_callee_saved: tuple[int, ...]  #: pushed callee-saved registers
+    local_size: int                     #: sub rsp, N in the prologue
+    call_targets: dict[str, int]        #: callee name -> absolute address
+    rodata_range: tuple[int, int] = (0, 0)   #: [start, end) constant region
+    read_rodata: Callable[[int, int], bytes] | None = field(
+        default=None, repr=False)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.code)
+
+
+def build_witness(
+    *,
+    func: Function,
+    name: str,
+    code: bytes,
+    base: int,
+    labels: dict[str, int],
+    lower_info,
+    emit_info,
+    symbols: dict[str, int],
+    rodata_range: tuple[int, int] = (0, 0),
+    read_rodata: Callable[[int, int], bytes] | None = None,
+) -> CodeWitness:
+    """Assemble a witness from the lowering and emission byproducts."""
+    assignments = emit_info.assignments
+    frame_offsets = emit_info.frame_offsets
+
+    value_locs: dict[int, Location] = {}
+    value_cls: dict[int, str] = {}
+
+    def record(value) -> None:
+        vreg = lower_info.vmap.get(id(value))
+        if vreg is None:
+            return
+        a = assignments.get(vreg)
+        if a is None:
+            return
+        value_cls[id(value)] = vreg.cls
+        if a.is_reg:
+            value_locs[id(value)] = (
+                ("reg", a.value) if vreg.cls == "i" else ("xmm", a.value))
+        else:
+            value_locs[id(value)] = ("spill", frame_offsets[a.value])
+
+    for arg in func.args:
+        record(arg)
+    for ins in func.instructions():
+        record(ins)
+
+    alloca_offsets = {
+        vid: frame_offsets[slot]
+        for vid, slot in lower_info.alloca_slots.items()
+        if slot in frame_offsets
+    }
+
+    block_addrs = {}
+    for blk in func.blocks:
+        addr = labels.get(f"{func.name}$b.{blk.name}")
+        if addr is not None:
+            block_addrs[blk.name] = addr
+
+    frame_slots = tuple(sorted(
+        (off, size)
+        for off, size in (
+            (frame_offsets[slot], size)
+            for slot, (size, _align) in emit_info.slot_sizes.items()
+            if slot in frame_offsets
+        )
+    ))
+
+    call_targets = dict(symbols)
+    for lname, addr in labels.items():
+        if "$" not in lname:
+            call_targets[lname] = addr
+
+    return CodeWitness(
+        func=func,
+        name=name,
+        code=code,
+        base=base,
+        entry=labels.get(func.name, base),
+        block_addrs=block_addrs,
+        value_locs=value_locs,
+        value_cls=value_cls,
+        alloca_offsets=alloca_offsets,
+        frame_slots=frame_slots,
+        used_callee_saved=tuple(emit_info.used_callee_saved),
+        local_size=emit_info.local_size,
+        call_targets=call_targets,
+        rodata_range=rodata_range,
+        read_rodata=read_rodata,
+    )

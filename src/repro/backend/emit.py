@@ -482,6 +482,12 @@ class Emitter:
     def _emit_synth_mult(self, dst: Reg, a: VReg, steps: list[_SynthStep]) -> None:
         """GCC-style multiply-by-constant as lea/shl chain."""
         x = self.ireg(a, _SCRATCH1)
+        if not steps:
+            # imm == 1: the chain is empty, but dst must still receive the
+            # multiplicand — falling through would leave dst unwritten
+            if x.index != dst.index:
+                self.op("mov", dst, x)
+            return
         if x.index == dst.index:
             # need the original value later; stash it
             self.op("mov", gp(_SCRATCH1), x)
@@ -995,3 +1001,36 @@ def emit_function(
 ) -> list[Item]:
     """Emit one TAC function as an assembler item stream."""
     return Emitter(func, pool, options, symbols).run()
+
+
+@dataclass
+class EmitInfo:
+    """Register-allocation and frame facts the machine verifier needs:
+    vreg assignments, frame-slot offsets and sizes, and the prologue shape."""
+
+    assignments: dict[VReg, Assignment]
+    frame_offsets: dict[int, int]          # slot id -> rbp-relative offset
+    slot_sizes: dict[int, tuple[int, int]]  # slot id -> (size, align)
+    local_size: int
+    used_callee_saved: tuple[int, ...]
+
+
+def emit_function_info(
+    func: TFunc,
+    pool: ConstPool,
+    options: EmitOptions = EmitOptions(),
+    symbols: dict[str, int] | None = None,
+) -> tuple[list[Item], EmitInfo]:
+    """Like :func:`emit_function`, also returning allocation/frame facts."""
+    em = Emitter(func, pool, options, symbols)
+    items = em.run()
+    slot_sizes = dict(func.frame_objects)
+    slot_sizes.update(em.alloc.spill_slots)
+    info = EmitInfo(
+        assignments=dict(em.alloc.assignments),
+        frame_offsets=dict(em.frame.offsets),
+        slot_sizes=slot_sizes,
+        local_size=em.frame.local_size,
+        used_callee_saved=tuple(em.alloc.used_callee_saved),
+    )
+    return items, info

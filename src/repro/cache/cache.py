@@ -132,6 +132,12 @@ class MachineEntry:
     #: re-running the gate (entries installed by an unguarded
     #: BinaryTransformer stay ungated and are verified on first guarded use)
     gated: bool = False
+    #: machine-level translation-validation verdict recorded at install
+    #: time ("proved"/"inconclusive"; refuted entries are never installed).
+    #: None when the installing transformer ran without ``machine_verify``.
+    #: Served with every machine-stage hit, so the proof is paid once per
+    #: installed-code key.
+    machine_verdict: str | None = None
 
 
 class _ImageState:

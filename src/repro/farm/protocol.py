@@ -227,6 +227,12 @@ class CompileJob:
     trace: bool = False
     #: client-side span id the merged worker spans re-root under
     parent_span_id: int | None = None
+    #: run the machine-level verifier on the worker's emission; the
+    #: verdict travels back in the published payload, so the proof is paid
+    #: once per job key and every follower/store hit gets it for free.
+    #: Deliberately *not* part of the job key: verification only rejects
+    #: output, it cannot change accepted code.
+    machine_verify: bool = False
 
     def thawed_fixes(self) -> dict[int, int | float | FixedMemory] | None:
         return thaw_fixes(self.fixes)
@@ -268,6 +274,9 @@ class CompileResult:
     trace_records: dict | None = field(default=None, hash=False)
     worker_pid: int = 0
     seconds: float = 0.0
+    #: machine-level translation-validation verdict recorded by whichever
+    #: worker compiled this job key first (None = verification not run)
+    machine_verdict: str | None = None
 
 
 # -- content keys ------------------------------------------------------------

@@ -229,26 +229,43 @@ class FarmWorker:
         o3 = job.o3 if job.o3 is not None else O3Options()
         self.cache.last_module_key = None
 
+        verdict: str | None = None
         if job.tier == T1:
+            from repro.errors import VerificationError
             from repro.jit import BinaryTransformer
             budget.start()
             tx = BinaryTransformer(
                 image, o3_options=o3, cache=self.cache, budget=budget,
-                lift_options=lift_options, jit_options=job.jit)
-            if fixes:
-                res = tx.llvm_fixed(job.func, job.signature, fixes,
-                                    name=job.name)
-                mode: str | None = "llvm-fix"
-            else:
-                res = tx.llvm_identity(job.func, job.signature, name=job.name)
-                mode = "llvm"
+                lift_options=lift_options, jit_options=job.jit,
+                machine_verify=job.machine_verify)
+            try:
+                if fixes:
+                    res = tx.llvm_fixed(job.func, job.signature, fixes,
+                                        name=job.name)
+                    mode: str | None = "llvm-fix"
+                else:
+                    res = tx.llvm_identity(job.func, job.signature,
+                                           name=job.name)
+                    mode = "llvm"
+            except VerificationError as exc:
+                # machine-level refutation is content-determined: publish
+                # it so every follower/store hit observes the rejection
+                # without re-running the pipeline or the proof
+                payload = {"ok": False, "reject_reason": str(exc),
+                           "mode": None, "verified": False,
+                           "module": None, "main_name": None,
+                           "machine_verdict": "refuted"}
+                self.store.put(rkey, payload)
+                return payload
+            verdict = res.machine_verdict
             verified = False
             reject = None
         else:
             guard = GuardedTransformer(
                 image, cache=self.cache, budget=budget,
                 gate_options=job.gate, lift_options=lift_options,
-                o3_options=o3, jit_options=job.jit)
+                o3_options=o3, jit_options=job.jit,
+                machine_verify=job.machine_verify)
             gres = guard.transform(
                 job.func, job.signature, fixes,
                 mem_regions=job.mem_regions, name=job.name,
@@ -263,14 +280,20 @@ class FarmWorker:
                     # for every well-budgeted client sharing this key
                     raise _BudgetStarved(f"budget-starved degradation "
                                          f"not published: {reject}")
+                if any(a.context.get("stage") == "machine-verify"
+                       for a in gres.attempts):
+                    verdict = "refuted"
                 payload = {"ok": False, "reject_reason": reject,
                            "mode": None, "verified": False,
-                           "module": None, "main_name": None}
+                           "module": None, "main_name": None,
+                           "machine_verdict": verdict}
                 self.store.put(rkey, payload)
                 return payload
             mode = gres.mode
             verified = gres.verified or (gres.result is not None
                                          and gres.result.machine_gated)
+            if gres.result is not None:
+                verdict = gres.result.machine_verdict
             reject = None
 
         mkey = self.cache.last_module_key
@@ -282,7 +305,7 @@ class FarmWorker:
         module, main_name = hit
         payload = {"ok": True, "reject_reason": reject, "mode": mode,
                    "verified": verified, "module": module,
-                   "main_name": main_name}
+                   "main_name": main_name, "machine_verdict": verdict}
         self.store.put(rkey, payload)
         return payload
 
@@ -301,7 +324,8 @@ class FarmWorker:
             main_name=payload.get("main_name"),
             cache_stage=cache_stage, coalesced=coalesced,
             stats=tuple(self._job_stats()),
-            worker_pid=os.getpid(), seconds=time.perf_counter() - t0)
+            worker_pid=os.getpid(), seconds=time.perf_counter() - t0,
+            machine_verdict=payload.get("machine_verdict"))
 
     def _fail(self, job: CompileJob, t0: float, reason: str, *,
               retryable: bool) -> CompileResult:

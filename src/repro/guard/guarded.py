@@ -82,6 +82,9 @@ class GuardStats:
     verification_rejections = CounterView("_verification_rejections")
     #: candidates rejected by the *static* pre-gate (no probe budget spent)
     static_rejections = CounterView("_static_rejections")
+    #: candidates whose emitted code the machine-level verifier refuted
+    #: (quarantined before installation; no probe budget spent)
+    machine_rejections = CounterView("_machine_rejections")
     budget_exceeded = CounterView("_budget_exceeded")
     #: rungs skipped because a fresh quarantine entry covered them
     negative_served = CounterView("_negative_served")
@@ -101,6 +104,7 @@ class GuardStats:
         self._verification_rejections = r.counter(
             "guard.verification_rejections")
         self._static_rejections = r.counter("guard.static_rejections")
+        self._machine_rejections = r.counter("guard.machine_rejections")
         self._budget_exceeded = r.counter("guard.budget_exceeded")
         self._negative_served = r.counter("guard.negative_served")
         self._fallbacks = r.counter("guard.fallbacks")
@@ -116,6 +120,7 @@ class GuardStats:
             "failures": dict(self.failures),
             "verification_rejections": self.verification_rejections,
             "static_rejections": self.static_rejections,
+            "machine_rejections": self.machine_rejections,
             "static_skip_reasons": dict(self.static_skip_reasons),
             "budget_exceeded": self.budget_exceeded,
             "negative_served": self.negative_served,
@@ -161,6 +166,7 @@ class GuardedTransformer:
                  negative: NegativeCache | None = None,
                  static_precheck: bool = True,
                  validator: "object | None" = None,
+                 machine_verify: bool = False,
                  registry: MetricsRegistry | None = None) -> None:
         self.image = image
         self.cache = cache
@@ -189,7 +195,7 @@ class GuardedTransformer:
         self.tx = BinaryTransformer(
             image, lift_options=lift_options, o3_options=o3_options,
             jit_options=jit_options, cache=cache, budget=budget,
-            validator=validator,
+            validator=validator, machine_verify=machine_verify,
         )
 
     # -- keys ----------------------------------------------------------------
@@ -400,7 +406,12 @@ class GuardedTransformer:
                 # re-pay the probe executions on the warm path.  Anything
                 # else — fresh compiles and entries installed by an
                 # unguarded BinaryTransformer — must pass the gate now.
-                if self.verify and not result.machine_gated:
+                # An *inconclusive* machine proof downgrades to the dynamic
+                # gate as mandatory: even a guard configured with
+                # verify=False must not install code the static verifier
+                # could neither prove nor refute.
+                must_gate = result.machine_verdict == "inconclusive"
+                if (self.verify or must_gate) and not result.machine_gated:
                     gspan = _TR.start("guard.gate", {"rung": rung}) \
                         if _TR.enabled else None
                     try:
@@ -435,6 +446,11 @@ class GuardedTransformer:
                             self.stats.static_skip_reasons[checker] = (
                                 self.stats.static_skip_reasons.get(checker, 0)
                                 + 1)
+                    elif exc.context.get("stage") == "machine-verify":
+                        # refuted by the machine-level verifier before
+                        # installation; the transformer already quarantined
+                        # the machine key (machine:<xkey>)
+                        self.stats.machine_rejections += 1
                     else:
                         self.stats.verification_rejections += 1
                         self._gate_reject.value += 1

@@ -13,12 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.backend.emit import EmitOptions, emit_function
+from repro.backend.emit import EmitOptions, emit_function, emit_function_info
 from repro.backend.opt import optimize as tac_optimize
 from repro.cc.compiler import RodataPool
-from repro.cpu.image import Image
+from repro.cpu.image import Image, RODATA_BASE
 from repro.errors import CodegenError
-from repro.ir.codegen.lower import lower_function
+from repro.ir.codegen.lower import lower_function, lower_function_info
 from repro.ir.module import Function, Module
 from repro.obs.trace import TRACER as _TR
 from repro.x86.asm import Item, assemble_full
@@ -40,6 +40,8 @@ class JITEngine:
         self.image = image
         self.options = options
         self.pool = RodataPool(image)
+        #: witness of the most recent ``compile_function`` (machine verify)
+        self.last_witness = None
 
     def place_globals(self, module: Module) -> None:
         """Copy module globals into the image's rodata."""
@@ -61,13 +63,14 @@ class JITEngine:
         if func.is_declaration:
             raise CodegenError(f"cannot compile declaration @{func.name}",
                                stage="codegen", function=func.name)
+        self.last_witness = None
         if func.module is not None:
             self.place_globals(func.module)
         span = _TR.start("jit.lower", {"func": func.name}) \
             if _TR.enabled else None
         try:
             try:
-                tf = lower_function(func)
+                tf, lower_info = lower_function_info(func)
             except CodegenError as exc:
                 raise exc.with_context(stage="codegen", function=func.name)
             if self.options.optimize_tac:
@@ -87,7 +90,7 @@ class JITEngine:
                 if extra_symbols:
                     symbols.update(extra_symbols)
                 # declared callees must resolve through existing image symbols
-                items: list[Item] = emit_function(
+                items, emit_info = emit_function_info(
                     tf, self.pool,
                     EmitOptions(mul_style=self.options.mul_style,
                                 const_addressing=self.options.const_addressing),
@@ -97,10 +100,19 @@ class JITEngine:
                 code, _placed, labels = assemble_full(items, base)
                 install_name = name or func.name
                 addr = self.image.add_function(install_name, code, jit=True)
+                rodata_end = self.image._rodata_cursor
         finally:
             if span is not None:
                 _TR.finish(span)
         assert addr == labels[func.name]
+        from repro.analysis.machine.witness import build_witness
+        mem = self.image.memory
+        self.last_witness = build_witness(
+            func=func, name=install_name, code=code, base=base, labels=labels,
+            lower_info=lower_info, emit_info=emit_info, symbols=symbols,
+            rodata_range=(RODATA_BASE, rodata_end),
+            read_rodata=lambda a, n: mem.read(a, n),
+        )
         return addr
 
     def compile_module(self, module: Module) -> dict[str, int]:
@@ -109,6 +121,7 @@ class JITEngine:
             return self._compile_module(module)
 
     def _compile_module(self, module: Module) -> dict[str, int]:
+        self.last_witness = None  # witnesses are per-compile_function only
         self.place_globals(module)
         out: dict[str, int] = {}
         # two passes so intra-module calls resolve: declarations first

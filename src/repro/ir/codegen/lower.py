@@ -67,6 +67,7 @@ class Lowerer:
         self.func = func
         self.tf = TFunc(name=func.name)
         self.vmap: dict[int, VReg] = {}
+        self.alloca_slots: dict[int, int] = {}  # id(Alloca) -> frame slot
         self.block_map: dict[int, TBlock] = {}
         self.current: TBlock | None = None
         #: LLVM-style conservative lowering of align-1 vector loads into a
@@ -454,6 +455,7 @@ class Lowerer:
             return
         if isinstance(ins, I.Alloca):
             slot = self.tf.new_slot(ins.size, ins.align)
+            self.alloca_slots[id(ins)] = slot
             self.emit(op="frame", dst=self.vreg(ins), slot=slot)
             return
         if isinstance(ins, I.GEP):
@@ -814,3 +816,22 @@ _FCMP_CC = {
 def lower_function(func: Function) -> TFunc:
     """Lower one optimized IR function to TAC."""
     return Lowerer(func).run()
+
+
+class LowerInfo:
+    """Byproduct of lowering consumed by the machine-verification witness:
+    which vreg each IR value ended up in, and which frame slot each alloca
+    received.  Keys are ``id(value)`` (values stay alive via the function)."""
+
+    __slots__ = ("vmap", "alloca_slots")
+
+    def __init__(self, vmap: dict[int, VReg], alloca_slots: dict[int, int]) -> None:
+        self.vmap = vmap
+        self.alloca_slots = alloca_slots
+
+
+def lower_function_info(func: Function) -> tuple[TFunc, LowerInfo]:
+    """Like :func:`lower_function`, also returning the value/slot maps."""
+    lw = Lowerer(func)
+    tf = lw.run()
+    return tf, LowerInfo(lw.vmap, lw.alloca_slots)

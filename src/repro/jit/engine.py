@@ -31,11 +31,13 @@ from typing import Callable
 from repro.cache import MachineEntry, SpecializationCache
 from repro.cache import keys as cache_keys
 from repro.cpu.image import Image
+from repro.errors import VerificationError
 from repro.ir.codegen import JITEngine, JITOptions
 from repro.ir.module import Function, Module
 from repro.ir.passes import O3Options, O3Report, run_o3
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory, build_fixation_wrapper
+from repro.obs import metrics as _metrics
 from repro.obs.trace import TRACER as _TR
 
 
@@ -64,10 +66,40 @@ class TransformResult:
     #: hits — the optimizer did not run); carries per-pass validation
     #: verdicts when the transformer runs with a validator attached
     o3_report: "O3Report | None" = None
+    #: machine-level translation-validation verdict for the installed code
+    #: ("proved"/"inconclusive"; "refuted" never reaches a result — it
+    #: raises).  None when the transformer runs without ``machine_verify``
+    #: or the serving cache entry predates verification.
+    machine_verdict: str | None = None
+    #: wall-clock cost of the machine-level proof (0.0 on warm hits — the
+    #: verdict is stored with the installed entry and served for free)
+    machine_verify_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         return self.lift_seconds + self.optimize_seconds + self.codegen_seconds
+
+
+def verify_emitted(jit: JITEngine, name: str):
+    """Prove the function ``jit`` just emitted equivalent to its IR.
+
+    Thin wrapper over :func:`repro.analysis.machine.verify_witness` that
+    feeds the ``machine.verify.*`` metrics counters.  Imported lazily so
+    transformers running without ``machine_verify`` never pay for the
+    verifier package.  A missing witness (backend hook disabled) is
+    *inconclusive*, not proved — nothing-to-check is not a proof.
+    """
+    from repro.analysis import machine as M
+
+    witness = jit.last_witness
+    if witness is None:
+        report = M.VerifyResult(
+            verdict=M.INCONCLUSIVE,
+            reasons=[f"backend produced no witness for {name!r}"])
+    else:
+        report = M.verify_witness(witness)
+    _metrics.counter(f"machine.verify.{report.verdict}").inc()
+    return report
 
 
 class BinaryTransformer:
@@ -78,7 +110,8 @@ class BinaryTransformer:
                  jit_options: JITOptions | None = None,
                  cache: SpecializationCache | None = None,
                  budget: "object | None" = None,
-                 validator: "object | None" = None) -> None:
+                 validator: "object | None" = None,
+                 machine_verify: bool = False) -> None:
         self.image = image
         self.lift_options = lift_options or LiftOptions()
         self.o3_options = o3_options or O3Options()
@@ -94,6 +127,14 @@ class BinaryTransformer:
         #: shared :class:`repro.guard.Budget` charged by lift/opt/codegen
         #: stages (None = unlimited); never part of cache keys
         self.budget = budget
+        #: statically verify every freshly emitted function against its
+        #: source IR (:mod:`repro.analysis.machine`) before installing it.
+        #: A refuted proof quarantines the request (``machine:<xkey>``) and
+        #: raises :class:`VerificationError` with ``stage="machine-verify"``
+        #: before the entry can reach the machine cache.  Like ``validator``
+        #: and ``budget`` this is never part of cache keys — verification
+        #: only rejects output, it cannot change accepted code.
+        self.machine_verify = machine_verify
         #: per-call profiling hook: invoked with every TransformResult this
         #: engine produces (hits and misses alike).  The tiered engine
         #: attaches here to collect compile-cost telemetry per tier without
@@ -166,14 +207,37 @@ class BinaryTransformer:
             self._lift_digest[1],
         )
 
-    def _codegen(self, main: Function, out_name: str) -> tuple[int, float]:
+    def _codegen(self, main: Function, out_name: str,
+                 xkey: str | None = None) -> tuple[int, float, str | None, float]:
+        """Emit ``main``; with ``machine_verify`` also prove the emission.
+
+        Returns ``(addr, codegen_seconds, machine_verdict, verify_seconds)``.
+        Both compile paths flow through here, so a refuted proof can never
+        reach :meth:`SpecializationCache.put_machine` — the raise happens
+        first, and the request key is quarantined like an ``o3pass:``
+        rejection so repeat requests fail fast.
+        """
         if self.budget is not None:
             self.budget.checkpoint("codegen")  # type: ignore[attr-defined]
         t0 = time.perf_counter()
-        addr = JITEngine(self.image, self.jit_options).compile_function(
-            main, name=out_name
-        )
-        return addr, time.perf_counter() - t0
+        jit = JITEngine(self.image, self.jit_options)
+        addr = jit.compile_function(main, name=out_name)
+        t_cg = time.perf_counter() - t0
+        if not self.machine_verify:
+            return addr, t_cg, None, 0.0
+        report = verify_emitted(jit, out_name)
+        if report.verdict == "refuted":
+            detail = "; ".join(
+                f.format() for f in report.findings if f.is_error) \
+                or "machine-level proof refuted"
+            if self.cache is not None and xkey is not None:
+                self.cache.put_negative(
+                    f"machine:{xkey}", "machine-verify", detail)
+            raise VerificationError(
+                f"machine verification refuted {out_name!r}: {detail}",
+                stage="machine-verify", name=out_name,
+                findings=tuple(report.findings))
+        return addr, t_cg, report.verdict, report.seconds
 
     def _transform(self, func: str | int, signature: FunctionSignature,
                    fixes: dict[int, int | float | FixedMemory] | None,
@@ -245,7 +309,8 @@ class BinaryTransformer:
         return TransformResult(entry.addr, out_name, entry.function,
                                entry.module, cache_stage="machine",
                                machine_key=xkey, machine_gated=entry.gated,
-                               coalesced=coalesced)
+                               coalesced=coalesced,
+                               machine_verdict=entry.machine_verdict)
 
     def _compile(self, func: str | int, signature: FunctionSignature,
                  fixes: dict[int, int | float | FixedMemory] | None,
@@ -253,20 +318,30 @@ class BinaryTransformer:
                  mkey: str | None, xkey: str | None) -> TransformResult:
         """The miss path: module-stage lookup, then the full pipeline."""
         cache = self.cache
+        if self.machine_verify and cache is not None and xkey is not None:
+            neg = cache.check_negative(f"machine:{xkey}")
+            if neg is not None:
+                raise VerificationError(
+                    f"machine verification previously refuted {out_name!r}: "
+                    f"{neg.reason}", stage="machine-verify", name=out_name,
+                    quarantined=True)
         if mkey is not None:
             assert cache is not None and xkey is not None
             hit = cache.get_module(mkey)
             if hit is not None:
                 module, main_name = hit
                 main = module.functions[main_name]
-                addr, t_cg = self._codegen(main, out_name)
+                addr, t_cg, verdict, t_mv = self._codegen(main, out_name, xkey)
                 cache.put_machine(self.image, xkey, MachineEntry(
-                    addr, out_name, self.image.func_sizes[out_name], main, module))
+                    addr, out_name, self.image.func_sizes[out_name], main,
+                    module, machine_verdict=verdict))
                 cache.note_transform("module")
                 return TransformResult(addr, out_name, main, module,
                                        codegen_seconds=t_cg,
                                        cache_stage="module",
-                                       machine_key=xkey)
+                                       machine_key=xkey,
+                                       machine_verdict=verdict,
+                                       machine_verify_seconds=t_mv)
 
         module = None
         lifted = None
@@ -313,15 +388,18 @@ class BinaryTransformer:
             assert cache is not None
             cache.put_module(mkey, module, main.name)
 
-        addr, t_cg = self._codegen(main, out_name)
+        addr, t_cg, verdict, t_mv = self._codegen(main, out_name, xkey)
         if xkey is not None:
             assert cache is not None
             cache.put_machine(self.image, xkey, MachineEntry(
-                addr, out_name, self.image.func_sizes[out_name], main, module))
+                addr, out_name, self.image.func_sizes[out_name], main, module,
+                machine_verdict=verdict))
             cache.note_transform(cache_stage)
         return TransformResult(addr, out_name, main, module,
                                t_lift, t_opt, t_cg, cache_stage=cache_stage,
-                               machine_key=xkey, o3_report=o3_report)
+                               machine_key=xkey, o3_report=o3_report,
+                               machine_verdict=verdict,
+                               machine_verify_seconds=t_mv)
 
     # -- evaluation modes --------------------------------------------------------
 

@@ -50,7 +50,9 @@ from typing import Any, Callable, Sequence
 from repro.cache import SpecializationCache
 from repro.cpu.image import Image
 from repro.errors import ReproError
-from repro.guard import Budget, GateOptions, GuardedTransformer
+from repro.guard import (
+    Budget, DifferentialGate, GateOptions, GuardedTransformer,
+)
 from repro.ir.codegen import JITOptions
 from repro.ir.passes import O3Options
 from repro.jit import BinaryTransformer, TransformResult
@@ -165,6 +167,7 @@ class TieredEngine:
                  jit_options: JITOptions | None = None,
                  t2_o3_options: O3Options | None = None,
                  budget_factory: Callable[[], Budget] | None = None,
+                 machine_verify: bool = False,
                  registry: MetricsRegistry | None = None,
                  on_install: "Callable[[DispatchHandle, TierCode], None] | None"
                  = None,
@@ -186,6 +189,11 @@ class TieredEngine:
         #: per-job budget source; the engine chains its throttle gate onto
         #: whatever yield hook the factory's budgets already carry
         self.budget_factory = budget_factory
+        #: statically verify every fresh T1/T2 emission against its source
+        #: IR (:mod:`repro.analysis.machine`) before installing it; a
+        #: refuted proof rejects the job, an inconclusive proof on the
+        #: ungated T1 tier downgrades to a one-off differential gate
+        self.machine_verify = machine_verify
         #: called (outside the handle lock) after every install — the
         #: stencil driver uses this to invalidate simulator decode caches
         self.on_install = on_install
@@ -513,7 +521,8 @@ class TieredEngine:
             o3=o3, jit=jit, gate=self.gate_options,
             budget=fp.freeze_budget(budget),
             epoch=job.epoch, seq=job.seq, trace=_TR.enabled,
-            parent_span_id=cur.span_id if cur is not None else None)
+            parent_span_id=cur.span_id if cur is not None else None,
+            machine_verify=self.machine_verify)
         res = self.farm.compile(cjob, timeout=self.farm_timeout)
         if res is None or (not res.ok and res.retryable):
             with self._lock:
@@ -532,6 +541,11 @@ class TieredEngine:
         from repro.ir.codegen.jit import JITEngine
         addr = JITEngine(self.image, jit).compile_function(
             main, name=out_name)
+        if target == T1:
+            # the worker's proof covers its own emission; an inconclusive
+            # farm verdict means this client-side install must pass the
+            # one-off gate T1 would otherwise skip
+            self._t1_machine_gate(handle, addr, res.machine_verdict)
         return addr, res.mode, res.verified, None
 
     def _compile_t1(self, handle: DispatchHandle,
@@ -553,14 +567,29 @@ class TieredEngine:
         tx = BinaryTransformer(
             self.image, o3_options=o3,
             cache=self.cache, budget=budget,
-            lift_options=self.lift_options, jit_options=self.jit_options)
+            lift_options=self.lift_options, jit_options=self.jit_options,
+            machine_verify=self.machine_verify)
         tx.on_result = self._note_result
         if handle.fixes:
             res = tx.llvm_fixed(handle.func, handle.signature, handle.fixes,
                                 name=out_name)
+            self._t1_machine_gate(handle, res.addr, res.machine_verdict)
             return res.addr, "llvm-fix"
         res = tx.llvm_identity(handle.func, handle.signature, name=out_name)
+        self._t1_machine_gate(handle, res.addr, res.machine_verdict)
         return res.addr, "llvm"
+
+    def _t1_machine_gate(self, handle: DispatchHandle, addr: int,
+                         verdict: str | None) -> None:
+        """T1 normally installs ungated; an *inconclusive* machine proof
+        downgrades that privilege to a mandatory one-off differential
+        gate.  (A refuted proof never reaches here — the transformer
+        raises before installation.)"""
+        if verdict != "inconclusive":
+            return
+        DifferentialGate(self.image, self.gate_options).gate(
+            handle.entry, addr, handle.signature, handle.fixes,
+            handle.probes)
 
     def _compile_t2(self, handle: DispatchHandle, out_name: str,
                     ) -> tuple[int | None, str | None, bool, str | None]:
@@ -576,7 +605,7 @@ class TieredEngine:
             self.image, cache=self.cache, budget=budget,
             gate_options=self.gate_options, lift_options=self.lift_options,
             o3_options=self.t2_o3_options, jit_options=self.jit_options,
-            registry=self.registry)
+            machine_verify=self.machine_verify, registry=self.registry)
         guard.tx.on_result = self._note_result
         specializing = bool(handle.fixes) or bool(handle.mem_regions)
         ladder = ("dbrew+llvm",) if specializing else ("llvm",)

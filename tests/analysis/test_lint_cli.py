@@ -78,6 +78,48 @@ def test_findings_fail_the_run(monkeypatch, capsys):
     assert "3 errors" in out
 
 
+def test_machine_layer_on_clean_corpus():
+    result = run_lint(["examples"], machine=True)
+    assert [m["verdict"] for m in result.machine] == ["proved"] * 3
+    assert result.errors == []
+
+
+def test_cli_machine_text_output(capsys):
+    assert main(["--corpus", "examples", "--machine"]) == 0
+    out = capsys.readouterr().out
+    assert "machine poly.lifted: proved" in out
+
+
+def test_cli_format_sarif(capsys):
+    assert main(["--corpus", "examples", "--format", "sarif",
+                 "--machine"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.analysis.lint"
+    assert run["results"] == []
+    assert len(run["properties"]["machine"]) == 3
+
+
+def test_cli_format_json_matches_legacy_flag(capsys):
+    assert main(["--corpus", "examples", "--format", "json"]) == 0
+    a = json.loads(capsys.readouterr().out)
+    assert main(["--corpus", "examples", "--json"]) == 0
+    b = json.loads(capsys.readouterr().out)
+    assert a == b and "machine" in a
+
+
+def test_cli_crash_exits_three(monkeypatch, capsys):
+    from repro.analysis import lint as lint_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("toolchain fell over")
+
+    monkeypatch.setattr(lint_mod, "run_lint", boom)
+    assert main(["--corpus", "examples"]) == 3
+    assert "lint run crashed" in capsys.readouterr().err
+
+
 def test_corpora_registry_shape():
     for corpus, programs in CORPORA.items():
         for source, signatures in programs:

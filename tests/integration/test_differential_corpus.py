@@ -181,7 +181,14 @@ def _run_corpus_case(kind: str, seed: int) -> None:
     f_opt = lift_function(mem, base, sig, LiftOptions(name="f_opt"), m)
     run_o3(f_opt)
     verify(f_opt)
-    jit_res = BinaryTransformer(img).llvm_identity(base, sig, name="f_jit")
+    # machine_verify=True makes this corpus the zero-false-positive sweep
+    # for the static verifier: a refuted proof raises VerificationError
+    # here (hard failure), while the four-engine comparison below is the
+    # dynamic oracle — any static/dynamic disagreement fails the seed
+    jit_res = BinaryTransformer(img, machine_verify=True).llvm_identity(
+        base, sig, name="f_jit")
+    assert jit_res.machine_verdict in ("proved", "inconclusive"), (
+        f"seed={seed} kind={kind}: machine verdict {jit_res.machine_verdict}")
     sim.invalidate_code()
     interp = Interpreter(m, mem)
 
@@ -280,3 +287,27 @@ def test_replay_recorded_failures():
     """Seeds that ever failed stay in the corpus forever."""
     for kind, seed in _recorded_failures():
         _run_corpus_case(kind, seed)
+
+
+def test_bench_kernels_machine_sweep():
+    """Every benchmark kernel must survive the verified production path:
+    a refuted proof on this known-clean set is a static/dynamic-oracle
+    disagreement and a hard failure."""
+    from repro.analysis.lint import CORPORA
+    from repro.cc import compile_c
+
+    verdicts = {}
+    for corpus, programs in CORPORA.items():
+        for source, signatures in programs:
+            prog = compile_c(source)
+            for name, sig in signatures.items():
+                res = BinaryTransformer(
+                    prog.image, machine_verify=True).llvm_identity(
+                        name, sig, name=f"{name}.mc")
+                verdicts[name] = res.machine_verdict
+    assert all(v in ("proved", "inconclusive") for v in verdicts.values()), \
+        verdicts
+    # the scalar kernels are known to prove outright; pin that so a
+    # precision regression (proved -> inconclusive) is visible
+    for name in ("poly", "dot", "clamp_sum"):
+        assert verdicts[name] == "proved", verdicts
