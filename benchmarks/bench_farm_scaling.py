@@ -48,9 +48,18 @@ SRC = ("long f(long a, long b) "
        "{ long s = 0; for (long i = 0; i < a; i++) s += i * b; return s; }")
 
 
+#: signature-variant jobs appended to every storm: same machine code,
+#: different lift keys.  A padded signature (unused trailing params) lifts
+#: the identical bytes to a different module, so the module-stage disk
+#: cache cannot serve it — the only way these jobs skip decoding is the
+#: decoded-trace cache, which is exactly what they exist to exercise.
+SIG_VARIANTS = 2
+
+
 def _jobs(prog, client, count):
-    """K distinct T1 jobs over one function: a registration storm's worth
-    of fixation keys (what a line-kernel sweep produces)."""
+    """K distinct T1 jobs over one function (a registration storm's worth
+    of fixation keys, what a line-kernel sweep produces) plus
+    ``SIG_VARIANTS`` signature-variant re-lifts of the same bytes."""
     sig = FunctionSignature(("i", "i"), "i")
     o3 = O3Options.lightweight().replace(enable_inline=True)
     jobs = []
@@ -65,6 +74,17 @@ def _jobs(prog, client, count):
             dbrew_func=None, ladder=(),
             image_key=client.ensure_image(prog.image),
             lift=fp.freeze_lift_options(None), o3=o3, jit=JITOptions()))
+    for extra in range(SIG_VARIANTS):
+        sig_v = FunctionSignature(("i",) * (3 + extra), "i")
+        key = fp.compute_job_key(prog.image, "f", sig_v, None, (), (), 1,
+                                 (), None, None, o3, JITOptions(),
+                                 GateOptions())
+        jobs.append(fp.CompileJob(
+            key=key, name=f"f.sigv{extra}", tier=1, func="f",
+            signature=sig_v, fixes=None, mem_regions=(), probes=(),
+            dbrew_func=None, ladder=(),
+            image_key=client.ensure_image(prog.image),
+            lift=fp.freeze_lift_options(None), o3=o3, jit=JITOptions()))
     return jobs
 
 
@@ -76,9 +96,10 @@ def _drain_storm(prog, disk_dir, workers, count):
     client = FarmClient(pool, timeout=600.0, registry=registry)
     try:
         jobs = _jobs(prog, client, count)
+        total_jobs = len(jobs)
         gc.disable()
         t0 = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=count) as tp:
+        with ThreadPoolExecutor(max_workers=total_jobs) as tp:
             results = list(tp.map(client.compile, jobs))
         elapsed = time.perf_counter() - t0
         gc.enable()
@@ -93,17 +114,22 @@ def _drain_storm(prog, disk_dir, workers, count):
             total = hits + misses
             return (hits / total) if total else None
 
+        trace_hits = (snap.get("farm.worker.lift.decode_trace.hits", 0)
+                      + snap.get("farm.worker.lift.decode_trace.store_hits",
+                                 0))
         return {
             "workers": workers,
-            "jobs": count,
+            "jobs": total_jobs,
             "ok": ok,
             "seconds": elapsed,
             "throughput_per_s": ok / elapsed if elapsed > 0 else 0.0,
             "warm_hits": warm,
-            "warm_hit_rate": warm / count if count else 0.0,
+            "warm_hit_rate": warm / total_jobs if total_jobs else 0.0,
             "batches": pool.snapshot()["batches"],
             "facet_hit_rate": rate("facet_cache"),
             "decode_memo_hit_rate": rate("decode_memo"),
+            "decode_trace_hit_rate": rate("decode_trace"),
+            "decode_trace_hits": trace_hits,
         }
     finally:
         pool.close()
@@ -194,10 +220,16 @@ def run_all(*, quick: bool = False) -> dict:
             s["warm"]["warm_hit_rate"] >= MIN_WARM_HIT_RATE,
         "dispatch_p99_within_10pct":
             d["ratio"] <= MAX_DISPATCH_P99_RATIO,
-        # decode-memo traffic is absorbed by the lift-stage disk cache in
-        # a single-function storm, so only the facet memo must show hits
+        # per-instruction decode-memo traffic is absorbed by the
+        # module-stage disk cache in a same-key storm, so only the facet
+        # memo must show hits...
         "lifter_memo_hits_observed":
             (s["cold_n"]["facet_hit_rate"] or 0) > 0,
+        # ...but the signature-variant jobs force full re-lifts of the
+        # same bytes, which must be served by the decoded-trace cache:
+        # cold_1 is sequential (one worker), so its hits are deterministic
+        "decode_trace_hits_observed":
+            s["cold_1"]["decode_trace_hits"] > 0,
     }
     return report
 
@@ -223,6 +255,8 @@ def _report_lines(r: dict) -> list[str]:
         f"lift memos   facet {_fmt_rate(many['facet_hit_rate'])} hit   "
         f"decode {_fmt_rate(many['decode_memo_hit_rate'])} hit "
         f"(cold {many['workers']}w round)",
+        f"decode trace {_fmt_rate(one['decode_trace_hit_rate'])} hit, "
+        f"{one['decode_trace_hits']} cross-job hit(s) (cold 1w round)",
     ]
 
 

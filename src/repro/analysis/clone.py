@@ -63,6 +63,9 @@ def restore_function(func: Function, snapshot: Function) -> None:
     for blk in func.blocks:
         blk.function = func
     snapshot.blocks = []
+    # rollback is a mutation: any cached derived state (interpreter traces)
+    # keyed by the pre-rollback version must be invalidated
+    func.bump_version()
 
 
 def _operand_key(op: object, pos: dict[int, tuple[int, int]],

@@ -163,6 +163,23 @@ def mask(bits: int, t: Term) -> Term:
         t2 = _from_lin(reduced, t[2] & m)
         if t2 != t:
             return mask(bits, t2)
+    if isinstance(t, tuple) and t[0] in ("and", "or", "xor") \
+            and isinstance(t[2], int):
+        # bitwise ops act bit-for-bit, so under a width mask the constant
+        # operand is only observable modulo the mask: a sign-extended
+        # 64-bit immediate (machine side, e.g. ``xor eax, -1``) and a
+        # pre-masked 32-bit immediate (IR side) canonicalize identically.
+        # Saturating/annihilating constants fold the whole node.
+        m = (1 << bits) - 1
+        c = t[2] & m
+        if t[0] == "or" and c == m:
+            return m
+        if t[0] == "and" and c == 0:
+            return 0
+        if (c == 0 and t[0] in ("or", "xor")) or (c == m and t[0] == "and"):
+            return mask(bits, t[1])  # identity element under the mask
+        if c != t[2]:
+            return mask(bits, (t[0], t[1], c))
     if isinstance(t, tuple) and t[0] == "merge1" and bits <= 8:
         # ("merge1", old, new): byte write into a wider register; a narrow
         # read sees only the new byte (the setcc cl / movzx dst, cl idiom)

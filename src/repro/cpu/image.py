@@ -15,6 +15,7 @@ Layout mirrors a small static Linux binary:
 from __future__ import annotations
 
 import threading
+import uuid
 from typing import Callable
 
 from repro.errors import SimulatorError
@@ -64,6 +65,24 @@ class Image:
         #: this back together with the bytes, so observers can use it as a
         #: cheap "did code change" check
         self.generation = 0
+        #: identity component of :meth:`content_token`.  Process-unique by
+        #: default; spec-built farm images override it with a spec-digest
+        #: tuple so tokens mean the same bytes in any process
+        self.content_key: object = uuid.uuid4().hex
+        self.memory.content_token_fn = self.content_token
+
+    def content_token(self) -> tuple:
+        """Key identifying the image's current *code* content.
+
+        Folds the patch generation and both code-allocation cursors, so
+        every sanctioned path that changes executable bytes —
+        ``patch_code`` (bumps ``generation``), ``add_function`` and
+        ``reserve_code`` (move a cursor) — yields a fresh token.  Derived
+        state keyed by the token (the lifter's decoded-trace cache) goes
+        stale by construction instead of needing invalidation hooks.
+        """
+        return (self.content_key, self.generation,
+                self._code_cursor, self._jit_cursor)
 
     # -- runtime patching --------------------------------------------------------
 

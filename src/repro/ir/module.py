@@ -50,11 +50,17 @@ class BasicBlock:
             raise IRError(f"appending after terminator in {self.name}")
         ins.block = self
         self.instructions.append(ins)
+        f = self.function
+        if f is not None:
+            f.bump_version()
         return ins
 
     def insert(self, index: int, ins: Instruction) -> Instruction:
         ins.block = self
         self.instructions.insert(index, ins)
+        f = self.function
+        if f is not None:
+            f.bump_version()
         return ins
 
     def phis(self) -> list[Phi]:
@@ -84,7 +90,7 @@ class Function(Value):
     """A function: arguments + basic blocks (first block is the entry)."""
 
     __slots__ = ("ftype", "args", "blocks", "module", "always_inline",
-                 "_name_counter", "is_declaration", "__weakref__")
+                 "_name_counter", "is_declaration", "_version", "__weakref__")
 
     def __init__(self, name: str, ftype: FunctionType) -> None:
         super().__init__(PointerType(ftype), name)  # functions are pointers
@@ -95,6 +101,28 @@ class Function(Value):
         self.always_inline = False
         self.is_declaration = False
         self._name_counter = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (trace-cache invalidation epoch).
+
+        Bumped by the structural mutators below, by every pass that reports
+        a change, and by validator rollbacks — anything holding derived
+        state keyed by ``(function, version)`` (the interpreter's threaded-
+        dispatch traces) revalidates against this before reuse.
+        """
+        try:
+            return self._version
+        except AttributeError:  # unpickled from a pre-version snapshot
+            self._version = 0
+            return 0
+
+    def bump_version(self) -> None:
+        try:
+            self._version += 1
+        except AttributeError:
+            self._version = 1
 
     @property
     def entry(self) -> BasicBlock:
@@ -107,6 +135,7 @@ class Function(Value):
         blk = BasicBlock(name or f"bb{self._name_counter}")
         blk.function = self
         self.blocks.append(blk)
+        self.bump_version()
         return blk
 
     def next_name(self, hint: str = "v") -> str:
@@ -128,6 +157,8 @@ class Function(Value):
                 if op is old:
                     ins.operands[i] = new
                     n += 1
+        if n:
+            self.bump_version()
         return n
 
     def remove_block(self, block: BasicBlock) -> None:
@@ -136,6 +167,7 @@ class Function(Value):
             for phi in succ.phis():
                 phi.remove_incoming(block)
         self.blocks.remove(block)
+        self.bump_version()
 
     def short(self) -> str:
         return f"@{self.name}"

@@ -70,5 +70,7 @@ def run(func: Function) -> bool:
                     round_changed = True
         changed |= round_changed
         if not round_changed:
-            return changed
+            break
+    if changed:
+        func.bump_version()
     return changed

@@ -46,4 +46,6 @@ def run(func: Function) -> bool:
             else:
                 removed = True
         blk.instructions = kept
+    if removed:
+        func.bump_version()
     return removed

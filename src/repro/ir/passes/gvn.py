@@ -85,4 +85,6 @@ def run(func: Function) -> bool:
                 changed = True
             else:
                 available[key2] = ins
+    if changed:
+        func.bump_version()
     return changed

@@ -174,9 +174,11 @@ def run(func: Function) -> bool:
                 site = ins
                 break
         if site is None:
-            return changed
+            break
         if inline_call(func, site):
             changed = True
         else:
-            return changed
+            break
+    if changed:
+        func.bump_version()
     return changed

@@ -229,4 +229,6 @@ def run(func: Function, fast_math: bool = False) -> bool:
         changed |= round_changed
         if not round_changed:
             break
+    if changed:
+        func.bump_version()
     return changed

@@ -266,4 +266,7 @@ def _promote_slot(func: Function, accesses: list[_Access], ctype: Type) -> None:
 
 
 def run(func: Function) -> bool:
-    return promote(func)
+    changed = promote(func)
+    if changed:
+        func.bump_version()
+    return changed

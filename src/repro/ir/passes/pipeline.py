@@ -12,8 +12,8 @@ from repro.ir import verifier
 from repro.ir.module import Function
 from repro.obs.trace import TRACER as _TR
 from repro.ir.passes import (
-    constprop, dce, gvn, inline, instcombine, mem2reg, simplifycfg, unroll,
-    vectorize,
+    constprop, dce, gvn, inline, instcombine, mem2reg, schedule, simplifycfg,
+    unroll, vectorize,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -41,6 +41,12 @@ class O3Options:
     #: ``-force-vector-width=2`` experiment (Sec. VI-B)
     force_vector_width: int = 0
     max_iterations: int = 8
+    #: pass-skipping policy (repro.ir.passes.schedule): "auto" resolves to
+    #: "static" (provable no-fire rules only, output-identical — safe to
+    #: share cache keys) unless REPRO_SPEED=0; "profile" additionally uses
+    #: learned fired-pass statistics and MAY change the produced IR, so it
+    #: is a distinct digest value; "off" disables all skipping
+    pass_schedule: str = "auto"
 
     def replace(self, **kw) -> "O3Options":
         """A copy with the given fields changed.
@@ -88,6 +94,12 @@ class O3Report:
     rejected_passes: list[str] = field(default_factory=list)
     #: this run was executed under per-pass validation
     validated: bool = False
+    #: resolved schedule mode ("off" / "static" / "profile")
+    schedule_mode: str = "off"
+    #: pass applications skipped by the scheduler, in skip order
+    skipped_passes: list[str] = field(default_factory=list)
+    #: scheduling was disabled mid-run (e.g. validator quarantine), and why
+    schedule_disabled: str | None = None
 
     @property
     def miscompiled_pass(self) -> str | None:
@@ -138,26 +150,41 @@ def run_o3(func: Function, options: O3Options = O3Options(),
         from repro.analysis.validate import PassValidator
         validator = PassValidator()
     report.validated = validator is not None
+    report.schedule_mode = schedule.resolve_mode(options.pass_schedule)
+    sched = schedule.Scheduler(func, report.schedule_mode, validator)
 
     def step(name: str, thunk: Callable[[], Any],
              changed_of: Callable[[Any], bool] = bool) -> bool:
+        if sched.should_skip(name):
+            report.skipped_passes.append(name)
+            return False
         span = _TR.start(f"o3.pass.{name}", {"func": func.name}) \
             if _TR.enabled else None
         try:
             if validator is None:
                 changed = bool(changed_of(thunk()))
+                sched.note_result(name, changed)
             else:
                 _result, verdict = validator.run_pass(
                     name, thunk, func, changed_of=changed_of)
                 report.pass_log.append(verdict)
-                if not verdict.ok and not verdict.quarantined:
-                    report.rejected_passes.append(name)
+                if not verdict.ok:
+                    # a rejection (or a quarantine hit) marks this pipeline
+                    # as suspect: no further skipping — every pass must run
+                    # under full validation (see schedule.Scheduler)
+                    sched.disable(f"quarantined:{name}")
+                    if not verdict.quarantined:
+                        report.rejected_passes.append(name)
+                else:
+                    sched.note_result(name, verdict.changed)
                 changed = verdict.changed
             if VERIFY_AFTER_EACH_PASS:
                 verifier.verify(func)
         finally:
             if span is not None:
                 _TR.finish(span)
+            if sched.disabled_reason not in (None, "off"):
+                report.schedule_disabled = sched.disabled_reason
         return changed
 
     if budget is not None:

@@ -49,9 +49,29 @@ def _simplify_phis(func: Function) -> bool:
 
     Folding ``phi [X, A], [undef, B]`` to X is only legal when X dominates
     the phi (LLVM has the same restriction) — checked lazily.
+
+    With the speed campaign enabled, the per-phi RAUW (a full-function
+    operand scan *each*, quadratic on phi-heavy functions — unrolled loop
+    nests produce hundreds) is replaced by one batched substitution map
+    applied in a single walk at the end.  Scans resolve pending entries
+    through the map, so each decision sees exactly the IR the sequential
+    RAUWs would have produced and the output is bit-identical; the legacy
+    path survives under ``REPRO_SPEED=0`` as the differential reference.
     """
+    from repro import speed as _speed
     from repro.ir.instructions import Instruction
     from repro.ir.passes.cfgutils import dominates, dominators
+
+    batched = _speed.enabled()
+    subst: dict[int, Value] = {}
+
+    def resolve(v: Value) -> Value:
+        # chains (phiA -> phiB -> x) arise when a phi's sole value is a
+        # phi scheduled for removal earlier in this scan; cycles cannot:
+        # a self-reference resolves to the scanned phi and is skipped
+        while isinstance(v, Instruction) and id(v) in subst:
+            v = subst[id(v)]
+        return v
 
     changed = False
     idom = None
@@ -60,6 +80,7 @@ def _simplify_phis(func: Function) -> bool:
             distinct: list[Value] = []
             saw_undef = False
             for v, _b in phi.incoming():
+                v = resolve(v)
                 if v is phi:
                     continue
                 if isinstance(v, Undef):
@@ -77,13 +98,28 @@ def _simplify_phis(func: Function) -> bool:
                             or def_blk is blk \
                             or not dominates(idom, def_blk, blk):
                         continue
-                func.replace_all_uses(phi, repl)
+                if batched:
+                    subst[id(phi)] = repl
+                else:
+                    func.replace_all_uses(phi, repl)
                 blk.instructions.remove(phi)
                 changed = True
             elif len(distinct) == 0 and phi.incoming_blocks:
-                func.replace_all_uses(phi, Undef(phi.type))
+                repl = Undef(phi.type)
+                if batched:
+                    subst[id(phi)] = repl
+                else:
+                    func.replace_all_uses(phi, repl)
                 blk.instructions.remove(phi)
                 changed = True
+    if subst:
+        for ins in func.instructions():
+            ops = ins.operands
+            for i, op in enumerate(ops):
+                r = resolve(op)
+                if r is not op:
+                    ops[i] = r
+        func.bump_version()
     return changed
 
 
@@ -171,4 +207,6 @@ def run(func: Function) -> bool:
         changed |= round_changed
         if not round_changed:
             break
+    if changed:
+        func.bump_version()
     return changed

@@ -246,7 +246,7 @@ def run(func: Function) -> bool:
                 candidate = info
                 break
         if candidate is None:
-            return changed
+            break
         # peeling is semantics-preserving for any trip count; for trip 0 the
         # peeled header's condition folds constant and the loop dies
         _peel_once(func, candidate.loop)
@@ -260,4 +260,6 @@ def run(func: Function) -> bool:
             if not ch:
                 break
         changed = True
+    if changed:
+        func.bump_version()
     return changed

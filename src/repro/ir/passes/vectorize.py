@@ -72,6 +72,7 @@ def run(func: Function, *, force_vector_width: int = 0) -> VectorizeReport:
         if force_vector_width not in (0, 2):
             return VectorizeReport(False, f"unsupported width {force_vector_width}")
         _transform(func, loop, cand)
+        func.bump_version()
         return VectorizeReport(True, "vectorized with width 2 (unaligned accesses)")
     return VectorizeReport(False, "no vectorizable loop found")
 

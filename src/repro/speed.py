@@ -1,0 +1,43 @@
+"""Global kill-switch for the hot-path speed campaign (PR 9).
+
+Every fast path added by the campaign — the threaded-dispatch IR
+interpreter traces, the decoded-trace (CFG) cache in block discovery, and
+profile-guided O3 pass scheduling — consults :func:`enabled` for its
+default.  One switch, three properties:
+
+* **A/B benchmarking**: ``benchmarks/bench_hotpath.py`` measures the same
+  workload with the campaign on and off in one process, so the reported
+  speedups are apples-to-apples rather than cross-commit guesses.
+* **Escape hatch**: ``REPRO_SPEED=0`` in the environment reverts the whole
+  process to the pre-campaign interpreters/pipelines if a fast path is
+  ever suspected of misbehaving in production.
+* **Soundness isolation**: the differential corpus runs with the campaign
+  on; any disagreement can be re-run with it off to bisect fast-path bugs
+  from pipeline bugs in one step.
+
+The switch only selects *defaults* — call sites that pass an explicit
+``threaded=``/``pass_schedule=`` keep full control.
+"""
+
+from __future__ import annotations
+
+import os
+
+_override: bool | None = None
+
+
+def enabled() -> bool:
+    """True when the speed-campaign fast paths should be used."""
+    if _override is not None:
+        return _override
+    return os.environ.get("REPRO_SPEED", "1") != "0"
+
+
+def set_enabled(value: bool | None) -> None:
+    """Process-wide override (None = defer to ``REPRO_SPEED``).
+
+    Benchmarks and tests use this for in-process A/B comparison; it wins
+    over the environment variable.
+    """
+    global _override
+    _override = value

@@ -1,0 +1,27 @@
+# minimized corpus reproducer kind=int seed=1073
+# pinned unminimized: 10k-seed sweep false refutation --
+# machine-verifier mask() did not reduce bitwise constants
+# modulo an enclosing width mask (sign-extended imm64 vs i32)
+mov r8, rdi
+mov r9, rsi
+mov r10, rdi
+xor r10, rsi
+mov r11, rdi
+add r11, rsi
+or r10, r8
+add r10d, r8d
+cmp r9, -123
+setle al
+movzx eax, al
+add r9, rax
+shr r10, 23
+shr r8, 18
+xor r9, r9
+not r9
+or r10d, r9d
+and r11d, r11d
+mov rax, r8
+add rax, r9
+xor rax, r10
+add rax, r11
+ret

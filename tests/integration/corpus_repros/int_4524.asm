@@ -1,0 +1,23 @@
+# minimized corpus reproducer kind=int seed=4524
+# pinned unminimized: 10k-seed sweep false refutation --
+# machine-verifier mask() did not reduce bitwise constants
+# modulo an enclosing width mask (sign-extended imm64 vs i32)
+mov r8, rdi
+mov r9, rsi
+mov r10, rdi
+xor r10, rsi
+mov r11, rdi
+add r11, rsi
+and r8d, r9d
+not r9
+mov [rdx + 0], r11
+shr r8, 8
+inc r9
+xor r11, r11
+xor r11, -32
+and r8d, r11d
+mov rax, r8
+add rax, r9
+xor rax, r10
+add rax, r11
+ret

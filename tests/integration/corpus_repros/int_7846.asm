@@ -1,0 +1,28 @@
+# minimized corpus reproducer kind=int seed=7846
+# pinned unminimized: 10k-seed sweep false refutation --
+# machine-verifier mask() did not reduce bitwise constants
+# modulo an enclosing width mask (sign-extended imm64 vs i32)
+mov r8, rdi
+mov r9, rsi
+mov r10, rdi
+xor r10, rsi
+mov r11, rdi
+add r11, rsi
+sub r8, r8
+shr r8, 15
+cmp r8, -118
+setns al
+movzx eax, al
+add r10, rax
+shr r11, 5
+xor r11, -109
+not r8
+xor r10d, r8d
+xor r9, r11
+sar r9, 10
+xor r10d, r9d
+mov rax, r8
+add rax, r9
+xor rax, r10
+add rax, r11
+ret

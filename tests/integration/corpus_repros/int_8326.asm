@@ -1,0 +1,29 @@
+# minimized corpus reproducer kind=int seed=8326
+# pinned unminimized: 10k-seed sweep false refutation --
+# machine-verifier mask() did not reduce bitwise constants
+# modulo an enclosing width mask (sign-extended imm64 vs i32)
+mov r8, rdi
+mov r9, rsi
+mov r10, rdi
+xor r10, rsi
+mov r11, rdi
+add r11, rsi
+cmp r10, 79
+setg al
+movzx eax, al
+add r11, rax
+xor r9d, r11d
+mov [rdx + 40], r11
+xor r9d, r9d
+mov r11, [rdx + 32]
+mov [rdx + 24], r9
+not r9
+mov r11, [rdx + 32]
+mov r8, [rdx + 24]
+mov r11, [rdx + 56]
+xor r10d, r9d
+mov rax, r8
+add rax, r9
+xor rax, r10
+add rax, r11
+ret

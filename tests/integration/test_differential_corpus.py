@@ -1,248 +1,47 @@
-"""Seeded cross-layer differential corpus.
+"""Seeded cross-layer differential corpus (pytest front-end).
 
-Each seed deterministically generates one multi-instruction x86-64
-sequence (``random.Random(seed)`` — no hypothesis shrinking, so a seed
-printed by CI reproduces locally bit-for-bit) and runs it through every
-execution layer on the same probe inputs:
+The generators, four-engine harness, multiprocess runner and ddmin
+minimizer live in :mod:`repro.testing.diffcorpus`; this module is the CI
+surface.  Each seed deterministically generates one x86-64 sequence and
+checks
 
     simulator(native)  ==  interp(lifted IR)  ==  interp(O3 IR)
                        ==  simulator(JIT(O3 IR))
 
-Agreement is checked on the return value (the epilogue folds every
-scratch register into rax, so a corrupted temporary cannot hide), on
-flag-dependent results (cmp+cmov / cmp+setcc constructs inside the
-sequence) and on a 64-byte scratch memory region the sequences store to
-and load from.
+on shared probe inputs, plus the stale-trace audit for the threaded
+interpreter's trace cache.
 
 A disagreeing seed is appended to ``corpus_failures.txt`` next to this
-file; recorded seeds are replayed by ``test_replay_recorded_failures``
-on every run, so a corpus bug stays covered after the corpus moves on.
+file; recorded seeds are replayed by ``test_replay_recorded_failures`` on
+every run, and minimized ``corpus_repros/*.asm`` reproducers (persisted
+by the corpus runner's delta debugger) are replayed by
+``test_replay_minimized_repros``, so a corpus bug stays covered after the
+corpus moves on.
 
-``REPRO_CORPUS_SEEDS`` scales the corpus (CI runs 100 seeds per
-generator = 200 sequences; the default keeps local runs quick).
+``REPRO_CORPUS_SEEDS`` scales the in-test corpus (the default keeps local
+runs quick); corpus-scale sweeps (2k in CI, 10k+ locally) go through
+``python -m repro.testing.diffcorpus`` which parallelizes across a
+process pool.
 """
 
 from __future__ import annotations
 
 import os
-import random
-import struct
 from pathlib import Path
 
 import pytest
 
-from repro.cpu import Image, Simulator
-from repro.ir import Interpreter, Module, verify
-from repro.ir.passes import run_o3
 from repro.jit import BinaryTransformer
-from repro.lift import FunctionSignature, LiftOptions, lift_function
-from repro.x86 import parse_asm
-from repro.x86.asm import assemble
+from repro.testing.diffcorpus import parse_repro, run_case
 
 SEEDS = int(os.environ.get("REPRO_CORPUS_SEEDS", "25"))
-SCRATCH = 64
 _FAILURES = Path(__file__).with_name("corpus_failures.txt")
-
-_REGS = ("r8", "r9", "r10", "r11")
-_REGS32 = ("r8d", "r9d", "r10d", "r11d")
-_CCS = ("e", "ne", "l", "ge", "le", "g", "b", "ae", "a", "be", "s", "ns")
-_OFFS = tuple(range(0, SCRATCH, 8))
-
-
-# -- generators -------------------------------------------------------------
-
-
-def gen_int_sequence(rng: random.Random) -> str:
-    """Integer ALU / flag / memory sequence over r8-r11 and [rdx+off]."""
-    lines = [
-        "mov r8, rdi",
-        "mov r9, rsi",
-        "mov r10, rdi",
-        "xor r10, rsi",
-        "mov r11, rdi",
-        "add r11, rsi",
-    ]
-    for _ in range(rng.randint(4, 12)):
-        kind = rng.randrange(9)
-        r1, r2, r3 = (rng.choice(_REGS) for _ in range(3))
-        if kind == 0:
-            op = rng.choice(("add", "sub", "and", "or", "xor", "imul"))
-            lines.append(f"{op} {r1}, {r2}")
-        elif kind == 1:
-            op = rng.choice(("add", "sub", "and", "or", "xor"))
-            lines.append(f"{op} {r1}, {rng.randint(-128, 127)}")
-        elif kind == 2:
-            op = rng.choice(("shl", "shr", "sar"))
-            lines.append(f"{op} {r1}, {rng.randint(0, 31)}")
-        elif kind == 3:
-            op = rng.choice(("inc", "dec", "neg", "not"))
-            lines.append(f"{op} {r1}")
-        elif kind == 4:
-            # flag consumers must directly follow the cmp: flags after
-            # imul/shifts are architecturally undefined
-            lines.append(f"cmp {r1}, {r2}")
-            lines.append(f"cmov{rng.choice(_CCS)} {r3}, {r1}")
-        elif kind == 5:
-            lines.append(f"cmp {r1}, {rng.randint(-128, 127)}")
-            lines.append(f"set{rng.choice(_CCS)} al")
-            lines.append("movzx eax, al")
-            lines.append(f"add {r2}, rax")
-        elif kind == 6:
-            op = rng.choice(("add", "sub", "xor", "and", "or", "mov"))
-            i1, i2 = rng.choice(_REGS32), rng.choice(_REGS32)
-            lines.append(f"{op} {i1}, {i2}")
-        elif kind == 7:
-            lines.append(f"mov [rdx + {rng.choice(_OFFS)}], {r1}")
-        else:
-            lines.append(f"mov {r1}, [rdx + {rng.choice(_OFFS)}]")
-    lines += [
-        # fold every temporary into the return value
-        "mov rax, r8",
-        "add rax, r9",
-        "xor rax, r10",
-        "add rax, r11",
-        "ret",
-    ]
-    return "\n".join(lines)
-
-
-def gen_sse_sequence(rng: random.Random) -> str:
-    """Scalar-double sequence over xmm0-xmm3 and [rdi+off] scratch."""
-    lines = [
-        "movsd xmm2, xmm0",
-        "movsd xmm3, xmm1",
-    ]
-    for _ in range(rng.randint(3, 10)):
-        kind = rng.randrange(4)
-        x1 = f"xmm{rng.randrange(4)}"
-        x2 = f"xmm{rng.randrange(4)}"
-        if kind == 0:
-            op = rng.choice(("addsd", "subsd", "mulsd"))
-            lines.append(f"{op} {x1}, {x2}")
-        elif kind == 1:
-            lines.append(f"movsd {x1}, {x2}")
-        elif kind == 2:
-            lines.append(f"movsd [rdi + {rng.choice(_OFFS)}], {x1}")
-        else:
-            lines.append(f"movsd {x1}, [rdi + {rng.choice(_OFFS)}]")
-    lines += [
-        "addsd xmm0, xmm1",
-        "addsd xmm0, xmm2",
-        "addsd xmm0, xmm3",
-        "ret",
-    ]
-    return "\n".join(lines)
-
-
-# -- harness ----------------------------------------------------------------
-
-
-def _probe_args(rng: random.Random, kind: str) -> list[tuple]:
-    u64 = lambda: rng.getrandbits(64)
-    if kind == "int":
-        probes = [(u64(), u64()), (0, 1), ((1 << 64) - 1, 2)]
-    else:
-        f = lambda: rng.uniform(-1e6, 1e6)
-        probes = [(f(), f()), (0.0, -1.5), (f(), 0.0)]
-    return probes
-
-
-def _scratch_pattern(rng: random.Random) -> bytes:
-    return struct.pack(f"<{SCRATCH // 8}Q",
-                       *(rng.getrandbits(64) for _ in range(SCRATCH // 8)))
-
-
-def _f64_bits(v: float) -> int:
-    return struct.unpack("<Q", struct.pack("<d", v))[0]
-
-
-def _run_corpus_case(kind: str, seed: int) -> None:
-    rng = random.Random(seed)
-    asm = gen_int_sequence(rng) if kind == "int" else gen_sse_sequence(rng)
-    pattern = _scratch_pattern(rng)
-    probes = _probe_args(rng, kind)
-
-    img = Image()
-    base = img.next_code_addr()
-    code, _ = assemble(parse_asm(asm), base=base)
-    img.add_function("f", code)
-    scratch = img.alloc_data(SCRATCH, align=16)
-    mem = img.memory
-    sim = Simulator(img)
-
-    if kind == "int":
-        sig = FunctionSignature(("i", "i", "i"), "i")
-    else:
-        sig = FunctionSignature(("i", "f", "f"), "f")
-
-    m = Module("corpus")
-    f = lift_function(mem, base, sig, LiftOptions(name="f"), m)
-    verify(f)
-    f_opt = lift_function(mem, base, sig, LiftOptions(name="f_opt"), m)
-    run_o3(f_opt)
-    verify(f_opt)
-    # machine_verify=True makes this corpus the zero-false-positive sweep
-    # for the static verifier: a refuted proof raises VerificationError
-    # here (hard failure), while the four-engine comparison below is the
-    # dynamic oracle — any static/dynamic disagreement fails the seed
-    jit_res = BinaryTransformer(img, machine_verify=True).llvm_identity(
-        base, sig, name="f_jit")
-    assert jit_res.machine_verdict in ("proved", "inconclusive"), (
-        f"seed={seed} kind={kind}: machine verdict {jit_res.machine_verdict}")
-    sim.invalidate_code()
-    interp = Interpreter(m, mem)
-
-    def native(args):
-        st = sim.call(base, *args)
-        return _f64_bits(st.f64_value) if kind == "sse" else st.rax
-
-    def jit(args):
-        st = sim.call(jit_res.addr, *args)
-        return _f64_bits(st.f64_value) if kind == "sse" else st.rax
-
-    def interp_pre(args):
-        v = interp.run(f, list(args[0]) + list(args[1]))
-        return _f64_bits(v) if kind == "sse" else v
-
-    def interp_o3(args):
-        v = interp.run(f_opt, list(args[0]) + list(args[1]))
-        return _f64_bits(v) if kind == "sse" else v
-
-    engines = [("native", native), ("interp", interp_pre),
-               ("interp+o3", interp_o3), ("jit", jit)]
-
-    for probe in probes:
-        if kind == "int":
-            args = ((probe[0], probe[1], scratch), ())
-        else:
-            args = ((scratch,), (probe[0], probe[1]))
-        results = {}
-        for ename, run in engines:
-            mem.write(scratch, pattern)
-            val = run(args)
-            results[ename] = (val, mem.read(scratch, SCRATCH))
-        want_val, want_mem = results["native"]
-        for ename, (val, memout) in results.items():
-            # both-NaN disagreement in the payload bits is tolerated:
-            # x86 and IEEE produce *a* qNaN, not a specific one
-            if kind == "sse" and _is_nan(val) and _is_nan(want_val):
-                val = want_val
-            assert val == want_val, (
-                f"seed={seed} kind={kind} probe={probe}: {ename} returned "
-                f"{val:#x}, native {want_val:#x}\n{asm}")
-            assert memout == want_mem, (
-                f"seed={seed} kind={kind} probe={probe}: {ename} scratch "
-                f"memory diverged from native\n{asm}")
-
-
-def _is_nan(bits: int) -> bool:
-    return (bits & 0x7FF0000000000000) == 0x7FF0000000000000 \
-        and (bits & 0x000FFFFFFFFFFFFF) != 0
+_REPRO_DIR = Path(__file__).with_name("corpus_repros")
 
 
 def _check(kind: str, seed: int) -> None:
     try:
-        _run_corpus_case(kind, seed)
+        run_case(kind, seed)
     except AssertionError:
         _record_failure(kind, seed)
         raise
@@ -286,7 +85,24 @@ def test_sse_corpus(seed):
 def test_replay_recorded_failures():
     """Seeds that ever failed stay in the corpus forever."""
     for kind, seed in _recorded_failures():
-        _run_corpus_case(kind, seed)
+        run_case(kind, seed)
+
+
+def test_replay_minimized_repros():
+    """Minimized reproducers persisted by the corpus runner stay green.
+
+    Each ``corpus_repros/*.asm`` file carries its seed in the header, so
+    the probe inputs replay exactly; the assembly replayed is the reduced
+    sequence, not the original generation.
+    """
+    if not _REPRO_DIR.is_dir():
+        pytest.skip("no minimized reproducers recorded")
+    paths = sorted(_REPRO_DIR.glob("*.asm"))
+    if not paths:
+        pytest.skip("no minimized reproducers recorded")
+    for path in paths:
+        kind, seed, asm = parse_repro(path)
+        run_case(kind, seed, asm=asm)
 
 
 def test_bench_kernels_machine_sweep():
