@@ -34,11 +34,18 @@ from repro.cpu import CostModel, HASWELL, Image, Simulator
 from repro.dbrew import Rewriter
 from repro.farm import CompileJob, CompileResult, FarmClient, FarmPool
 from repro.guard import Budget, BudgetExceededError, GuardedTransformer
+from repro.instrument import (
+    InstrumentOptions,
+    InstrumentedFunction,
+    Instrumenter,
+    ProbeBuffer,
+    strip_instrumentation,
+)
 from repro.jit import BinaryTransformer, TransformResult
 from repro.lift import FunctionSignature, LiftOptions, lift_function
 from repro.lift.fixation import FixedMemory
 from repro.obs import TRACER, Tracer, metrics, trace_to_chrome
-from repro.tier import DispatchHandle, TieredEngine, TierPolicy
+from repro.tier import DispatchHandle, EdgeProfile, TieredEngine, TierPolicy
 
 __version__ = "1.0.0"
 
@@ -51,6 +58,7 @@ __all__ = [
     "CompiledProgram",
     "CostModel",
     "DispatchHandle",
+    "EdgeProfile",
     "FarmClient",
     "FarmPool",
     "Finding",
@@ -59,8 +67,12 @@ __all__ = [
     "GuardedTransformer",
     "HASWELL",
     "Image",
+    "InstrumentOptions",
+    "InstrumentedFunction",
+    "Instrumenter",
     "LiftOptions",
     "PassValidator",
+    "ProbeBuffer",
     "Rewriter",
     "Simulator",
     "TRACER",
@@ -74,5 +86,6 @@ __all__ = [
     "lift_function",
     "metrics",
     "run_checkers",
+    "strip_instrumentation",
     "trace_to_chrome",
 ]

@@ -38,6 +38,7 @@ def clone_function(func: Function, name: str | None = None) -> Function:
         for ins in blk.instructions:
             c = ins.clone_shallow()
             c.block = nb
+            c.probe = ins.probe  # keep probe tags strippable after rollback
             vmap[id(ins)] = c
             nb.instructions.append(c)
     for blk in func.blocks:

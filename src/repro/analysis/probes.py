@@ -1,0 +1,88 @@
+"""Probe-ops pregate: statically prove probes are effect-only.
+
+Runs before codegen on every instrumented install.  The dynamic layers
+(differential gate with the probe-buffer whitelist, machine verifier)
+check executions; this checker proves the *shape*: every probe-tagged
+store and load targets the probe buffer's extent, and no program
+instruction consumes a probe value.  If an optimization pass — or a bug
+in the injector — ever bends a probe's address chain out of the buffer
+or leaks a probe value into program dataflow, the install is rejected
+here with attribution, before any code is emitted.
+
+The address proof is a tiny interval evaluation over the probe chains
+the injector emits: constants are exact, ``and`` with a constant mask
+bounds an unknown (the ring cursor) to ``[0, mask]``, ``add``/``mul``
+combine bounds.  Anything outside that grammar is TOP and fails the
+containment check — conservative by construction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import ERROR, Finding
+from repro.ir import instructions as I
+from repro.ir.module import Function
+from repro.ir.values import Constant
+
+_TOP = (0, (1 << 64) - 1)
+
+
+def _range(value, memo: dict[int, tuple[int, int]]) -> tuple[int, int]:
+    """Inclusive [lo, hi] bounds of a probe-chain value."""
+    got = memo.get(id(value))
+    if got is not None:
+        return got
+    out = _TOP
+    if isinstance(value, Constant):
+        out = (value.value, value.value)
+    elif isinstance(value, I.Cast) and value.opcode == "inttoptr":
+        out = _range(value.operands[0], memo)
+    elif isinstance(value, I.BinOp):
+        a = _range(value.operands[0], memo)
+        b = _range(value.operands[1], memo)
+        if value.opcode == "add":
+            if a != _TOP and b != _TOP:
+                out = (a[0] + b[0], a[1] + b[1])
+        elif value.opcode == "mul":
+            if a != _TOP and b != _TOP:
+                prods = [x * y for x in a for y in b]
+                out = (min(prods), max(prods))
+        elif value.opcode == "and":
+            if isinstance(value.operands[1], Constant):
+                out = (0, value.operands[1].value)
+            elif isinstance(value.operands[0], Constant):
+                out = (0, value.operands[0].value)
+    memo[id(value)] = out
+    return out
+
+
+def check_probe_ops(func: Function, extent: tuple[int, int]) -> list[Finding]:
+    """Findings for probe accesses not provably inside ``extent`` and for
+    program instructions depending on probe values."""
+    lo, hi = extent
+    findings: list[Finding] = []
+    memo: dict[int, tuple[int, int]] = {}
+
+    def flag(blk, ins, message):
+        findings.append(Finding(
+            checker="probe-ops", function=func.name, message=message,
+            severity=ERROR, block=blk.name, instruction=repr(ins)))
+
+    for blk in func.blocks:
+        for ins in blk.instructions:
+            if ins.probe is None:
+                # effect-only: program code must not read probe values
+                for op in ins.operands:
+                    if isinstance(op, I.Instruction) and op.probe is not None:
+                        flag(blk, ins,
+                             f"program instruction consumes probe value "
+                             f"%{op.name} (tag {op.probe})")
+                continue
+            if isinstance(ins, (I.Load, I.Store)):
+                width = 8
+                alo, ahi = _range(ins.operands[-1], memo)
+                if not (lo <= alo and ahi + width <= hi):
+                    flag(blk, ins,
+                         f"probe {ins.opcode} address range "
+                         f"[{alo:#x},{ahi + width:#x}) escapes the probe "
+                         f"buffer [{lo:#x},{hi:#x})")
+    return findings

@@ -26,6 +26,11 @@ CODE_BASE = 0x0040_0000
 RODATA_BASE = 0x0060_0000
 DATA_BASE = 0x0080_0000
 JIT_BASE = 0x0100_0000
+#: runtime-owned probe counter/event buffers (repro.instrument) — mapped
+#: lazily on the first alloc_probe so uninstrumented images, snapshots and
+#: farm specs never carry the region
+PROBE_BASE = 0x0200_0000
+PROBE_SIZE = 1 << 20
 STACK_TOP = 0x7FFF_F000
 STACK_SIZE = 0x10_0000
 
@@ -186,6 +191,31 @@ class Image:
             if data is not None:
                 self.memory.write(addr, data)
         return addr
+
+    def alloc_probe(self, size: int, align: int = 16) -> int:
+        """Allocate zeroed probe-buffer space (``repro.instrument``).
+
+        The probe region is disjoint from every program region so the
+        differential gate can whitelist it wholesale: instrumented code may
+        differ from the original *only* here.  Mapped on first use —
+        spec-built farm images and pre-instrumentation snapshots never see
+        it — which also means images restored from ``Image.__new__`` paths
+        (gate shadows, ``ImageSpec.build``) pick it up transparently.
+        """
+        with self.codegen_lock:
+            cursor = getattr(self, "_probe_cursor", None)
+            if cursor is None:
+                self.memory.map(PROBE_BASE, PROBE_SIZE)
+                cursor = PROBE_BASE
+                self._probe_limit = PROBE_BASE + PROBE_SIZE
+            addr, self._probe_cursor = self._bump(
+                cursor, self._probe_limit, size, align)
+        return addr
+
+    @staticmethod
+    def probe_extent() -> tuple[int, int]:
+        """The [lo, hi) address range probe buffers live in."""
+        return (PROBE_BASE, PROBE_BASE + PROBE_SIZE)
 
     # -- symbols ----------------------------------------------------------------
 

@@ -120,3 +120,13 @@ class VerificationError(RewriteError):
     like any other rung failure and falls back (LeanBin's
     validate-before-swap policy).
     """
+
+
+class InstrumentError(ReproError):
+    """An instrumentation request was malformed or unsafe.
+
+    Raised when a function is instrumented twice (probes would observe
+    other probes), when a probe plan does not match the function it is
+    injected into, or when stripping finds program code depending on a
+    probe value — each of which would break the effect-only contract.
+    """

@@ -302,7 +302,8 @@ def compute_job_key(image: Image, func: str | int,
                     lift_options: LiftOptions | None,
                     o3: O3Options, jit: JITOptions,
                     gate: GateOptions,
-                    image_key: str | None = None) -> str | None:
+                    image_key: str | None = None,
+                    instrument: str | None = None) -> str | None:
     """Content identity of one farm job, or None when unkeyable.
 
     Built from the same ingredients as the staged cache keys (function
@@ -310,6 +311,11 @@ def compute_job_key(image: Image, func: str | int,
     level coordinates the staged keys do not see: tier, guard ladder,
     probe vectors and gate configuration — two jobs that would gate
     differently must never collapse into one single-flight.
+
+    ``instrument`` is the :meth:`InstrumentOptions.digest` of an
+    instrumented job (None for plain compiles): an instrumented artifact
+    writes probe effects a plain one does not, so the two must stay
+    digest-distinct even when every other ingredient matches.
 
     ``image_key`` folds the published :class:`ImageSpec`'s content key in
     when given.  Shipped modules are position-dependent on the snapshot
@@ -347,6 +353,7 @@ def compute_job_key(image: Image, func: str | int,
         cache_keys.options_digest(o3), cache_keys.options_digest(jit),
         cache_keys.options_digest(gate),
         image_key or "-",
+        instrument or "-",
     )
 
 

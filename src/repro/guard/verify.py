@@ -63,6 +63,11 @@ class GateOptions:
     #: *vacuously* (``GateReport.vacuous``) — no comparison ever happened,
     #: so such a pass is not verification; it is off by default
     min_conclusive: int = 1
+    #: [lo, hi) address ranges the memory comparison ignores — the
+    #: effects-whitelist for instrumented code: only the probe buffer may
+    #: legitimately differ between original and instrumented runs.  Empty
+    #: for ordinary specialization gates
+    ignore_regions: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass
@@ -193,17 +198,21 @@ class DifferentialGate:
 
     def _mem_diff(self, a: list[tuple[int, bytes]],
                   b: list[tuple[int, bytes]]) -> int | None:
-        """First differing address outside the stack region, or None."""
-        lo, hi = self._stack_extent()
+        """First differing address outside the stack region and the
+        whitelisted ``ignore_regions``, or None."""
+        skip = (self._stack_extent(),) + self.options.ignore_regions
         for (sa, da), (sb, db) in zip(a, b):
             assert sa == sb
             if da == db:
                 continue
-            if lo <= sa and sa + len(da) <= hi:
-                continue  # dead stack slots legitimately differ
+            if any(lo <= sa and sa + len(da) <= hi for lo, hi in skip):
+                continue  # dead stack slots / probe buffers may differ
             for off, (x, y) in enumerate(zip(da, db)):
                 if x != y:
-                    return sa + off
+                    addr = sa + off
+                    if any(lo <= addr < hi for lo, hi in skip):
+                        continue
+                    return addr
         return None
 
     def _values_agree(self, want: object, got: object, ret: str | None) -> bool:

@@ -39,7 +39,7 @@ CAST_OPS = frozenset({
 class Instruction(Value):
     """Base instruction; also an SSA value (possibly of void type)."""
 
-    __slots__ = ("opcode", "operands", "block")
+    __slots__ = ("opcode", "operands", "block", "probe")
 
     def __init__(self, opcode: str, type_: Type, operands: Sequence[Value],
                  name: str = "") -> None:
@@ -47,6 +47,11 @@ class Instruction(Value):
         self.opcode = opcode
         self.operands: list[Value] = list(operands)
         self.block: Optional["BasicBlock"] = None
+        #: instrumentation tag: ``None`` for program instructions, a
+        #: ``(kind, site)`` pair for probe instructions injected by
+        #: ``repro.instrument`` — the marker ``strip_instrumentation``
+        #: inverts on and the probe-ops pregate reasons about
+        self.probe: Optional[tuple] = None
 
     @property
     def is_terminator(self) -> bool:

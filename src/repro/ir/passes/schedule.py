@@ -72,16 +72,19 @@ class ShapeFingerprint:
     """Cheap structural summary of one function body (one instruction walk)."""
 
     __slots__ = ("nblocks", "ninstrs", "nphis", "ncalls", "nallocas",
-                 "nloads", "nselects", "has_const_operand", "cyclic",
-                 "opcode_histogram")
+                 "nloads", "nselects", "nprobes", "has_const_operand",
+                 "cyclic", "opcode_histogram")
 
     def __init__(self, func: Function) -> None:
         hist: dict[str, int] = {}
         nphis = ncalls = nallocas = nloads = nselects = ninstrs = 0
+        nprobes = 0
         has_const = False
         for blk in func.blocks:
             for ins in blk.instructions:
                 ninstrs += 1
+                if ins.probe is not None:
+                    nprobes += 1
                 op = ins.opcode
                 hist[op] = hist.get(op, 0) + 1
                 if isinstance(ins, I.Phi):
@@ -108,17 +111,24 @@ class ShapeFingerprint:
         self.nallocas = nallocas
         self.nloads = nloads
         self.nselects = nselects
+        self.nprobes = nprobes
         self.has_const_operand = has_const
         self.cyclic = _has_cycle(func)
         self.opcode_histogram = hist
 
     @property
     def shape_class(self) -> str:
-        """Coarse label for fired-pass statistics (profile mode)."""
+        """Coarse label for fired-pass statistics (profile mode).
+
+        Probe-carrying bodies get their own class (``P`` vs ``p``): a
+        no-fire rule learned on plain code must never be applied to an
+        instrumented body, whose probe chains change what passes can do.
+        """
         return (f"b{_bucket(self.nblocks)}i{_bucket(self.ninstrs)}"
                 f"p{min(self.nphis, 1)}c{min(self.ncalls, 1)}"
                 f"a{min(self.nallocas, 1)}"
-                f"{'L' if self.cyclic else 'l'}")
+                f"{'L' if self.cyclic else 'l'}"
+                f"{'P' if self.nprobes else ''}")
 
 
 def _bucket(n: int) -> int:

@@ -45,10 +45,11 @@ _STAGE_PREFIXES = (
     ("o3.pass.", "o3"),
     ("jit.", "encode"),
     ("lift.", "lift"),
+    ("instrument.", "instr"),
     ("tier.", "other"),
     ("guard.", "other"),
 )
-STAGES = ("decode", "lift", "o3", "encode")
+STAGES = ("decode", "lift", "o3", "encode", "instr")
 
 #: top-level spans whose durations define the transform wall-clock.
 _ROOTS = ("transform", "rewrite", "guard.transform")
@@ -243,8 +244,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics:
         with open(args.metrics) as fh:
             metrics = json.load(fh)
+        instr = {n: metrics[n] for n in metrics if n.startswith("instrument.")}
+        if instr:
+            print("\ninstrumentation:")
+            for name in sorted(instr):
+                print(f"  {name:<32} {instr[name]}")
         print("\nmetrics:")
         for name in sorted(metrics):
+            if name in instr:
+                continue
             print(f"  {name:<32} {metrics[name]}")
     return 0
 

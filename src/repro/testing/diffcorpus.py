@@ -9,9 +9,14 @@ on the same probe inputs:
 
     simulator(native)  ==  interp(lifted IR)  ==  interp(O3 IR)
                        ==  simulator(JIT(O3 IR))
+                       ==  simulator(instrumented JIT(O3 IR))
 
 Agreement is checked on the return value, on flag-dependent results and on
-a 64-byte scratch region.  Three things distinguish this from the original
+a 64-byte scratch region.  The fifth engine carries the full probe load
+(call/edge counters, memory tracing, return watchpoints) and must agree
+with the other four bit-for-bit; its probe buffer is additionally audited
+for internal consistency after the run (edge counts tie out against call
+counts, traced addresses fall inside mapped regions).  Three things distinguish this from the original
 in-test corpus it grew out of:
 
 * **scale** — a :func:`run_corpus` multiprocess runner fans seed ranges
@@ -201,6 +206,10 @@ def run_case(kind: str, seed: int, *, asm: str | None = None,
     prove a planted disagreement really is caught and reduced).
     """
     from repro.cpu import Image, Simulator
+    from repro.guard.verify import GateOptions
+    from repro.instrument import (
+        InstrumentOptions, Instrumenter, audit_probe_state,
+    )
     from repro.ir import Interpreter, Module, verify
     from repro.ir import interp as _interp
     from repro.ir.passes import run_o3
@@ -246,6 +255,21 @@ def run_case(kind: str, seed: int, *, asm: str | None = None,
         raise CorpusDisagreement(
             f"seed={seed} kind={kind}: machine verdict "
             f"{jit_res.machine_verdict}")
+    # fifth engine: the fully-instrumented JIT (edge + call counters,
+    # memory tracing, return watchpoints), admitted through its own
+    # machine proof and effects-whitelist gate on the corpus probes.
+    # samples=1 keeps the per-seed gate cost corpus-scale
+    gate_probes = tuple(
+        (p[0], p[1], scratch) if kind == "int" else (scratch, p[0], p[1])
+        for p in probes)
+    inst_res = Instrumenter(
+        img, machine_verify=True,
+        gate_options=GateOptions(samples=1)).instrument(
+        base, sig,
+        options=InstrumentOptions(trace_memory=True, watch_returns=True,
+                                  ring_capacity=1024),
+        probes=gate_probes, name="f_instr")
+    inst_res.buffer.reset()
     sim.invalidate_code()
     interp = Interpreter(m, mem)
 
@@ -255,6 +279,10 @@ def run_case(kind: str, seed: int, *, asm: str | None = None,
 
     def jit(args):
         st = sim.call(jit_res.addr, *args)
+        return _f64_bits(st.f64_value) if kind == "sse" else st.rax
+
+    def jit_instr(args):
+        st = sim.call(inst_res.addr, *args)
         return _f64_bits(st.f64_value) if kind == "sse" else st.rax
 
     def interp_pre(args):
@@ -267,7 +295,8 @@ def run_case(kind: str, seed: int, *, asm: str | None = None,
         return r ^ 1 if corrupt else r
 
     engines = [("native", native), ("interp", interp_pre),
-               ("interp+o3", interp_o3), ("jit", jit)]
+               ("interp+o3", interp_o3), ("jit", jit),
+               ("jit+instr", jit_instr)]
 
     for probe in probes:
         if kind == "int":
@@ -299,6 +328,15 @@ def run_case(kind: str, seed: int, *, asm: str | None = None,
                 raise CorpusDisagreement(
                     f"seed={seed} kind={kind} probe={probe}: {ename} "
                     f"scratch memory diverged from native\n{asm}")
+
+    # probe-state audit: the instrumented engine's counters must tie out
+    # (entry/return edge counts vs calls, watch hits vs returns) and every
+    # traced memory address must land in a mapped region
+    violations = audit_probe_state(inst_res, expected_calls=len(probes))
+    if violations:
+        raise CorpusDisagreement(
+            f"seed={seed} kind={kind}: probe audit: "
+            + "; ".join(violations) + f"\n{asm}")
 
 
 # -- ddmin minimizer --------------------------------------------------------

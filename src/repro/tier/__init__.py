@@ -29,13 +29,17 @@ from repro.tier.policy import (
     T1,
     T2,
     TIER_NAMES,
+    EdgeProfile,
+    ProfileSource,
     TierGovernor,
     TierPolicy,
 )
 
 __all__ = [
     "DispatchHandle",
+    "EdgeProfile",
     "NUM_TIERS",
+    "ProfileSource",
     "T0",
     "T1",
     "T2",

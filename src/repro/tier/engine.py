@@ -172,7 +172,11 @@ class TieredEngine:
                  on_install: "Callable[[DispatchHandle, TierCode], None] | None"
                  = None,
                  farm: "Any | None" = None,
-                 farm_timeout: float = 60.0) -> None:
+                 farm_timeout: float = 60.0,
+                 profile: str = "calls",
+                 instrument_options: "Any | None" = None) -> None:
+        if profile not in ("calls", "edges"):
+            raise ValueError(f"unknown profile source {profile!r}")
         self.image = image
         #: one registry owns every layer's metrics under this engine: tier
         #: counters here, cache.* via the default cache, guard.* via the
@@ -202,6 +206,12 @@ class TieredEngine:
         #: in-process pipelines below become the fallback path
         self.farm = farm
         self.farm_timeout = farm_timeout
+        #: governor hotness source: "calls" (raw invocation counts) or
+        #: "edges" — T1 compiles instrumented with edge counters
+        #: (``repro.instrument``) and each handle's governor promotes on
+        #: basic-block heat read from the live probe buffer
+        self.profile = profile
+        self.instrument_options = instrument_options
         self.stats = TierStats(self.registry)
         self._queue_depth = self.registry.gauge("tier.queue_depth")
         self._dispatch_seconds = self.registry.histogram(
@@ -490,6 +500,13 @@ class TieredEngine:
                 self.stats.farm_fallbacks += 1
             return None
         target = job.target
+        if target == T1 and self.profile == "edges" and not handle.fixes:
+            # instrumented T1 modules bake this image's probe-buffer
+            # address into their IR — position-dependent by construction,
+            # so they are compiled in-process (the farm job key carries an
+            # instrument= component regardless, keeping instrumented and
+            # plain artifacts digest-distinct)
+            return None
         o3, ladder = self._farm_pipeline_options(handle, target)
         dbrew = handle.dbrew_func if target != T1 else None
         jit = self.jit_options if self.jit_options is not None \
@@ -558,6 +575,8 @@ class TieredEngine:
         specialization actually changes semantics-relevant structure.
         """
         budget = self._job_budget().start()
+        if self.profile == "edges" and not handle.fixes:
+            return self._compile_t1_instrumented(handle, out_name)
         o3 = O3Options.lightweight()
         if handle.fixes:
             # the fixation wrapper calls the lifted original, which only
@@ -578,6 +597,46 @@ class TieredEngine:
         res = tx.llvm_identity(handle.func, handle.signature, name=out_name)
         self._t1_machine_gate(handle, res.addr, res.machine_verdict)
         return res.addr, "llvm"
+
+    def _compile_t1_instrumented(self, handle: DispatchHandle,
+                                 out_name: str) -> tuple[int, str]:
+        """Edge-profile T1: the cheap tier compiled with probes.
+
+        The instrumenter runs the full boundary stack — probe-ops pregate,
+        machine verification of the instrumented emission, and the
+        differential gate under the probe-buffer effects-whitelist.  A
+        handle registered without probe vectors gets a ``min_conclusive=0``
+        gate (sampled integers cannot exercise pointer parameters), which
+        matches plain T1's ungated trust level while still comparing every
+        probe that *is* conclusive.  On success the handle's governor
+        switches to the :class:`~repro.tier.EdgeProfile` source bound to
+        the fresh buffer, so promotion to T2 runs on block heat.
+
+        Instrumented artifacts never enter the specialization cache: the
+        module bakes the buffer address in, so the install is unique to
+        this buffer by construction.
+        """
+        from dataclasses import replace as _dc_replace
+
+        from repro.instrument import Instrumenter, InstrumentOptions
+        from repro.tier.policy import EdgeProfile
+
+        gate_opts = self.gate_options
+        if not handle.probes:
+            gate_opts = _dc_replace(gate_opts, min_conclusive=0)
+        inst = Instrumenter(
+            self.image, lift_options=self.lift_options,
+            jit_options=self.jit_options, gate_options=gate_opts,
+            machine_verify=self.machine_verify)
+        res = inst.instrument(
+            handle.func, handle.signature,
+            options=self.instrument_options or InstrumentOptions(),
+            probes=tuple(handle.probes), name=out_name)
+        # attach before the install commits: a stale-epoch discard leaves
+        # a frozen buffer behind, which is safe — the governor takes
+        # max(calls, heat), so a dead profile degrades to call counting
+        handle.governor.profile = EdgeProfile(res.buffer)
+        return res.addr, "llvm+instr"
 
     def _t1_machine_gate(self, handle: DispatchHandle, addr: int,
                          verdict: str | None) -> None:

@@ -60,6 +60,56 @@ class TierPolicy:
         return self.promote_calls[tier - 1]
 
 
+class ProfileSource:
+    """Where a governor's hotness numbers come from.
+
+    The default (no source attached) is call counting — the dispatch
+    handle's raw invocation count.  :class:`EdgeProfile` replaces it with
+    basic-block edge heat read from an instrumented tier's probe buffer,
+    so a loopy kernel gets hot per *iteration* instead of per call.
+    Implementations are duck-typed: anything with ``hotness()`` /
+    ``rebase()`` / ``describe()`` works.
+    """
+
+    def hotness(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def rebase(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - interface
+        return type(self).__name__
+
+
+class EdgeProfile(ProfileSource):
+    """Edge-heat hotness from an instrumented function's probe buffer.
+
+    Reads the per-block counters that T1's probes maintain
+    (:class:`~repro.instrument.ProbeBuffer`); hotness is the hottest
+    block's count, so one call through a 1000-iteration loop contributes
+    1000 heat — call counting would need 1000 separate calls to see the
+    same.  ``rebase`` snapshots the current raw heat as the new zero
+    (the buffer itself is owned by the installed code and never reset
+    under it).
+    """
+
+    def __init__(self, buffer) -> None:
+        self.buffer = buffer
+        self.base = 0
+
+    def _raw(self) -> int:
+        return self.buffer.hotness()
+
+    def hotness(self) -> int:
+        return max(0, self._raw() - self.base)
+
+    def rebase(self) -> None:
+        self.base = self._raw()
+
+    def describe(self) -> str:
+        return f"edges@{self.buffer.addr:#x}"
+
+
 @dataclass
 class TierGovernor:
     """Mutable per-handle decision state driven by a :class:`TierPolicy`.
@@ -68,6 +118,12 @@ class TierGovernor:
     :meth:`next_target` on the dispatch slow path, :meth:`observe` when the
     caller reports measured cycles, and informs it of installs, rejections
     and demotions so the back-off state stays honest.
+
+    With a :class:`ProfileSource` attached (``profile``), promotion
+    eligibility uses ``max(effective calls, profile hotness)`` — the
+    profile can only accelerate promotion, never starve it below the
+    call-count baseline (a frozen or stale buffer degrades to exact
+    call-count behavior).  Demotion stays cycle-EWMA-driven either way.
     """
 
     policy: TierPolicy = field(default_factory=TierPolicy)
@@ -84,6 +140,8 @@ class TierGovernor:
     worse_streak: int = 0
     #: calls are counted from here (rebased when the fixation key changes)
     base_calls: int = 0
+    #: optional hotness source (e.g. :class:`EdgeProfile`); None = calls
+    profile: ProfileSource | None = None
 
     def __post_init__(self) -> None:
         if not self.thresholds:
@@ -91,6 +149,13 @@ class TierGovernor:
                                for t in range(1, NUM_TIERS)}
 
     # -- promotion ---------------------------------------------------------
+
+    def _effective(self, calls: int) -> int:
+        """Hotness at ``calls``: rebased call count, profile-boosted."""
+        eff = calls - self.base_calls
+        if self.profile is not None:
+            eff = max(eff, self.profile.hotness())
+        return eff
 
     def next_target(self, calls: int, current: int,
                     in_flight: set[int] | frozenset[int] = frozenset(),
@@ -102,7 +167,7 @@ class TierGovernor:
         hot while T1 was still queued goes straight for T2 rather than
         serializing the ladder.
         """
-        eff = calls - self.base_calls
+        eff = self._effective(calls)
         for tier in range(self.pinned_max, current, -1):
             if tier in in_flight:
                 continue
@@ -112,12 +177,18 @@ class TierGovernor:
 
     def next_review(self, calls: int, current: int) -> int:
         """The call count at which the dispatch slow path should run next."""
-        eff = calls - self.base_calls
+        eff = self._effective(calls)
         pending = [self.thresholds[t] for t in range(current + 1,
                                                      self.pinned_max + 1)
                    if self.thresholds[t] > eff]
         if pending:
-            return self.base_calls + min(pending)
+            if self.profile is None:
+                return self.base_calls + min(pending)
+            # profile heat grows between calls; re-check soon enough that
+            # an eligible promotion is not deferred by a stale estimate,
+            # but never later than the call-count baseline would
+            gap = min(pending) - eff
+            return calls + max(1, min(gap, self.policy.review_interval))
         return calls + self.policy.review_interval
 
     # -- measurement / demotion --------------------------------------------
@@ -178,6 +249,8 @@ class TierGovernor:
         self.worse_streak = 0
         self.pinned_max = NUM_TIERS - 1
         self.pin_reason = None
+        if self.profile is not None:
+            self.profile.rebase()
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -187,4 +260,5 @@ class TierGovernor:
             "cycles_ewma": dict(self.cycles),
             "demotions": self.demotions,
             "worse_streak": self.worse_streak,
+            "profile": self.profile.describe() if self.profile else "calls",
         }

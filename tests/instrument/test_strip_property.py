@@ -1,0 +1,89 @@
+"""Property: ``strip_instrumentation(instrument(f)) == f``, corpus-wide.
+
+Hypothesis draws corpus seeds and probe configurations; each example
+assembles the generated x86 sequence into an image, lifts it, optimizes
+it (the instrumenter's real pipeline position: probes go in *after* O3),
+injects probes, and demands the strip pass restore the exact printed IR
+text.  Double instrumentation must always be rejected with the typed
+:class:`~repro.errors.InstrumentError`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Image
+from repro.errors import InstrumentError, ReproError
+from repro.instrument import (
+    InstrumentOptions,
+    ProbeBuffer,
+    inject_probes,
+    is_instrumented,
+    plan_probes,
+    strip_instrumentation,
+)
+from repro.ir import Module, print_function, verify
+from repro.ir.passes import run_o3
+from repro.lift import FunctionSignature, LiftOptions, lift_function
+from repro.testing.diffcorpus import GENERATORS, KINDS
+from repro.x86 import parse_asm
+from repro.x86.asm import assemble
+
+options_strategy = st.builds(
+    InstrumentOptions,
+    edge_counters=st.booleans(),
+    call_counter=st.booleans(),
+    trace_memory=st.booleans(),
+    watch_returns=st.booleans(),
+    ring_capacity=st.sampled_from((16, 64, 256)),
+)
+
+
+def lift_corpus_function(kind: str, seed: int):
+    asm = GENERATORS[kind](random.Random(seed))
+    img = Image()
+    base = img.next_code_addr()
+    code, _ = assemble(parse_asm(asm), base=base)
+    img.add_function("f", code)
+    sig = FunctionSignature(("i", "i", "i"), "i") if kind == "int" \
+        else FunctionSignature(("i", "f", "f"), "f")
+    m = Module("corpus")
+    f = lift_function(img.memory, base, sig, LiftOptions(name="f"), m)
+    run_o3(f)
+    verify(f)
+    return img, f
+
+
+@settings(max_examples=25, deadline=None)
+@given(kind=st.sampled_from(KINDS), seed=st.integers(0, 10_000),
+       options=options_strategy)
+def test_strip_is_exact_inverse(kind, seed, options):
+    img, f = lift_corpus_function(kind, seed)
+    before = print_function(f)
+    version_before = f.version
+    plan = plan_probes(f, options)
+    buf = ProbeBuffer.allocate(img, plan)
+    inject_probes(f, plan, buf)
+    verify(f)
+    assert f.version > version_before
+    strip_instrumentation(f)
+    verify(f)
+    assert print_function(f) == before
+    assert not is_instrumented(f)
+
+
+@settings(max_examples=10, deadline=None)
+@given(kind=st.sampled_from(KINDS), seed=st.integers(0, 10_000))
+def test_double_instrument_raises_typed_error(kind, seed):
+    img, f = lift_corpus_function(kind, seed)
+    plan = plan_probes(f, InstrumentOptions())
+    buf = ProbeBuffer.allocate(img, plan)
+    inject_probes(f, plan, buf)
+    with pytest.raises(InstrumentError) as exc:
+        plan_probes(f, InstrumentOptions())
+    assert isinstance(exc.value, ReproError)
+    with pytest.raises(InstrumentError):
+        inject_probes(f, plan, buf)

@@ -194,6 +194,123 @@ def test_preemption_hammer_8_threads():
     assert stats["invalidations"] >= NROUNDS - 1
 
 
+def _instrumented_memfn():
+    """f(x) = x + 1 via a scratch slot, plus the probe machinery to
+    instrument/strip it against a real image memory."""
+    from repro.cpu import Image
+    from repro.instrument import (
+        InstrumentOptions, ProbeBuffer, inject_probes, plan_probes,
+    )
+    from repro.ir import ptr
+
+    img = Image()
+    slot = img.alloc_data(8, align=8)
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)))
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    p = b.inttoptr(b.const(I64, slot), ptr(I64), "p")
+    b.store(f.args[0], p, align=8)
+    v = b.load(p, "v", align=8)
+    b.ret(b.add(v, b.const(I64, 1)))
+    verify(f)
+
+    def instrument():
+        plan = plan_probes(f, InstrumentOptions(trace_memory=True,
+                                                ring_capacity=64))
+        buf = ProbeBuffer.allocate(img, plan)
+        inject_probes(f, plan, buf)
+        return buf
+
+    return img, m, f, instrument
+
+
+def test_instrumentation_invalidates_trace():
+    """inject_probes and strip_instrumentation are sanctioned mutations:
+    both bump the version, so cached traces are never reused across an
+    instrumentation boundary."""
+    from repro.instrument import strip_instrumentation
+
+    interp_mod.clear_traces()
+    img, m, f, instrument = _instrumented_memfn()
+    it = Interpreter(m, img.memory, threaded=True)
+    assert it.run(f, [4]) == 5
+    plain_trace = interp_mod.trace_for(f)
+
+    v0 = f.version
+    buf = instrument()
+    assert f.version > v0, "inject_probes must bump the version"
+    assert not (interp_mod.trace_for(f) is plain_trace), \
+        "stale uninstrumented trace survived probe injection"
+    assert it.run(f, [4]) == 5           # effect-only: same value
+    assert interp_mod.trace_is_current(f)
+    assert buf.call_count() == 1 and len(buf.events()) == 2
+
+    v1 = f.version
+    assert strip_instrumentation(f) > 0
+    assert f.version > v1, "strip must bump the version"
+    assert it.run(f, [4]) == 5
+    assert interp_mod.trace_is_current(f)
+    assert buf.call_count() == 1, "stale instrumented trace kept counting"
+
+
+def test_instrument_strip_preemption_hammer_8_threads():
+    """8 threads interpret while the main thread instruments and strips
+    between barrier-quiesced rounds: the observable value never changes
+    (probes are effect-only), no stale trace is ever current, and probes
+    count exactly the runs of instrumented rounds."""
+    from repro.instrument import strip_instrumentation
+
+    interp_mod.clear_traces()
+    img, m, f, instrument = _instrumented_memfn()
+    it = Interpreter(m, img.memory, threaded=True)
+    it.max_steps = 1 << 40
+
+    NTHREADS, NROUNDS, RUNS = 8, 12, 8
+    start = threading.Barrier(NTHREADS + 1)
+    done = threading.Barrier(NTHREADS + 1)
+    state = {"stop": False}
+    errors: list = []
+
+    def worker():
+        while True:
+            start.wait()
+            if state["stop"]:
+                return
+            for _ in range(RUNS):
+                got = it.run(f, [41])
+                if got != 42:
+                    errors.append(("value", got))
+                if not interp_mod.trace_is_current(f):
+                    errors.append(("stale",))
+            done.wait()
+
+    threads = [threading.Thread(target=worker) for _ in range(NTHREADS)]
+    for t in threads:
+        t.start()
+    buf = None
+    try:
+        for rnd in range(NROUNDS):
+            start.wait()  # workers hammer the current body concurrently
+            done.wait()   # quiesce before mutating
+            if buf is None:
+                buf = instrument()  # fresh zeroed buffer each time
+            else:
+                # counters are plain (non-atomic) u64 adds: with 8 threads
+                # racing, some increments may be lost, never invented
+                if not 0 < buf.call_count() <= NTHREADS * RUNS:
+                    errors.append(("count", buf.call_count()))
+                assert strip_instrumentation(f) > 0
+                buf = None
+    finally:
+        state["stop"] = True
+        start.wait()
+        for t in threads:
+            t.join()
+    assert not errors, errors[:5]
+    assert interp_mod.trace_cache_stats()["invalidations"] >= NROUNDS - 1
+
+
 def test_engine_parity_on_mutation_sequence():
     """Legacy and threaded engines agree across a mutation sequence."""
     for k in (0, 7, 123):
